@@ -1,0 +1,50 @@
+// Shared helpers for the figure-reproduction benches: the evaluation setup
+// of the paper's Sec. IV (1080p, IPPP, QP 27/28, FSBM) and small table
+// printers.
+#pragma once
+
+#include "core/framework.hpp"
+#include "platform/presets.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace feves::bench {
+
+/// The paper's encoding setup: full-HD frames (coded as 1920x1088), FSBM
+/// with the requested search-area edge (paper quotes SA = 2 * range), QP
+/// 27/28 per the VCEG common conditions.
+inline EncoderConfig paper_config(int sa_size, int num_refs) {
+  EncoderConfig cfg;
+  cfg.width = 1920;
+  cfg.height = 1088;
+  cfg.search_range = sa_size / 2;
+  cfg.num_ref_frames = num_refs;
+  cfg.qp_i = 27;
+  cfg.qp_p = 28;
+  return cfg;
+}
+
+/// Steady-state fps of one named configuration under the given setup.
+inline double config_fps(const std::string& name, int sa_size, int num_refs,
+                         SchedulingPolicy policy = SchedulingPolicy::kAdaptiveLp,
+                         bool sf_deferral = true, bool data_reuse = true) {
+  FrameworkOptions opts;
+  opts.policy = policy;
+  opts.lb.enable_sf_deferral = sf_deferral;
+  opts.enable_data_reuse = data_reuse;
+  VirtualFramework fw(paper_config(sa_size, num_refs),
+                      topology_by_name(name), opts);
+  return fw.steady_state_fps(/*frames=*/24 + 2 * num_refs,
+                             /*warmup=*/6 + num_refs);
+}
+
+inline void print_header(const char* title, const char* note) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("%s\n", note);
+  std::printf("================================================================\n");
+}
+
+}  // namespace feves::bench

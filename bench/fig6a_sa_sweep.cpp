@@ -1,0 +1,46 @@
+// Reproduces Fig 6(a): encoding performance (fps) for 1080p sequences over
+// four search-area sizes (32x32 .. 256x256 pixels) with 1 reference frame,
+// for the four single devices and three CPU+GPU systems the paper
+// evaluates. The shaded region of the paper's chart is the >= 25 fps
+// real-time band — flagged with '*' here.
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace feves;
+  using namespace feves::bench;
+
+  print_header(
+      "Fig 6(a) — fps vs search-area size (1080p, 1 RF)",
+      "paper: fps drops ~4x per SA step; GPUs and all CPU+GPU systems\n"
+      "reach real-time (>=25 fps, marked *) at 32x32; SysHK also at 64x64");
+
+  const int sa_sizes[] = {32, 64, 128, 256};
+  std::printf("%-8s", "config");
+  for (int sa : sa_sizes) std::printf("  %5dx%-5d", sa, sa);
+  std::printf("\n");
+
+  for (const auto& name : all_config_names()) {
+    std::printf("%-8s", name.c_str());
+    for (int sa : sa_sizes) {
+      const double fps = config_fps(name, sa, 1);
+      std::printf("  %8.1f%c  ", fps, fps >= 25.0 ? '*' : ' ');
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nShape checks vs paper:\n"
+      "  - real-time at 32x32 for GPU_F, GPU_K, SysNF, SysNFF, SysHK: %s\n",
+      (config_fps("GPU_F", 32, 1) >= 25 && config_fps("GPU_K", 32, 1) >= 25 &&
+       config_fps("SysNF", 32, 1) >= 25 && config_fps("SysNFF", 32, 1) >= 25 &&
+       config_fps("SysHK", 32, 1) >= 25)
+          ? "PASS"
+          : "FAIL");
+  std::printf("  - real-time at 64x64 only for SysHK among systems: %s\n",
+              (config_fps("SysHK", 64, 1) >= 25) ? "PASS" : "FAIL");
+  std::printf("  - CPU_H ~1.7x CPU_N: %.2fx\n",
+              config_fps("CPU_H", 32, 1) / config_fps("CPU_N", 32, 1));
+  std::printf("  - GPU_K ~2x GPU_F:   %.2fx\n",
+              config_fps("GPU_K", 32, 1) / config_fps("GPU_F", 32, 1));
+  return 0;
+}

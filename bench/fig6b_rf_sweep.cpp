@@ -1,0 +1,66 @@
+// Reproduces Fig 6(b): encoding performance (fps) for 1080p sequences over
+// the number of reference frames (1..8) at the 32x32 search area, for every
+// evaluated configuration. The paper reports real-time encoding on SysHK up
+// to 4 RFs, SysHK ~1.3x GPU_K and ~3x CPU_H on average, and SysNFF up to
+// 2.2x GPU_F / 5x CPU_N.
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace feves;
+  using namespace feves::bench;
+
+  print_header(
+      "Fig 6(b) — fps vs number of reference frames (1080p, 32x32 SA)",
+      "paper: SysHK stays real-time to 4 RFs; avg speedups: SysHK 1.3x\n"
+      "GPU_K / 3x CPU_H; SysNFF up to 2.2x GPU_F / 5x CPU_N");
+
+  constexpr int kMaxRefs = 8;
+  std::printf("%-8s", "config");
+  for (int r = 1; r <= kMaxRefs; ++r) std::printf("  %4dRF ", r);
+  std::printf("\n");
+
+  std::vector<std::vector<double>> fps(all_config_names().size());
+  for (std::size_t c = 0; c < all_config_names().size(); ++c) {
+    const auto& name = all_config_names()[c];
+    std::printf("%-8s", name.c_str());
+    for (int r = 1; r <= kMaxRefs; ++r) {
+      fps[c].push_back(config_fps(name, 32, r));
+      std::printf("  %5.1f%c ", fps[c].back(), fps[c].back() >= 25 ? '*' : ' ');
+    }
+    std::printf("\n");
+  }
+
+  auto row = [&](const char* name) -> const std::vector<double>& {
+    for (std::size_t c = 0; c < all_config_names().size(); ++c) {
+      if (all_config_names()[c] == name) return fps[c];
+    }
+    throw Error("unknown config");
+  };
+
+  auto avg_ratio = [&](const char* a, const char* b) {
+    double acc = 0;
+    for (int r = 0; r < kMaxRefs; ++r) acc += row(a)[r] / row(b)[r];
+    return acc / kMaxRefs;
+  };
+
+  int hk_realtime_refs = 0;
+  for (int r = 0; r < kMaxRefs; ++r) {
+    if (row("SysHK")[r] >= 25.0) hk_realtime_refs = r + 1;
+  }
+
+  std::printf("\nShape checks vs paper:\n");
+  std::printf("  - SysHK real-time up to %d RFs (paper: 4)\n",
+              hk_realtime_refs);
+  std::printf("  - avg SysHK / GPU_K  = %.2fx (paper: ~1.3)\n",
+              avg_ratio("SysHK", "GPU_K"));
+  std::printf("  - avg SysHK / CPU_H  = %.2fx (paper: ~3)\n",
+              avg_ratio("SysHK", "CPU_H"));
+  double best_nff_f = 0, best_nff_n = 0;
+  for (int r = 0; r < kMaxRefs; ++r) {
+    best_nff_f = std::max(best_nff_f, row("SysNFF")[r] / row("GPU_F")[r]);
+    best_nff_n = std::max(best_nff_n, row("SysNFF")[r] / row("CPU_N")[r]);
+  }
+  std::printf("  - max SysNFF / GPU_F = %.2fx (paper: up to 2.2)\n", best_nff_f);
+  std::printf("  - max SysNFF / CPU_N = %.2fx (paper: up to 5)\n", best_nff_n);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces Fig 7(b): per-frame encoding time for the first 100
+// inter-frames on SysHK with a 32x32 search area and 1..5 reference frames,
+// including the paper's observed "sudden change in the system performance
+// ... (e.g. other processes started running)" at frames 76 and 81 for 1 RF
+// and frames 31, 71 and 92 for 2 RFs. In the paper these events were
+// uncontrolled; here a deterministic PerturbationSchedule injects a 2x GPU
+// slowdown lasting three frames starting at those points. The framework's
+// dynamic re-characterization must (a) absorb the hit by re-balancing while
+// the interference is still active and (b) snap back to the baseline within
+// a single inter-frame after it ends — the self-adaptability property the
+// paper highlights ("a very fast recovery of the performance curves, which
+// required a single inter-frame to converge").
+//
+// The 3-5 RF curves also show the reference-window ramp-up: the encode
+// time rises over the first R frames while the RF set fills, then goes
+// near-constant.
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace feves;
+  using namespace feves::bench;
+
+  print_header(
+      "Fig 7(b) — per-frame encode time, SysHK, 32x32 SA, 1..5 RFs,"
+      " with injected perturbations",
+      "paper: real-time up to 4 RFs; rising slopes over frames 2..R while\n"
+      "the RF window fills; spikes at frames 76/81 (1RF) and 31/71/92 (2RF)\n"
+      "recover within a single inter-frame");
+
+  constexpr int kFrames = 100;
+  std::vector<std::vector<double>> trace;
+  for (int refs = 1; refs <= 5; ++refs) {
+    PerturbationSchedule sched;
+    if (refs == 1) {
+      sched.add({/*device=*/1, 76, 79, 2.0});
+      sched.add({1, 81, 84, 2.0});
+    } else if (refs == 2) {
+      sched.add({1, 31, 34, 2.0});
+      sched.add({1, 71, 74, 2.0});
+      sched.add({1, 92, 95, 2.0});
+    }
+    VirtualFramework fw(paper_config(32, refs), make_sys_hk(), {}, sched);
+    std::vector<double> ms;
+    for (int f = 1; f <= kFrames; ++f) ms.push_back(fw.encode_frame().total_ms);
+    trace.push_back(std::move(ms));
+  }
+
+  std::printf("%-6s", "frame");
+  for (int r = 1; r <= 5; ++r) std::printf("  %4dRF[ms]", r);
+  std::printf("\n");
+  for (int f = 0; f < kFrames; ++f) {
+    std::printf("%-6d", f + 1);
+    for (int r = 0; r < 5; ++r) std::printf("  %9.2f ", trace[r][f]);
+    std::printf("\n");
+  }
+
+  auto at = [&](int refs, int frame) { return trace[refs - 1][frame - 1]; };
+
+  std::printf("\nShape checks vs paper:\n");
+  // Spike, in-perturbation mitigation, and single-frame post-event recovery
+  // (1 RF event at frames 76-78; 2 RF event at frames 31-33).
+  const double base1 = at(1, 70);
+  std::printf("  - 1RF spike at 76 (%.1f -> %.1f ms), rebalanced by 78"
+              " (%.1f), baseline by 80 (%.1f): %s\n",
+              base1, at(1, 76), at(1, 78), at(1, 80),
+              (at(1, 76) > 1.3 * base1 && at(1, 78) < 0.9 * at(1, 76) &&
+               at(1, 80) < 1.1 * base1)
+                  ? "PASS"
+                  : "FAIL");
+  const double base2 = at(2, 28);
+  std::printf("  - 2RF spike at 31 (%.1f -> %.1f ms), rebalanced by 33"
+              " (%.1f), baseline by 35 (%.1f): %s\n",
+              base2, at(2, 31), at(2, 33), at(2, 35),
+              (at(2, 31) > 1.3 * base2 && at(2, 33) < 0.9 * at(2, 31) &&
+               at(2, 35) < 1.1 * base2)
+                  ? "PASS"
+                  : "FAIL");
+  // Ramp-up for 5 RFs: rising over frames 2..5, then near-constant.
+  std::printf("  - 5RF ramp-up (f2 %.1f < f3 %.1f < f5 %.1f): %s\n", at(5, 2),
+              at(5, 3), at(5, 5),
+              (at(5, 2) < at(5, 3) && at(5, 3) < at(5, 5)) ? "PASS" : "FAIL");
+  std::printf("  - 5RF flat after fill (f20 vs f90 within 5%%): %s\n",
+              std::abs(at(5, 20) - at(5, 90)) < 0.05 * at(5, 20) ? "PASS"
+                                                                 : "FAIL");
+  // Real-time reach: paper achieves it for up to 4 RFs on SysHK.
+  int rt_refs = 0;
+  for (int r = 1; r <= 5; ++r) {
+    if (at(r, 60) <= 40.0) rt_refs = r;
+  }
+  std::printf("  - real-time sustained up to %d RFs (paper: 4)\n", rt_refs);
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Kernel microbenchmarks (google-benchmark): throughput of the Parallel
+// Modules library primitives. Not a figure from the paper — these sanity-
+// check that the analytical cost model's *shape* (ME dominated by SA area,
+// SME by refinement probes, INT by output pixels) matches the real kernels.
+#include "codec/cavlc.hpp"
+#include "codec/deblock.hpp"
+#include "codec/frame_codec.hpp"
+#include "codec/interpolate.hpp"
+#include "codec/me.hpp"
+#include "codec/sad.hpp"
+#include "codec/sme.hpp"
+#include "codec/transform.hpp"
+#include "common/rng.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace feves {
+namespace {
+
+PlaneU8 random_plane(int w, int h, int border, u64 seed) {
+  PlaneU8 p(w, h, border);
+  Rng rng(seed);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      p.at(y, x) = static_cast<u8>(rng.uniform_int(0, 255));
+    }
+  }
+  p.extend_borders();
+  return p;
+}
+
+void BM_SadGrid(benchmark::State& state) {
+  const auto tier = static_cast<SimdTier>(state.range(0));
+  auto cur = random_plane(64, 64, 8, 1);
+  auto ref = random_plane(64, 64, 8, 2);
+  const SadGrid16Fn fn = sad_grid_16x16_kernel(tier);
+  u16 grid[16];
+  for (auto _ : state) {
+    fn(cur.row(8), cur.stride(), ref.row(9) + 1, ref.stride(), grid);
+    benchmark::DoNotOptimize(grid);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SadGrid)
+    ->Arg(static_cast<int>(SimdTier::kScalar))
+    ->Arg(static_cast<int>(SimdTier::kBlocked))
+    ->Arg(static_cast<int>(SimdTier::kSimd));
+
+void BM_MeMbRow(benchmark::State& state) {
+  const int range = static_cast<int>(state.range(0));
+  const int w = 160, h = 32;
+  auto cur = random_plane(w, h, range + 24, 3);
+  auto ref = random_plane(w, h, range + 24, 4);
+  MotionField field(static_cast<std::size_t>((w / 16) * (h / 16)));
+  MeParams params;
+  params.search_range = range;
+  for (auto _ : state) {
+    run_me_rows(cur, ref, w / 16, 0, 1, params, field.data());
+    benchmark::DoNotOptimize(field.data());
+  }
+  // Candidate-pixel comparisons per row, the cost model's ME unit.
+  state.SetItemsProcessed(state.iterations() * (w / 16) * (2 * range) *
+                          (2 * range) * 256);
+}
+BENCHMARK(BM_MeMbRow)->Arg(8)->Arg(16);
+
+void BM_InterpolateMbRow(benchmark::State& state) {
+  const int w = 320, h = 32;
+  auto ref = random_plane(w, h, 24, 5);
+  SubPelFrame sf(w, h, 24);
+  for (auto _ : state) {
+    run_interpolation_rows(ref, 0, 1, sf);
+    benchmark::DoNotOptimize(sf.phases[5].row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * w * 16 * 16);
+}
+BENCHMARK(BM_InterpolateMbRow);
+
+void BM_SmeMbRow(benchmark::State& state) {
+  const int w = 160, h = 32;
+  auto ref = random_plane(w, h, 24, 6);
+  SubPelFrame sf(w, h, 24);
+  run_interpolation_rows(ref, 0, h / 16, sf);
+  extend_subpel_borders(sf);
+  auto cur = random_plane(w, h, 24, 7);
+  MotionField field(static_cast<std::size_t>((w / 16) * (h / 16)));
+  SmeParams params;
+  for (auto _ : state) {
+    run_sme_rows(cur, sf, w / 16, 0, 1, params, field.data());
+    benchmark::DoNotOptimize(field.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (w / 16) * 25 * 7 * 256);
+}
+BENCHMARK(BM_SmeMbRow);
+
+void BM_TransformQuantRoundTrip(benchmark::State& state) {
+  Rng rng(8);
+  i16 res[16];
+  for (auto& v : res) v = static_cast<i16>(rng.uniform_int(-255, 255));
+  for (auto _ : state) {
+    i16 coeffs[16], levels[16], rec[16];
+    i32 deq[16];
+    forward_transform_4x4(res, coeffs);
+    quantize_4x4(coeffs, 28, false, levels);
+    dequantize_4x4(levels, 28, deq);
+    inverse_transform_4x4(deq, rec);
+    benchmark::DoNotOptimize(rec);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_TransformQuantRoundTrip);
+
+void BM_DeblockFrame(benchmark::State& state) {
+  const int mbw = 20, mbh = 2;
+  auto luma = random_plane(mbw * 16, mbh * 16, 8, 9);
+  std::vector<Block4x4Info> blocks(static_cast<std::size_t>(mbw * 4 * mbh * 4));
+  Rng rng(10);
+  for (auto& b : blocks) {
+    b.nonzero = rng.uniform01() < 0.4;
+    b.mv = Mv{static_cast<i16>(rng.uniform_int(-16, 16)),
+              static_cast<i16>(rng.uniform_int(-16, 16))};
+  }
+  DeblockParams params;
+  params.qp = 28;
+  for (auto _ : state) {
+    run_deblock_frame(luma, mbw, mbh, blocks.data(), params);
+    benchmark::DoNotOptimize(luma.row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * mbw * 16 * mbh * 16);
+}
+BENCHMARK(BM_DeblockFrame);
+
+void BM_CavlcBlock(benchmark::State& state) {
+  Rng rng(11);
+  i16 levels[16] = {};
+  for (int c = 0; c < 5; ++c) {
+    levels[rng.uniform_int(0, 15)] = static_cast<i16>(rng.uniform_int(-9, 9));
+  }
+  for (auto _ : state) {
+    BitWriter bw;
+    cavlc_encode_4x4(bw, levels);
+    benchmark::DoNotOptimize(bw.bytes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_CavlcBlock);
+
+}  // namespace
+}  // namespace feves
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Bit-exact bitstream writer/reader with Exp-Golomb codes (ue(v)/se(v)),
+// the substrate for the entropy-coding stage of Fig 1. MSB-first bit order,
+// byte-aligned RBSP-style trailing.
+#pragma once
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+#include <vector>
+
+namespace feves {
+
+class BitWriter {
+ public:
+  void put_bit(int bit) {
+    acc_ = (acc_ << 1) | static_cast<u8>(bit & 1);
+    if (++nbits_ == 8) flush_byte();
+  }
+
+  void put_bits(u32 value, int count) {
+    FEVES_CHECK(count >= 0 && count <= 32);
+    for (int i = count - 1; i >= 0; --i) put_bit(static_cast<int>(value >> i));
+  }
+
+  /// Exp-Golomb unsigned: ue(v).
+  void put_ue(u32 v) {
+    const u64 code = static_cast<u64>(v) + 1;
+    int len = 0;
+    for (u64 t = code; t > 1; t >>= 1) ++len;
+    for (int i = 0; i < len; ++i) put_bit(0);
+    for (int i = len; i >= 0; --i) put_bit(static_cast<int>(code >> i) & 1);
+  }
+
+  /// Exp-Golomb signed: se(v) with the standard mapping.
+  void put_se(i32 v) {
+    const u32 mapped =
+        v <= 0 ? static_cast<u32>(-2 * static_cast<i64>(v))
+               : static_cast<u32>(2 * static_cast<i64>(v) - 1);
+    put_ue(mapped);
+  }
+
+  /// Pads to a byte boundary with a stop bit followed by zeros.
+  void finish() {
+    if (nbits_ == 0) return;
+    put_bit(1);
+    while (nbits_ != 0) put_bit(0);
+  }
+
+  std::size_t bit_count() const { return bytes_.size() * 8 + nbits_; }
+  const std::vector<u8>& bytes() const { return bytes_; }
+  std::vector<u8> take() { return std::move(bytes_); }
+
+ private:
+  void flush_byte() {
+    bytes_.push_back(acc_);
+    acc_ = 0;
+    nbits_ = 0;
+  }
+
+  std::vector<u8> bytes_;
+  u8 acc_ = 0;
+  int nbits_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<u8>& bytes) : bytes_(bytes) {}
+
+  int get_bit() {
+    FEVES_CHECK_MSG(pos_ < bytes_.size() * 8, "bitstream exhausted");
+    const u8 byte = bytes_[pos_ / 8];
+    const int bit = (byte >> (7 - pos_ % 8)) & 1;
+    ++pos_;
+    return bit;
+  }
+
+  u32 get_bits(int count) {
+    FEVES_CHECK(count >= 0 && count <= 32);
+    u32 v = 0;
+    for (int i = 0; i < count; ++i) v = (v << 1) | static_cast<u32>(get_bit());
+    return v;
+  }
+
+  u32 get_ue() {
+    int zeros = 0;
+    while (get_bit() == 0) {
+      ++zeros;
+      FEVES_CHECK_MSG(zeros <= 32, "malformed Exp-Golomb code");
+    }
+    u64 code = 1;
+    for (int i = 0; i < zeros; ++i) code = (code << 1) | static_cast<u64>(get_bit());
+    return static_cast<u32>(code - 1);
+  }
+
+  i32 get_se() {
+    const u32 mapped = get_ue();
+    const i64 v = (mapped + 1) / 2;
+    return static_cast<i32>((mapped & 1) != 0 ? v : -v);
+  }
+
+  std::size_t bit_position() const { return pos_; }
+  bool exhausted() const { return pos_ >= bytes_.size() * 8; }
+
+ private:
+  const std::vector<u8>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace feves

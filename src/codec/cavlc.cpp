@@ -1,0 +1,203 @@
+#include "codec/cavlc.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace feves {
+
+namespace {
+
+/// Escape suffix width. The standard uses 12 bits; we widen to 16 so that
+/// low-QP levels (up to ~3700 after quantization) always fit — the encoder
+/// and decoder only need to agree with each other.
+constexpr int kEscapeBits = 16;
+
+void write_level(BitWriter& bw, int level_code, int suffix_length) {
+  if (suffix_length == 0) {
+    if (level_code < 14) {
+      bw.put_bits(1, level_code + 1);  // level_code zeros then a 1
+    } else if (level_code < 30) {
+      bw.put_bits(1, 15);  // 14 zeros + 1
+      bw.put_bits(static_cast<u32>(level_code - 14), 4);
+    } else {
+      bw.put_bits(1, 16);  // 15 zeros + 1
+      bw.put_bits(static_cast<u32>(level_code - 30), kEscapeBits);
+    }
+  } else {
+    const int prefix = level_code >> suffix_length;
+    if (prefix < 15) {
+      bw.put_bits(1, prefix + 1);
+      bw.put_bits(static_cast<u32>(level_code) &
+                      ((1u << suffix_length) - 1),
+                  suffix_length);
+    } else {
+      bw.put_bits(1, 16);
+      bw.put_bits(static_cast<u32>(level_code - (15 << suffix_length)),
+                  kEscapeBits);
+    }
+  }
+}
+
+int read_level(BitReader& br, int suffix_length) {
+  int prefix = 0;
+  while (br.get_bit() == 0) ++prefix;
+  if (suffix_length == 0) {
+    if (prefix < 14) return prefix;
+    if (prefix == 14) return 14 + static_cast<int>(br.get_bits(4));
+    return 30 + static_cast<int>(br.get_bits(kEscapeBits));
+  }
+  if (prefix < 15) {
+    return (prefix << suffix_length) +
+           static_cast<int>(br.get_bits(suffix_length));
+  }
+  return (15 << suffix_length) + static_cast<int>(br.get_bits(kEscapeBits));
+}
+
+}  // namespace
+
+int cavlc_encode_4x4(BitWriter& bw, const i16 levels[16]) {
+  i16 scan[16];
+  for (int i = 0; i < 16; ++i) scan[i] = levels[kZigZag4x4[i]];
+
+  int last = -1;
+  int total_coeff = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (scan[i] != 0) {
+      last = i;
+      ++total_coeff;
+    }
+  }
+
+  int trailing_ones = 0;
+  {
+    int i = last;
+    while (i >= 0 && trailing_ones < 3) {
+      if (scan[i] == 0) {
+        --i;
+        continue;
+      }
+      if (scan[i] == 1 || scan[i] == -1) {
+        ++trailing_ones;
+        --i;
+      } else {
+        break;
+      }
+    }
+  }
+
+  // Token: TotalCoeff then TrailingOnes (fixed 2 bits when present).
+  bw.put_ue(static_cast<u32>(total_coeff));
+  if (total_coeff == 0) return 0;
+  bw.put_bits(static_cast<u32>(trailing_ones), 2);
+
+  // Trailing-one sign flags, highest scan position first.
+  int emitted_t1 = 0;
+  for (int i = last; i >= 0 && emitted_t1 < trailing_ones; --i) {
+    if (scan[i] == 0) continue;
+    bw.put_bit(scan[i] < 0 ? 1 : 0);
+    ++emitted_t1;
+  }
+
+  // Remaining levels, reverse scan order, adaptive suffixLength.
+  int suffix_length = (total_coeff > 10 && trailing_ones < 3) ? 1 : 0;
+  bool first = true;
+  int skipped_t1 = 0;
+  for (int i = last; i >= 0; --i) {
+    if (scan[i] == 0) continue;
+    if (skipped_t1 < trailing_ones) {
+      ++skipped_t1;
+      continue;
+    }
+    const int level = scan[i];
+    int level_code = level > 0 ? 2 * level - 2 : -2 * level - 1;
+    if (first && trailing_ones < 3) {
+      // The first non-T1 level is known to have |level| >= 2 when three
+      // trailing ones were not found; shift the code range down.
+      level_code -= 2;
+    }
+    write_level(bw, level_code, suffix_length);
+    if (suffix_length == 0) suffix_length = 1;
+    if (std::abs(level) > (3 << (suffix_length - 1)) && suffix_length < 6) {
+      ++suffix_length;
+    }
+    first = false;
+  }
+
+  // total_zeros: zeros interleaved below the highest coefficient.
+  const int total_zeros = last + 1 - total_coeff;
+  if (total_coeff < 16) bw.put_ue(static_cast<u32>(total_zeros));
+
+  // run_before for every coefficient except the lowest, reverse order.
+  int zeros_left = total_zeros;
+  int coeffs_done = 0;
+  for (int i = last; i >= 0 && coeffs_done < total_coeff - 1; --i) {
+    if (scan[i] == 0) continue;
+    // Count zeros immediately below scan position i down to the next coeff.
+    int run = 0;
+    for (int j = i - 1; j >= 0 && scan[j] == 0; --j) ++run;
+    if (zeros_left > 0) bw.put_ue(static_cast<u32>(run));
+    zeros_left -= run;
+    ++coeffs_done;
+  }
+  return total_coeff;
+}
+
+int cavlc_decode_4x4(BitReader& br, i16 levels[16]) {
+  i16 scan[16] = {};
+  const int total_coeff = static_cast<int>(br.get_ue());
+  FEVES_CHECK_MSG(total_coeff <= 16, "corrupt CAVLC: TotalCoeff > 16");
+  if (total_coeff == 0) {
+    for (int i = 0; i < 16; ++i) levels[i] = 0;
+    return 0;
+  }
+  const int trailing_ones = static_cast<int>(br.get_bits(2));
+  FEVES_CHECK_MSG(trailing_ones <= std::min(3, total_coeff),
+                  "corrupt CAVLC: TrailingOnes " << trailing_ones);
+
+  // Levels in reverse scan order (index 0 = highest scan position).
+  i16 rev[16] = {};
+  for (int k = 0; k < trailing_ones; ++k) {
+    rev[k] = br.get_bit() != 0 ? i16{-1} : i16{1};
+  }
+  int suffix_length = (total_coeff > 10 && trailing_ones < 3) ? 1 : 0;
+  bool first = true;
+  for (int k = trailing_ones; k < total_coeff; ++k) {
+    int level_code = read_level(br, suffix_length);
+    if (first && trailing_ones < 3) level_code += 2;
+    const int level = (level_code % 2 == 0) ? (level_code + 2) / 2
+                                            : -(level_code + 1) / 2;
+    rev[k] = static_cast<i16>(level);
+    if (suffix_length == 0) suffix_length = 1;
+    if (std::abs(level) > (3 << (suffix_length - 1)) && suffix_length < 6) {
+      ++suffix_length;
+    }
+    first = false;
+  }
+
+  const int total_zeros =
+      total_coeff < 16 ? static_cast<int>(br.get_ue()) : 0;
+  FEVES_CHECK_MSG(total_coeff + total_zeros <= 16,
+                  "corrupt CAVLC: zeros overflow");
+
+  // Place coefficients from the top of the scan downwards.
+  int idx = total_coeff + total_zeros - 1;
+  int zeros_left = total_zeros;
+  for (int k = 0; k < total_coeff; ++k) {
+    FEVES_CHECK_MSG(idx >= 0, "corrupt CAVLC: scan underflow");
+    scan[idx] = rev[k];
+    if (k < total_coeff - 1) {
+      int run = 0;
+      if (zeros_left > 0) {
+        run = static_cast<int>(br.get_ue());
+        FEVES_CHECK_MSG(run <= zeros_left, "corrupt CAVLC: run_before");
+      }
+      zeros_left -= run;
+      idx -= 1 + run;
+    }
+  }
+
+  for (int i = 0; i < 16; ++i) levels[kZigZag4x4[i]] = scan[i];
+  return total_coeff;
+}
+
+}  // namespace feves

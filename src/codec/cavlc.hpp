@@ -1,0 +1,30 @@
+// CAVLC-structured residual entropy coding. Follows the H.264 CAVLC data
+// flow exactly — zig-zag scan, (TotalCoeff, TrailingOnes) token, trailing-
+// one signs, reverse-order level coding with the standard's adaptive
+// level_prefix/level_suffix suffixLength state machine, total_zeros and
+// run_before — but assigns Exp-Golomb codewords to the token/zeros/run
+// symbols instead of the standard's hand-tuned VLC tables (a documented
+// substitution: entropy coding sits outside the paper's measured
+// inter-loop; structure and adaptivity are preserved, absolute rate is
+// within a few percent).
+#pragma once
+
+#include "codec/bitstream.hpp"
+#include "common/types.hpp"
+
+namespace feves {
+
+/// Zig-zag scan order for 4x4 blocks (H.264 Table 8-13, frame coding).
+inline constexpr int kZigZag4x4[16] = {0, 1,  4,  8,  5, 2,  3,  6,
+                                       9, 12, 13, 10, 7, 11, 14, 15};
+
+/// Encodes one 4x4 block of quantized levels (row-major). Returns the
+/// number of non-zero coefficients (the block's TotalCoeff, which callers
+/// keep as the nC context/nonzero flag for neighbours and deblocking).
+int cavlc_encode_4x4(BitWriter& bw, const i16 levels[16]);
+
+/// Decodes one 4x4 block written by cavlc_encode_4x4 into row-major
+/// `levels`. Returns TotalCoeff.
+int cavlc_decode_4x4(BitReader& br, i16 levels[16]);
+
+}  // namespace feves

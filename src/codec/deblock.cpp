@@ -1,0 +1,232 @@
+#include "codec/deblock.hpp"
+
+#include "common/check.hpp"
+
+#include <algorithm>
+
+namespace feves {
+
+namespace {
+
+constexpr u8 kAlpha[52] = {
+    0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,   0,   0,   0,   0,   0,   4,
+    4,  5,  6,  7,  8,  9,  10, 12, 13, 15, 17,  20,  22,  25,  28,  32,  36,
+    40, 45, 50, 56, 63, 71, 80, 90, 101, 113, 127, 144, 162, 182, 203, 226,
+    255, 255};
+
+constexpr u8 kBeta[52] = {
+    0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  2,  2,
+    2,  3,  3,  3,  3,  4,  4,  4,  6,  6,  7,  7,  8,  8,  9,  9,  10, 10,
+    11, 11, 12, 12, 13, 13, 14, 14, 15, 15, 16, 16, 17, 17, 18, 18};
+
+/// tc0 clipping table (H.264 Table 8-17), indexed [indexA][bS-1].
+constexpr u8 kTc0[52][3] = {
+    {0, 0, 0},  {0, 0, 0},  {0, 0, 0},  {0, 0, 0},  {0, 0, 0},  {0, 0, 0},
+    {0, 0, 0},  {0, 0, 0},  {0, 0, 0},  {0, 0, 0},  {0, 0, 0},  {0, 0, 0},
+    {0, 0, 0},  {0, 0, 0},  {0, 0, 0},  {0, 0, 0},  {0, 0, 0},  {0, 0, 1},
+    {0, 0, 1},  {0, 0, 1},  {0, 0, 1},  {0, 1, 1},  {0, 1, 1},  {1, 1, 1},
+    {1, 1, 1},  {1, 1, 1},  {1, 1, 1},  {1, 1, 2},  {1, 1, 2},  {1, 1, 2},
+    {1, 1, 2},  {1, 2, 3},  {1, 2, 3},  {2, 2, 3},  {2, 2, 4},  {2, 3, 4},
+    {2, 3, 4},  {3, 3, 5},  {3, 4, 6},  {3, 4, 6},  {4, 5, 7},  {4, 5, 8},
+    {4, 6, 9},  {5, 7, 10}, {6, 8, 11}, {6, 8, 13}, {7, 10, 14}, {8, 11, 16},
+    {9, 12, 18}, {10, 13, 20}, {11, 15, 23}, {13, 17, 25}};
+
+inline u8 clip255(int v) { return static_cast<u8>(std::clamp(v, 0, 255)); }
+
+/// Filters one line of samples across an edge. `p` points at p0 and the
+/// pN samples live at p[-step*N]; qN at p[step*N]... precisely: caller
+/// passes pointers so that p_n = pp[-n*step] is p_n and qq[n*step] is q_n.
+void filter_line(u8* q0ptr, std::ptrdiff_t step, int bs, int alpha, int beta,
+                 int tc0) {
+  u8* q = q0ptr;
+  const int p0 = q[-1 * step];
+  const int p1 = q[-2 * step];
+  const int p2 = q[-3 * step];
+  const int p3 = q[-4 * step];
+  const int q0 = q[0];
+  const int q1 = q[1 * step];
+  const int q2 = q[2 * step];
+  const int q3 = q[3 * step];
+
+  if (std::abs(p0 - q0) >= alpha || std::abs(p1 - p0) >= beta ||
+      std::abs(q1 - q0) >= beta) {
+    return;
+  }
+  const bool ap = std::abs(p2 - p0) < beta;
+  const bool aq = std::abs(q2 - q0) < beta;
+
+  if (bs < 4) {
+    const int tc = tc0 + (ap ? 1 : 0) + (aq ? 1 : 0);
+    const int delta =
+        std::clamp(((q0 - p0) * 4 + (p1 - q1) + 4) >> 3, -tc, tc);
+    q[-1 * step] = clip255(p0 + delta);
+    q[0] = clip255(q0 - delta);
+    if (ap) {
+      q[-2 * step] = static_cast<u8>(
+          p1 + std::clamp((p2 + ((p0 + q0 + 1) >> 1) - 2 * p1) >> 1, -tc0,
+                          tc0));
+    }
+    if (aq) {
+      q[1 * step] = static_cast<u8>(
+          q1 + std::clamp((q2 + ((p0 + q0 + 1) >> 1) - 2 * q1) >> 1, -tc0,
+                          tc0));
+    }
+  } else {
+    const bool strong = std::abs(p0 - q0) < (alpha >> 2) + 2;
+    if (strong && ap) {
+      q[-1 * step] =
+          static_cast<u8>((p2 + 2 * p1 + 2 * p0 + 2 * q0 + q1 + 4) >> 3);
+      q[-2 * step] = static_cast<u8>((p2 + p1 + p0 + q0 + 2) >> 2);
+      q[-3 * step] =
+          static_cast<u8>((2 * p3 + 3 * p2 + p1 + p0 + q0 + 4) >> 3);
+    } else {
+      q[-1 * step] = static_cast<u8>((2 * p1 + p0 + q1 + 2) >> 2);
+    }
+    if (strong && aq) {
+      q[0] = static_cast<u8>((q2 + 2 * q1 + 2 * q0 + 2 * p0 + p1 + 4) >> 3);
+      q[1 * step] = static_cast<u8>((q2 + q1 + q0 + p0 + 2) >> 2);
+      q[2 * step] =
+          static_cast<u8>((2 * q3 + 3 * q2 + q1 + q0 + p0 + 4) >> 3);
+    } else {
+      q[0] = static_cast<u8>((2 * q1 + q0 + p1 + 2) >> 2);
+    }
+  }
+}
+
+}  // namespace
+
+/// Chroma line filter: two samples per side.
+void filter_chroma_line(u8* q0ptr, std::ptrdiff_t step, int bs, int alpha,
+                        int beta, int tc0) {
+  u8* q = q0ptr;
+  const int p0 = q[-1 * step];
+  const int p1 = q[-2 * step];
+  const int q0 = q[0];
+  const int q1 = q[1 * step];
+  if (std::abs(p0 - q0) >= alpha || std::abs(p1 - p0) >= beta ||
+      std::abs(q1 - q0) >= beta) {
+    return;
+  }
+  if (bs < 4) {
+    const int tc = tc0 + 1;
+    const int delta =
+        std::clamp(((q0 - p0) * 4 + (p1 - q1) + 4) >> 3, -tc, tc);
+    q[-1 * step] = clip255(p0 + delta);
+    q[0] = clip255(q0 - delta);
+  } else {
+    q[-1 * step] = static_cast<u8>((2 * p1 + p0 + q1 + 2) >> 2);
+    q[0] = static_cast<u8>((2 * q1 + q0 + p1 + 2) >> 2);
+  }
+}
+
+int boundary_strength(const Block4x4Info& a, const Block4x4Info& b) {
+  if (a.intra || b.intra) return 4;
+  if (a.nonzero || b.nonzero) return 2;
+  if (a.ref_idx != b.ref_idx) return 1;
+  if (std::abs(a.mv.x - b.mv.x) >= 4 || std::abs(a.mv.y - b.mv.y) >= 4)
+    return 1;
+  return 0;
+}
+
+void run_deblock_frame(PlaneU8& luma, int mb_width, int mb_height,
+                       const Block4x4Info* blocks, const DeblockParams& p) {
+  FEVES_CHECK(luma.width() == mb_width * kMbSize);
+  FEVES_CHECK(luma.height() == mb_height * kMbSize);
+  const int index_a = std::clamp(p.qp + p.alpha_offset, 0, 51);
+  const int index_b = std::clamp(p.qp + p.beta_offset, 0, 51);
+  const int alpha = kAlpha[index_a];
+  const int beta = kBeta[index_b];
+  if (alpha == 0 || beta == 0) return;  // QP too low: filter disabled
+
+  const int bw = mb_width * 4;  // 4x4 block grid width
+
+  for (int mb_y = 0; mb_y < mb_height; ++mb_y) {
+    for (int mb_x = 0; mb_x < mb_width; ++mb_x) {
+      // Vertical edges (filtering horizontally across columns
+      // x = 16*mb_x + {0,4,8,12}); the x=0 edge needs a left neighbour MB.
+      for (int e = 0; e < 4; ++e) {
+        if (e == 0 && mb_x == 0) continue;
+        const int px = mb_x * kMbSize + e * 4;
+        for (int line = 0; line < kMbSize; ++line) {
+          const int py = mb_y * kMbSize + line;
+          const int bx = px / 4;
+          const int by = py / 4;
+          const int bs =
+              boundary_strength(blocks[by * bw + (bx - 1)], blocks[by * bw + bx]);
+          if (bs == 0) continue;
+          filter_line(luma.row(py) + px, 1, bs, alpha, beta,
+                      kTc0[index_a][bs - 1]);
+        }
+      }
+      // Horizontal edges (filtering vertically across rows
+      // y = 16*mb_y + {0,4,8,12}); the y=0 edge needs an above neighbour.
+      for (int e = 0; e < 4; ++e) {
+        if (e == 0 && mb_y == 0) continue;
+        const int py = mb_y * kMbSize + e * 4;
+        for (int line = 0; line < kMbSize; ++line) {
+          const int px = mb_x * kMbSize + line;
+          const int bx = px / 4;
+          const int by = py / 4;
+          const int bs = boundary_strength(blocks[(by - 1) * bw + bx],
+                                           blocks[by * bw + bx]);
+          if (bs == 0) continue;
+          filter_line(luma.row(py) + px, luma.stride(), bs, alpha, beta,
+                      kTc0[index_a][bs - 1]);
+        }
+      }
+    }
+  }
+}
+
+void run_deblock_chroma(PlaneU8& chroma, int mb_width, int mb_height,
+                        const Block4x4Info* blocks, const DeblockParams& p) {
+  constexpr int kCMb = kMbSize / 2;
+  FEVES_CHECK(chroma.width() == mb_width * kCMb);
+  FEVES_CHECK(chroma.height() == mb_height * kCMb);
+  const int index_a = std::clamp(p.qp + p.alpha_offset, 0, 51);
+  const int index_b = std::clamp(p.qp + p.beta_offset, 0, 51);
+  const int alpha = kAlpha[index_a];
+  const int beta = kBeta[index_b];
+  if (alpha == 0 || beta == 0) return;
+
+  const int bw = mb_width * 4;  // luma 4x4 block grid width
+
+  for (int mb_y = 0; mb_y < mb_height; ++mb_y) {
+    for (int mb_x = 0; mb_x < mb_width; ++mb_x) {
+      // Vertical chroma edges at x = 8*mb_x + {0, 4}.
+      for (int e = 0; e < 2; ++e) {
+        if (e == 0 && mb_x == 0) continue;
+        const int cx = mb_x * kCMb + e * 4;
+        for (int line = 0; line < kCMb; ++line) {
+          const int cy = mb_y * kCMb + line;
+          // Co-located luma 4x4 blocks: chroma sample (cx, cy) maps to
+          // luma pixel (2cx, 2cy) -> block (cx/2, cy/2).
+          const int lbx = cx / 2;
+          const int lby = cy / 2;
+          const int bs = boundary_strength(blocks[lby * bw + (lbx - 1)],
+                                           blocks[lby * bw + lbx]);
+          if (bs == 0) continue;
+          filter_chroma_line(chroma.row(cy) + cx, 1, bs, alpha, beta,
+                             kTc0[index_a][bs - 1]);
+        }
+      }
+      // Horizontal chroma edges at y = 8*mb_y + {0, 4}.
+      for (int e = 0; e < 2; ++e) {
+        if (e == 0 && mb_y == 0) continue;
+        const int cy = mb_y * kCMb + e * 4;
+        for (int line = 0; line < kCMb; ++line) {
+          const int cx = mb_x * kCMb + line;
+          const int lbx = cx / 2;
+          const int lby = cy / 2;
+          const int bs = boundary_strength(blocks[(lby - 1) * bw + lbx],
+                                           blocks[lby * bw + lbx]);
+          if (bs == 0) continue;
+          filter_chroma_line(chroma.row(cy) + cx, chroma.stride(), bs, alpha,
+                             beta, kTc0[index_a][bs - 1]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace feves

@@ -1,0 +1,47 @@
+// In-loop deblocking filter (the paper's DBL module, the tail of R*).
+// Standard H.264 luma edge filtering: boundary strength from intra/coded/
+// motion discontinuity, alpha/beta thresholds indexed by QP, tc0-clipped
+// normal filter for bS in {1,2,3} and the strong filter for bS 4.
+//
+// The paper points out DBL's cross-MB data dependencies are why the whole
+// R* block is mapped to a single device (Sec. III-B); accordingly this API
+// is whole-frame, executed wherever the Dijkstra selector placed R*.
+#pragma once
+
+#include "codec/mv.hpp"
+#include "video/plane.hpp"
+
+namespace feves {
+
+/// Per-4x4-block side information the boundary-strength rule needs.
+struct Block4x4Info {
+  Mv mv;
+  u8 ref_idx = 0;
+  bool nonzero = false;  ///< block has quantized coefficients
+  bool intra = false;    ///< block belongs to an intra-coded MB
+};
+
+struct DeblockParams {
+  int qp = 28;
+  int alpha_offset = 0;  ///< slice_alpha_c0_offset (VCEG default 0)
+  int beta_offset = 0;   ///< slice_beta_offset
+};
+
+/// Boundary strength of the edge between 4x4 blocks `a` (left/above) and
+/// `b` (right/below). Exposed for unit testing.
+int boundary_strength(const Block4x4Info& a, const Block4x4Info& b);
+
+/// Filters the full luma plane in MB raster order (vertical edges of each
+/// MB first, then horizontal — H.264 8.7). `blocks` holds one Block4x4Info
+/// per 4x4 block, raster order over the (4*mb_width) x (4*mb_height) grid.
+void run_deblock_frame(PlaneU8& luma, int mb_width, int mb_height,
+                       const Block4x4Info* blocks, const DeblockParams& p);
+
+/// Chroma variant (H.264 8.7.2.4): only p1/p0/q0/q1 participate, tc is
+/// tc0 + 1, and the strong (bS 4) filter is the 2-tap blend. `p.qp` must be
+/// the CHROMA quantization parameter. Boundary strengths come from the
+/// co-located luma 4x4 blocks; edges are filtered every 4 chroma samples.
+void run_deblock_chroma(PlaneU8& chroma, int mb_width, int mb_height,
+                        const Block4x4Info* blocks, const DeblockParams& p);
+
+}  // namespace feves

@@ -1,0 +1,107 @@
+// Whole-frame encode/decode built from the inter-loop modules. This is both
+// (a) the single-device reference encoder — the unit of truth that every
+// collaborative CPU+GPU schedule must match bit-exactly — and (b) the
+// library of row-ranged module entry points the FEVES framework distributes
+// across devices (ME/INT/SME by MB rows, R* whole-frame on one device).
+#pragma once
+
+#include "codec/deblock.hpp"
+#include "codec/intra.hpp"
+#include "codec/mc.hpp"
+#include "codec/me.hpp"
+#include "codec/refpic.hpp"
+#include "codec/sme.hpp"
+#include "common/config.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace feves {
+
+/// Quantized residual of one macroblock, ready for entropy coding and
+/// carrying the non-zero flags deblocking needs.
+struct MbCoded {
+  std::array<std::array<i16, 16>, 16> luma_levels;  ///< 16 4x4 blocks
+  std::array<std::array<i16, 16>, 4> cb_levels;     ///< 4 4x4 chroma blocks
+  std::array<std::array<i16, 16>, 4> cr_levels;
+  std::array<bool, 16> luma_nonzero = {};
+  bool intra = false;
+  IntraMode intra_mode = IntraMode::kDc;  ///< valid when intra
+};
+
+/// All per-frame working state for encoding one inter- (or intra-) frame.
+/// The framework owns one of these per frame and hands slices of it to
+/// devices; the reference encoder drives it single-threaded.
+struct EncodeJob {
+  const EncoderConfig* cfg = nullptr;
+  const Frame420* cur = nullptr;
+
+  /// Borrowed references, newest first. INT fills refs[0]->sf.
+  std::vector<RefPicture*> refs;
+
+  /// One SME/ME motion field per reference frame.
+  std::vector<MotionField> fields;
+
+  std::vector<MbModeChoice> choices;  ///< per MB, set by R* (mode decision)
+  std::vector<MbCoded> coded;         ///< per MB, set by R* (TQ)
+  std::vector<Block4x4Info> dbl_info; ///< per 4x4 block, set by R*
+
+  /// Reconstruction under construction (becomes the next RF).
+  std::unique_ptr<RefPicture> recon;
+
+  int frame_number = 0;
+  bool is_intra = false;
+
+  /// Allocates fields/choices/coded/recon for `cfg` x `refs`.
+  void prepare(const EncoderConfig& config, const Frame420& current,
+               std::vector<RefPicture*> references, int frame_no);
+};
+
+// ---- Row-ranged inter-loop modules (the distribution units) -------------
+
+/// ME over MB rows [row_begin,row_end) against every reference.
+void me_rows(EncodeJob& job, int row_begin, int row_end,
+             SimdTier tier = SimdTier::kAuto);
+
+/// INT over MB rows of the newest reference's SF.
+void int_rows(EncodeJob& job, int row_begin, int row_end);
+
+/// SME over MB rows against every reference. All SFs must be complete with
+/// extended borders (call finish_interpolation first).
+void sme_rows(EncodeJob& job, int row_begin, int row_end);
+
+/// Marks refs[0]->sf complete: extends its borders. Host-side step after
+/// all INT row slices are gathered (Fig 4's SF(RF)→SME completion).
+void finish_interpolation(EncodeJob& job);
+
+// ---- R* block (single device, whole frame) ------------------------------
+
+/// Mode decision + MC + TQ + TQ^-1 + reconstruction + DBL.
+void rstar_frame(EncodeJob& job);
+
+/// Intra path for the leading I frame: per-MB Intra_16x16 mode decision
+/// (V/H/DC/Plane from reconstructed neighbours), TQ, reconstruction, DBL.
+void intra_frame(EncodeJob& job);
+
+// ---- Entropy / bitstream -------------------------------------------------
+
+class BitWriter;
+class BitReader;
+
+/// Serializes the frame (header, per-MB modes/MVs/levels) after R*.
+void write_frame_bitstream(const EncodeJob& job, BitWriter& bw);
+
+/// Full reference encoder: runs every module single-device. Returns the
+/// reconstructed picture (push into a RefList) and appends the bitstream.
+std::unique_ptr<RefPicture> encode_frame_reference(
+    const EncoderConfig& cfg, const Frame420& cur, RefList& refs,
+    int frame_number, std::vector<u8>* bitstream_out);
+
+/// Standalone decoder: parses one frame written by write_frame_bitstream
+/// and reconstructs it against its own reference list (running its own
+/// interpolation), returning the new reference picture. Used by round-trip
+/// tests: decoder reconstruction must equal encoder reconstruction exactly.
+std::unique_ptr<RefPicture> decode_frame(const EncoderConfig& cfg,
+                                         BitReader& br, RefList& refs);
+
+}  // namespace feves

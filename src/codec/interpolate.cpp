@@ -1,0 +1,126 @@
+#include "codec/interpolate.hpp"
+
+#include "common/check.hpp"
+
+#include <algorithm>
+
+namespace feves {
+
+namespace {
+
+inline u8 clip255(int v) { return static_cast<u8>(std::clamp(v, 0, 255)); }
+
+/// Un-normalized horizontal 6-tap at half-pel position (y, x + 1/2).
+inline int htap(const PlaneU8& p, int y, int x) {
+  const u8* r = p.row(y);
+  return r[x - 2] - 5 * r[x - 1] + 20 * r[x] + 20 * r[x + 1] - 5 * r[x + 2] +
+         r[x + 3];
+}
+
+/// Un-normalized vertical 6-tap at half-pel position (y + 1/2, x).
+inline int vtap(const PlaneU8& p, int y, int x) {
+  return p.row(y - 2)[x] - 5 * p.row(y - 1)[x] + 20 * p.row(y)[x] +
+         20 * p.row(y + 1)[x] - 5 * p.row(y + 2)[x] + p.row(y + 3)[x];
+}
+
+inline u8 half(int unnormalized) { return clip255((unnormalized + 16) >> 5); }
+
+inline u8 avg(u8 a, u8 b) { return static_cast<u8>((a + b + 1) >> 1); }
+
+}  // namespace
+
+void run_interpolation_rows(const PlaneU8& ref, int mb_row_begin,
+                            int mb_row_end, SubPelFrame& sf) {
+  FEVES_CHECK(sf.width() == ref.width() && sf.height() == ref.height());
+  FEVES_CHECK(ref.border() >= 4);
+  FEVES_CHECK(mb_row_begin >= 0 && mb_row_begin <= mb_row_end);
+  FEVES_CHECK(mb_row_end * kMbSize <= ref.height());
+
+  const int y_begin = mb_row_begin * kMbSize;
+  const int y_end = mb_row_end * kMbSize;
+  const int width = ref.width();
+
+  // Phase planes, named after the standard's sample letters:
+  //   (0,0)=G  (0,1)=a  (0,2)=b  (0,3)=c
+  //   (1,0)=d  (1,1)=e  (1,2)=f  (1,3)=g
+  //   (2,0)=h  (2,1)=i  (2,2)=j  (2,3)=k
+  //   (3,0)=n  (3,1)=p  (3,2)=q  (3,3)=r
+  PlaneU8& pG = sf.phase(0, 0);
+  PlaneU8& pa = sf.phase(0, 1);
+  PlaneU8& pb = sf.phase(0, 2);
+  PlaneU8& pc = sf.phase(0, 3);
+  PlaneU8& pd = sf.phase(1, 0);
+  PlaneU8& pe = sf.phase(1, 1);
+  PlaneU8& pf = sf.phase(1, 2);
+  PlaneU8& pg = sf.phase(1, 3);
+  PlaneU8& ph = sf.phase(2, 0);
+  PlaneU8& pi = sf.phase(2, 1);
+  PlaneU8& pj = sf.phase(2, 2);
+  PlaneU8& pk = sf.phase(2, 3);
+  PlaneU8& pn = sf.phase(3, 0);
+  PlaneU8& pp = sf.phase(3, 1);
+  PlaneU8& pq = sf.phase(3, 2);
+  PlaneU8& pr = sf.phase(3, 3);
+
+  for (int y = y_begin; y < y_end; ++y) {
+    const u8* src = ref.row(y);
+    u8* rG = pG.row(y);
+    u8* ra = pa.row(y);
+    u8* rb = pb.row(y);
+    u8* rc = pc.row(y);
+    u8* rd = pd.row(y);
+    u8* re = pe.row(y);
+    u8* rf = pf.row(y);
+    u8* rg = pg.row(y);
+    u8* rh = ph.row(y);
+    u8* ri = pi.row(y);
+    u8* rj = pj.row(y);
+    u8* rk = pk.row(y);
+    u8* rn = pn.row(y);
+    u8* rp = pp.row(y);
+    u8* rq = pq.row(y);
+    u8* rr = pr.row(y);
+
+    for (int x = 0; x < width; ++x) {
+      const u8 G = src[x];
+      const u8 H = src[x + 1];       // next integer sample (border-safe)
+      const u8 M = ref.row(y + 1)[x];  // integer sample below
+
+      const int hh_c = htap(ref, y, x);
+      const u8 b = half(hh_c);
+      const u8 s = half(htap(ref, y + 1, x));  // b one row below
+      const u8 h = half(vtap(ref, y, x));
+      const u8 m = half(vtap(ref, y, x + 1));  // h one column right
+
+      // Centre half-pel j: vertical 6-tap over un-normalized horizontal
+      // intermediates, double-precision shift (H.264 semantics).
+      const int jj = htap(ref, y - 2, x) - 5 * htap(ref, y - 1, x) +
+                     20 * hh_c + 20 * htap(ref, y + 1, x) -
+                     5 * htap(ref, y + 2, x) + htap(ref, y + 3, x);
+      const u8 j = clip255((jj + 512) >> 10);
+
+      rG[x] = G;
+      ra[x] = avg(G, b);
+      rb[x] = b;
+      rc[x] = avg(H, b);
+      rd[x] = avg(G, h);
+      re[x] = avg(b, h);
+      rf[x] = avg(b, j);
+      rg[x] = avg(b, m);
+      rh[x] = h;
+      ri[x] = avg(h, j);
+      rj[x] = j;
+      rk[x] = avg(j, m);
+      rn[x] = avg(M, h);
+      rp[x] = avg(h, s);
+      rq[x] = avg(j, s);
+      rr[x] = avg(m, s);
+    }
+  }
+}
+
+void extend_subpel_borders(SubPelFrame& sf) {
+  for (auto& plane : sf.phases) plane.extend_borders();
+}
+
+}  // namespace feves

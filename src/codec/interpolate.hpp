@@ -1,0 +1,26 @@
+// Sub-pixel interpolation (the paper's INT module). Builds the SF structure
+// — 16 quarter-pel phase planes per reference frame — from a reconstructed
+// RF using the H.264 6-tap half-pel filter (1,-5,20,20,-5,1)/32 and linear
+// (bilinear average) quarter-pel samples (paper Sec. II).
+//
+// Like ME/SME, the API is row-ranged: the l_i distribution vector of
+// Algorithm 2 assigns each device a span of MB rows to interpolate.
+#pragma once
+
+#include "video/frame.hpp"
+
+namespace feves {
+
+/// Interpolates MB rows [mb_row_begin, mb_row_end) of `ref` into `sf`.
+/// `ref` must have extended borders (>= 3 px margin for the 6-tap taps,
+/// which every frame border in this codebase satisfies). Only interior SF
+/// pixels are written; call `extend_subpel_borders` once the whole frame
+/// has been assembled.
+void run_interpolation_rows(const PlaneU8& ref, int mb_row_begin,
+                            int mb_row_end, SubPelFrame& sf);
+
+/// Replicates edge pixels into the borders of all 16 phase planes. Must run
+/// after the full SF has been gathered (host-side in collaborative mode).
+void extend_subpel_borders(SubPelFrame& sf);
+
+}  // namespace feves

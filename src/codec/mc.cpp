@@ -1,0 +1,157 @@
+#include "codec/mc.hpp"
+
+#include "common/check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace feves {
+
+namespace {
+
+/// Exp-Golomb code length of unsigned value k: 2*floor(log2(k+1)) + 1.
+int ue_bits(u32 k) {
+  int bits = 0;
+  u32 v = k + 1;
+  while (v > 1) {
+    v >>= 1;
+    ++bits;
+  }
+  return 2 * bits + 1;
+}
+
+}  // namespace
+
+int se_bits(int v) {
+  const u32 mapped = v <= 0 ? static_cast<u32>(-2 * v) : static_cast<u32>(2 * v - 1);
+  return ue_bits(mapped);
+}
+
+void run_mode_decision_rows(const std::vector<MotionField>& fields,
+                            int mb_width, int row_begin, int row_end,
+                            double lambda, MbModeChoice* choices) {
+  FEVES_CHECK(!fields.empty());
+  const int num_refs = static_cast<int>(fields.size());
+
+  for (int mb_y = row_begin; mb_y < row_end; ++mb_y) {
+    for (int mb_x = 0; mb_x < mb_width; ++mb_x) {
+      const int mb_idx = mb_y * mb_width + mb_x;
+      MbModeChoice& out = choices[mb_idx];
+      double best_total = std::numeric_limits<double>::infinity();
+
+      for (int mode_i = 0; mode_i < kNumPartitionModes; ++mode_i) {
+        const auto mode = static_cast<PartitionMode>(mode_i);
+        const PartitionGeometry& g = geometry(mode);
+        double total = 0.0;
+        std::array<MbModeChoice::BlockChoice, 16> blk{};
+
+        for (int b = 0; b < g.num_blocks(); ++b) {
+          double best_block = std::numeric_limits<double>::infinity();
+          for (int r = 0; r < num_refs; ++r) {
+            const MotionEntry& e = fields[r][mb_idx].entry(mode, b);
+            FEVES_CHECK(e.cost != kInvalidCost);
+            const double rate =
+                lambda * (se_bits(e.mv.x) + se_bits(e.mv.y) +
+                          ue_bits(static_cast<u32>(r)));
+            const double c = static_cast<double>(e.cost) + rate;
+            if (c < best_block) {
+              best_block = c;
+              blk[b].mv = e.mv;
+              blk[b].ref_idx = static_cast<u8>(r);
+            }
+          }
+          total += best_block;
+        }
+        // Small per-mode header-rate bias: more blocks cost more MV/ref
+        // syntax. Keeps the selection from degenerating to always-4x4 when
+        // lambda == 0 would otherwise tie everything.
+        total += lambda * 2.0 * g.num_blocks();
+
+        if (total < best_total) {
+          best_total = total;
+          out.mode = mode;
+          out.blocks = blk;
+          out.cost = static_cast<u32>(std::lround(std::min(
+              best_total, static_cast<double>(kInvalidCost - 1))));
+        }
+      }
+    }
+  }
+}
+
+void motion_compensate_luma_mb(const PlaneU8& cur,
+                               const std::vector<const SubPelFrame*>& sfs,
+                               const MbModeChoice& choice, int mb_x, int mb_y,
+                               u8 pred[kMbSize * kMbSize],
+                               i16 residual[kMbSize * kMbSize]) {
+  const PartitionGeometry& g = geometry(choice.mode);
+  for (int b = 0; b < g.num_blocks(); ++b) {
+    int bx0, by0;
+    block_origin(choice.mode, b, &bx0, &by0);
+    const MbModeChoice::BlockChoice& bc = choice.blocks[b];
+    FEVES_CHECK(bc.ref_idx < sfs.size());
+    const SubPelFrame& sf = *sfs[bc.ref_idx];
+
+    const int px0 = mb_x * kMbSize + bx0;
+    const int py0 = mb_y * kMbSize + by0;
+    const int iy = bc.mv.y >> 2;
+    const int ix = bc.mv.x >> 2;
+    const PlaneU8& phase = sf.phase(bc.mv.y & 3, bc.mv.x & 3);
+
+    for (int y = 0; y < g.block_h; ++y) {
+      const u8* src = phase.row(py0 + iy + y) + px0 + ix;
+      const u8* orig = cur.row(py0 + y) + px0;
+      u8* p = pred + (by0 + y) * kMbSize + bx0;
+      i16* res = residual + (by0 + y) * kMbSize + bx0;
+      for (int x = 0; x < g.block_w; ++x) {
+        p[x] = src[x];
+        res[x] = static_cast<i16>(static_cast<int>(orig[x]) - src[x]);
+      }
+    }
+  }
+}
+
+void motion_compensate_chroma_mb(const PlaneU8& cur_c,
+                                 const std::vector<const PlaneU8*>& refs_c,
+                                 const MbModeChoice& choice, int mb_x,
+                                 int mb_y, u8 pred[64], i16 residual[64]) {
+  constexpr int kCMb = kMbSize / 2;  // 8x8 chroma block per MB in 4:2:0
+  const PartitionGeometry& g = geometry(choice.mode);
+
+  for (int b = 0; b < g.num_blocks(); ++b) {
+    int bx0, by0;
+    block_origin(choice.mode, b, &bx0, &by0);
+    const MbModeChoice::BlockChoice& bc = choice.blocks[b];
+    FEVES_CHECK(bc.ref_idx < refs_c.size());
+    const PlaneU8& ref = *refs_c[bc.ref_idx];
+
+    // Chroma geometry: half the luma block in each dimension. The luma
+    // quarter-pel MV is an eighth-pel chroma MV (H.264 8.4.2.2.2).
+    const int cw = g.block_w / 2;
+    const int ch = g.block_h / 2;
+    const int cx0 = mb_x * kCMb + bx0 / 2;
+    const int cy0 = mb_y * kCMb + by0 / 2;
+    const int ix = bc.mv.x >> 3;
+    const int iy = bc.mv.y >> 3;
+    const int xf = bc.mv.x & 7;
+    const int yf = bc.mv.y & 7;
+
+    for (int y = 0; y < ch; ++y) {
+      const u8* r0 = ref.row(cy0 + iy + y) + cx0 + ix;
+      const u8* r1 = ref.row(cy0 + iy + y + 1) + cx0 + ix;
+      const u8* orig = cur_c.row(cy0 + y) + cx0;
+      u8* p = pred + (by0 / 2 + y) * kCMb + bx0 / 2;
+      i16* res = residual + (by0 / 2 + y) * kCMb + bx0 / 2;
+      for (int x = 0; x < cw; ++x) {
+        const int v = (8 - xf) * (8 - yf) * r0[x] + xf * (8 - yf) * r0[x + 1] +
+                      (8 - xf) * yf * r1[x] + xf * yf * r1[x + 1];
+        const u8 pv = static_cast<u8>((v + 32) >> 6);
+        p[x] = pv;
+        res[x] = static_cast<i16>(static_cast<int>(orig[x]) - pv);
+      }
+    }
+  }
+}
+
+}  // namespace feves

@@ -1,0 +1,58 @@
+// Motion compensation and macroblock mode decision (the MC stage of the
+// paper's R* block). Selects the best partitioning mode per MB from the
+// SME-refined costs across all reference frames, builds the quarter-pel
+// luma prediction from the SF (eighth-pel bilinear chroma from the RF), and
+// produces the prediction residual that TQ consumes.
+#pragma once
+
+#include "common/config.hpp"
+#include "codec/me.hpp"
+#include "video/frame.hpp"
+
+#include <array>
+#include <vector>
+
+namespace feves {
+
+/// Final inter-coding decision for one macroblock.
+struct MbModeChoice {
+  PartitionMode mode = PartitionMode::k16x16;
+  /// One entry per partition block of `mode` (up to 16 used).
+  struct BlockChoice {
+    Mv mv;
+    u8 ref_idx = 0;
+  };
+  std::array<BlockChoice, 16> blocks;
+  u32 cost = kInvalidCost;  ///< distortion + lambda * rate of the winner
+};
+
+/// Estimated Exp-Golomb bit count of signed value `v` (se(v) code length).
+int se_bits(int v);
+
+/// Picks the best (mode, per-block reference) combination for MB rows
+/// [row_begin, row_end). `fields[r]` is the SME-refined motion field
+/// against reference r. lambda weights the MV/ref rate estimate; lambda=0
+/// reproduces the paper's pure minimum-distortion selection.
+void run_mode_decision_rows(const std::vector<MotionField>& fields,
+                            int mb_width, int row_begin, int row_end,
+                            double lambda, MbModeChoice* choices);
+
+/// Builds the luma prediction + residual for one macroblock.
+/// `sfs[r]` is the sub-pel frame of reference r. Outputs `pred` (16x16) and
+/// `residual` (16x16, i16), both row-major.
+void motion_compensate_luma_mb(const PlaneU8& cur,
+                               const std::vector<const SubPelFrame*>& sfs,
+                               const MbModeChoice& choice, int mb_x, int mb_y,
+                               u8 pred[kMbSize * kMbSize],
+                               i16 residual[kMbSize * kMbSize]);
+
+/// Chroma prediction + residual for one 8x8 chroma block of a macroblock
+/// (H.264 eighth-pel bilinear weighting derived from the luma quarter-pel
+/// MV). `cur_c`/`ref_c` are the chroma planes of the current / reference
+/// frame; outputs are 8x8 row-major.
+void motion_compensate_chroma_mb(const PlaneU8& cur_c,
+                                 const std::vector<const PlaneU8*>& refs_c,
+                                 const MbModeChoice& choice, int mb_x,
+                                 int mb_y, u8 pred[64], i16 residual[64]);
+
+}  // namespace feves

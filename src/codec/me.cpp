@@ -1,0 +1,61 @@
+#include "codec/me.hpp"
+
+#include "common/check.hpp"
+
+namespace feves {
+
+void run_me_rows(const PlaneU8& cur, const PlaneU8& ref, int mb_width,
+                 int row_begin, int row_end, const MeParams& params,
+                 MbMotion* field) {
+  FEVES_CHECK(cur.width() == ref.width() && cur.height() == ref.height());
+  FEVES_CHECK(mb_width * kMbSize == cur.width());
+  FEVES_CHECK(row_begin >= 0 && row_begin <= row_end);
+  FEVES_CHECK(row_end * kMbSize <= cur.height());
+  const int r = params.search_range;
+  FEVES_CHECK_MSG(ref.border() >= r + kMbSize,
+                  "reference border " << ref.border()
+                                      << " too small for search range " << r);
+
+  const SadGrid16Fn kernel = sad_grid_16x16_kernel(params.tier);
+  const std::ptrdiff_t cs = cur.stride();
+  const std::ptrdiff_t rs = ref.stride();
+
+  for (int mb_y = row_begin; mb_y < row_end; ++mb_y) {
+    for (int mb_x = 0; mb_x < mb_width; ++mb_x) {
+      const u8* cur_mb = cur.row(mb_y * kMbSize) + mb_x * kMbSize;
+      MbMotion& out = field[mb_y * mb_width + mb_x];
+
+      u32 best_cost[kEntriesPerMb];
+      Mv best_mv[kEntriesPerMb];
+      for (int k = 0; k < kEntriesPerMb; ++k) best_cost[k] = kInvalidCost;
+
+      u16 grid[16];
+      u32 agg[kEntriesPerMb];
+      // Deterministic raster candidate order: ties keep the first (lowest
+      // dy, then dx) candidate, so the result is independent of how rows
+      // were distributed across devices.
+      for (int dy = -r; dy < r; ++dy) {
+        const u8* ref_row = ref.row(mb_y * kMbSize + dy) + mb_x * kMbSize;
+        for (int dx = -r; dx < r; ++dx) {
+          kernel(cur_mb, cs, ref_row + dx, rs, grid);
+          aggregate_sad_grid(grid, agg);
+          const Mv mv{static_cast<i16>(dx * kSubPel),
+                      static_cast<i16>(dy * kSubPel)};
+          for (int k = 0; k < kEntriesPerMb; ++k) {
+            if (agg[k] < best_cost[k]) {
+              best_cost[k] = agg[k];
+              best_mv[k] = mv;
+            }
+          }
+        }
+      }
+
+      for (int k = 0; k < kEntriesPerMb; ++k) {
+        out.entries[k].cost = best_cost[k];
+        out.entries[k].mv = best_mv[k];
+      }
+    }
+  }
+}
+
+}  // namespace feves

@@ -1,0 +1,81 @@
+// Macroblock partition geometry for the 7 H.264 inter partition modes
+// (16x16, 16x8, 8x16, 8x8, 8x4, 4x8, 4x4 — paper Sec. II). A macroblock's
+// motion field stores one MotionEntry per partition block of EVERY mode,
+// 41 blocks total, so that the mode decision in MC can compare all modes
+// after SME refinement.
+#pragma once
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "codec/mv.hpp"
+
+#include <array>
+
+namespace feves {
+
+enum class PartitionMode : u8 {
+  k16x16 = 0,
+  k16x8 = 1,
+  k8x16 = 2,
+  k8x8 = 3,
+  k8x4 = 4,
+  k4x8 = 5,
+  k4x4 = 6,
+};
+
+struct PartitionGeometry {
+  int block_w;
+  int block_h;
+  int blocks_x;  ///< blocks per MB horizontally
+  int blocks_y;  ///< blocks per MB vertically
+  int num_blocks() const { return blocks_x * blocks_y; }
+};
+
+inline constexpr std::array<PartitionGeometry, kNumPartitionModes>
+    kPartitionGeometry = {{
+        {16, 16, 1, 1},  // 16x16
+        {16, 8, 1, 2},   // 16x8
+        {8, 16, 2, 1},   // 8x16
+        {8, 8, 2, 2},    // 8x8
+        {8, 4, 2, 4},    // 8x4
+        {4, 8, 4, 2},    // 4x8
+        {4, 4, 4, 4},    // 4x4
+    }};
+
+inline const PartitionGeometry& geometry(PartitionMode mode) {
+  return kPartitionGeometry[static_cast<int>(mode)];
+}
+
+/// First index of `mode`'s blocks in the flat 41-entry per-MB array.
+inline constexpr std::array<int, kNumPartitionModes + 1> kModeOffset = {
+    0, 1, 3, 5, 9, 17, 25, 41};
+
+/// Total motion entries per macroblock across all partition modes.
+inline constexpr int kEntriesPerMb = kModeOffset[kNumPartitionModes];
+
+/// Pixel offset of block `b` of `mode` inside its macroblock.
+inline void block_origin(PartitionMode mode, int b, int* x0, int* y0) {
+  const PartitionGeometry& g = geometry(mode);
+  FEVES_CHECK(b >= 0 && b < g.num_blocks());
+  *x0 = (b % g.blocks_x) * g.block_w;
+  *y0 = (b / g.blocks_x) * g.block_h;
+}
+
+/// Motion entries of all 41 partition blocks of one macroblock against ONE
+/// reference frame.
+struct MbMotion {
+  std::array<MotionEntry, kEntriesPerMb> entries;
+
+  MotionEntry& entry(PartitionMode mode, int block) {
+    const int idx = kModeOffset[static_cast<int>(mode)] + block;
+    FEVES_CHECK(idx < kModeOffset[static_cast<int>(mode) + 1]);
+    return entries[idx];
+  }
+  const MotionEntry& entry(PartitionMode mode, int block) const {
+    const int idx = kModeOffset[static_cast<int>(mode)] + block;
+    FEVES_CHECK(idx < kModeOffset[static_cast<int>(mode) + 1]);
+    return entries[idx];
+  }
+};
+
+}  // namespace feves

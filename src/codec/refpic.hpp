@@ -1,0 +1,59 @@
+// Reference picture management: a reconstructed frame plus its lazily
+// interpolated SF, and the sliding window of up to 16 references the
+// inter-loop reads (paper Sec. II: ME probes all RFs, INT interpolates the
+// newest one, producing exactly one new RF and one new SF per inter-frame).
+#pragma once
+
+#include "common/config.hpp"
+#include "video/frame.hpp"
+
+#include <deque>
+#include <memory>
+
+namespace feves {
+
+/// Border large enough for any FSBM candidate (range + MB) plus the SME
+/// quarter-pel overshoot and the 6-tap interpolation margin.
+inline int ref_border(const EncoderConfig& cfg) {
+  return cfg.search_range + kMbSize + 8;
+}
+
+struct RefPicture {
+  RefPicture(int width, int height, int border)
+      : recon(width, height, border), sf(width, height, border) {}
+
+  Frame420 recon;   ///< deblocked reconstruction (valid at creation)
+  SubPelFrame sf;   ///< quarter-pel planes (filled by INT next frame)
+  bool sf_ready = false;
+  int frame_number = -1;
+};
+
+/// Sliding window, newest reference first (refs[0] = previous frame).
+class RefList {
+ public:
+  explicit RefList(int capacity) : capacity_(capacity) {
+    FEVES_CHECK(capacity >= 1 && capacity <= 16);
+  }
+
+  int size() const { return static_cast<int>(refs_.size()); }
+  bool empty() const { return refs_.empty(); }
+  int capacity() const { return capacity_; }
+
+  RefPicture& ref(int i) { return *refs_[i]; }
+  const RefPicture& ref(int i) const { return *refs_[i]; }
+
+  /// Pushes a freshly reconstructed picture as refs[0]; evicts the oldest
+  /// when the window is full. Takes ownership.
+  void push_front(std::unique_ptr<RefPicture> pic) {
+    refs_.push_front(std::move(pic));
+    if (static_cast<int>(refs_.size()) > capacity_) refs_.pop_back();
+  }
+
+  void clear() { refs_.clear(); }
+
+ private:
+  int capacity_;
+  std::deque<std::unique_ptr<RefPicture>> refs_;
+};
+
+}  // namespace feves

@@ -1,0 +1,149 @@
+#include "codec/sad.hpp"
+
+#include <cstdlib>
+
+namespace feves {
+
+namespace {
+
+inline int abs_diff(u8 a, u8 b) {
+  return a > b ? a - b : b - a;
+}
+
+/// Reference tier: literal triple loop per 4x4 sub-block.
+void sad_grid_scalar(const u8* cur, std::ptrdiff_t cur_stride, const u8* ref,
+                     std::ptrdiff_t ref_stride, u16 out[16]) {
+  for (int by = 0; by < 4; ++by) {
+    for (int bx = 0; bx < 4; ++bx) {
+      u32 acc = 0;
+      for (int y = 0; y < 4; ++y) {
+        const u8* c = cur + (by * 4 + y) * cur_stride + bx * 4;
+        const u8* r = ref + (by * 4 + y) * ref_stride + bx * 4;
+        for (int x = 0; x < 4; ++x) acc += static_cast<u32>(abs_diff(c[x], r[x]));
+      }
+      out[by * 4 + bx] = static_cast<u16>(acc);
+    }
+  }
+}
+
+/// Blocked tier: walks each 16-wide pixel row once and accumulates into the
+/// four horizontally adjacent sub-block bins. The fixed-trip-count inner
+/// loop over 16 contiguous bytes auto-vectorizes (PSADBW-class codegen with
+/// -march=native); memory is touched strictly row-linearly.
+void sad_grid_blocked(const u8* cur, std::ptrdiff_t cur_stride, const u8* ref,
+                      std::ptrdiff_t ref_stride, u16 out[16]) {
+  for (int by = 0; by < 4; ++by) {
+    u32 acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+    for (int y = 0; y < 4; ++y) {
+      const u8* c = cur + (by * 4 + y) * cur_stride;
+      const u8* r = ref + (by * 4 + y) * ref_stride;
+      u16 d[16];
+      for (int x = 0; x < 16; ++x) {
+        d[x] = static_cast<u16>(abs_diff(c[x], r[x]));
+      }
+      acc0 += static_cast<u32>(d[0]) + d[1] + d[2] + d[3];
+      acc1 += static_cast<u32>(d[4]) + d[5] + d[6] + d[7];
+      acc2 += static_cast<u32>(d[8]) + d[9] + d[10] + d[11];
+      acc3 += static_cast<u32>(d[12]) + d[13] + d[14] + d[15];
+    }
+    out[by * 4 + 0] = static_cast<u16>(acc0);
+    out[by * 4 + 1] = static_cast<u16>(acc1);
+    out[by * 4 + 2] = static_cast<u16>(acc2);
+    out[by * 4 + 3] = static_cast<u16>(acc3);
+  }
+}
+
+}  // namespace
+
+// Implemented in sad_simd.cpp when the target has SSE2.
+void sad_grid_simd(const u8* cur, std::ptrdiff_t cur_stride, const u8* ref,
+                   std::ptrdiff_t ref_stride, u16 out[16]);
+u32 sad_block_simd(const u8* a, std::ptrdiff_t stride_a, const u8* b,
+                   std::ptrdiff_t stride_b, int width, int height);
+
+SadGrid16Fn sad_grid_16x16_kernel(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return &sad_grid_scalar;
+    case SimdTier::kBlocked:
+      return &sad_grid_blocked;
+    case SimdTier::kSimd:
+    case SimdTier::kAuto:
+      return simd_tier_available() ? &sad_grid_simd : &sad_grid_blocked;
+  }
+  return &sad_grid_scalar;
+}
+
+u32 sad_block_scalar(const u8* a, std::ptrdiff_t stride_a, const u8* b,
+                     std::ptrdiff_t stride_b, int width, int height) {
+  u32 acc = 0;
+  for (int y = 0; y < height; ++y) {
+    const u8* ra = a + y * stride_a;
+    const u8* rb = b + y * stride_b;
+    u32 row_acc = 0;
+    for (int x = 0; x < width; ++x) {
+      row_acc += static_cast<u32>(abs_diff(ra[x], rb[x]));
+    }
+    acc += row_acc;
+  }
+  return acc;
+}
+
+u32 sad_block(const u8* a, std::ptrdiff_t stride_a, const u8* b,
+              std::ptrdiff_t stride_b, int width, int height) {
+  if (simd_tier_available()) {
+    return sad_block_simd(a, stride_a, b, stride_b, width, height);
+  }
+  return sad_block_scalar(a, stride_a, b, stride_b, width, height);
+}
+
+void aggregate_sad_grid(const u16 grid[16], u32 out[kEntriesPerMb]) {
+  // 4x4 blocks (mode 6): the grid verbatim, raster order.
+  constexpr int off4x4 = kModeOffset[static_cast<int>(PartitionMode::k4x4)];
+  for (int i = 0; i < 16; ++i) out[off4x4 + i] = grid[i];
+
+  // 8x4 blocks (mode 4): two horizontally adjacent 4x4s; 2 cols x 4 rows.
+  constexpr int off8x4 = kModeOffset[static_cast<int>(PartitionMode::k8x4)];
+  for (int by = 0; by < 4; ++by) {
+    for (int bx = 0; bx < 2; ++bx) {
+      out[off8x4 + by * 2 + bx] =
+          static_cast<u32>(grid[by * 4 + bx * 2]) + grid[by * 4 + bx * 2 + 1];
+    }
+  }
+
+  // 4x8 blocks (mode 5): two vertically adjacent 4x4s; 4 cols x 2 rows.
+  constexpr int off4x8 = kModeOffset[static_cast<int>(PartitionMode::k4x8)];
+  for (int by = 0; by < 2; ++by) {
+    for (int bx = 0; bx < 4; ++bx) {
+      out[off4x8 + by * 4 + bx] =
+          static_cast<u32>(grid[(by * 2) * 4 + bx]) + grid[(by * 2 + 1) * 4 + bx];
+    }
+  }
+
+  // 8x8 blocks (mode 3): sum of a 2x2 patch of 4x4s; 2 cols x 2 rows.
+  constexpr int off8x8 = kModeOffset[static_cast<int>(PartitionMode::k8x8)];
+  u32 q[4];
+  for (int by = 0; by < 2; ++by) {
+    for (int bx = 0; bx < 2; ++bx) {
+      q[by * 2 + bx] = out[off8x4 + (by * 2) * 2 + bx] +
+                       out[off8x4 + (by * 2 + 1) * 2 + bx];
+      out[off8x8 + by * 2 + bx] = q[by * 2 + bx];
+    }
+  }
+
+  // 16x8 (mode 1): left+right 8x8 of each half; 1 col x 2 rows.
+  constexpr int off16x8 = kModeOffset[static_cast<int>(PartitionMode::k16x8)];
+  out[off16x8 + 0] = q[0] + q[1];
+  out[off16x8 + 1] = q[2] + q[3];
+
+  // 8x16 (mode 2): top+bottom 8x8 of each column; 2 cols x 1 row.
+  constexpr int off8x16 = kModeOffset[static_cast<int>(PartitionMode::k8x16)];
+  out[off8x16 + 0] = q[0] + q[2];
+  out[off8x16 + 1] = q[1] + q[3];
+
+  // 16x16 (mode 0): everything.
+  out[kModeOffset[static_cast<int>(PartitionMode::k16x16)]] =
+      out[off16x8 + 0] + out[off16x8 + 1];
+}
+
+}  // namespace feves

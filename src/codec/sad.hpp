@@ -1,0 +1,53 @@
+// Sum-of-absolute-differences kernels — the inner loop of full-search
+// block-matching ME. Mirrors the paper's multi-tier Parallel Modules library
+// (Sec. III-B1: per-microarchitecture SSE4.2/AVX/AVX2 variants) with a
+// runtime-dispatched kernel table: a scalar reference tier and a blocked
+// tier written so the compiler's auto-vectorizer emits SIMD for the target
+// -march. Tests pin the tiers against each other.
+#pragma once
+
+#include "common/types.hpp"
+#include "codec/partition.hpp"
+
+#include <cstddef>
+
+namespace feves {
+
+/// Kernel tiers, in increasing order of expected throughput.
+enum class SimdTier {
+  kScalar,   ///< straightforward reference implementation
+  kBlocked,  ///< unrolled / auto-vectorizable implementation
+  kSimd,     ///< explicit x86-64 SSE2 intrinsics (falls back to kBlocked
+             ///< on targets without them)
+  kAuto,     ///< best tier available for this build
+};
+
+/// True when the explicit-intrinsics tier was compiled in.
+bool simd_tier_available();
+
+/// Computes the 16 SADs of the 4x4 sub-blocks of one 16x16 macroblock
+/// against a candidate at the same geometry. `out[by*4+bx]` is the SAD of
+/// sub-block (bx,by). Strides are in elements.
+using SadGrid16Fn = void (*)(const u8* cur, std::ptrdiff_t cur_stride,
+                             const u8* ref, std::ptrdiff_t ref_stride,
+                             u16 out[16]);
+
+/// Returns the grid kernel for `tier` (kAuto picks the fastest).
+SadGrid16Fn sad_grid_16x16_kernel(SimdTier tier);
+
+/// Generic rectangular SAD (used by SME on arbitrary partition blocks).
+/// Dispatches to the SIMD path for 8/16-wide blocks when available.
+u32 sad_block(const u8* a, std::ptrdiff_t stride_a, const u8* b,
+              std::ptrdiff_t stride_b, int width, int height);
+
+/// Reference scalar rectangular SAD (the oracle the tests pin against).
+u32 sad_block_scalar(const u8* a, std::ptrdiff_t stride_a, const u8* b,
+                     std::ptrdiff_t stride_b, int width, int height);
+
+/// Aggregates the 16 4x4 SADs of a macroblock into the SAD of every
+/// partition block of every mode — 41 values laid out per kModeOffset.
+/// This is the classic FSBM trick: one pass over the pixels serves all 7
+/// partition modes (paper Sec. II).
+void aggregate_sad_grid(const u16 grid[16], u32 out[kEntriesPerMb]);
+
+}  // namespace feves

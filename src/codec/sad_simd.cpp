@@ -1,0 +1,105 @@
+// SIMD tier of the SAD kernel library (the paper's SSE4.2/AVX/AVX2
+// Parallel Modules variants, Sec. III-B1). x86-64 SSE2 intrinsics — the
+// baseline every x86-64 ships — with the same contract as the scalar tier;
+// tests pin all tiers against each other bit-for-bit.
+#include "codec/sad.hpp"
+
+#if defined(__SSE2__) || defined(_M_X64) || defined(__x86_64__)
+#define FEVES_HAVE_SSE2 1
+#include <emmintrin.h>
+#endif
+
+namespace feves {
+
+#if FEVES_HAVE_SSE2
+
+namespace {
+
+/// |a - b| per byte without a dedicated instruction: saturating subtract
+/// both ways and OR (one side is always zero).
+inline __m128i absdiff_u8(__m128i a, __m128i b) {
+  return _mm_or_si128(_mm_subs_epu8(a, b), _mm_subs_epu8(b, a));
+}
+
+}  // namespace
+
+void sad_grid_simd(const u8* cur, std::ptrdiff_t cur_stride, const u8* ref,
+                   std::ptrdiff_t ref_stride, u16 out[16]) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i ones16 = _mm_set1_epi16(1);
+
+  for (int by = 0; by < 4; ++by) {
+    // Per-column 16-bit accumulators over the 4 rows of this sub-block
+    // band (max 4 * 255 = 1020 per column: no overflow).
+    __m128i acc_lo = zero;  // columns 0..7
+    __m128i acc_hi = zero;  // columns 8..15
+    for (int y = 0; y < 4; ++y) {
+      const __m128i c = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+          cur + (by * 4 + y) * cur_stride));
+      const __m128i r = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+          ref + (by * 4 + y) * ref_stride));
+      const __m128i d = absdiff_u8(c, r);
+      acc_lo = _mm_add_epi16(acc_lo, _mm_unpacklo_epi8(d, zero));
+      acc_hi = _mm_add_epi16(acc_hi, _mm_unpackhi_epi8(d, zero));
+    }
+    // Horizontal reduce groups of 4 columns: madd pairs columns, leaving
+    // [c0+c1, c2+c3, c4+c5, c6+c7] as 32-bit lanes.
+    alignas(16) u32 pairs_lo[4], pairs_hi[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(pairs_lo),
+                    _mm_madd_epi16(acc_lo, ones16));
+    _mm_store_si128(reinterpret_cast<__m128i*>(pairs_hi),
+                    _mm_madd_epi16(acc_hi, ones16));
+    out[by * 4 + 0] = static_cast<u16>(pairs_lo[0] + pairs_lo[1]);
+    out[by * 4 + 1] = static_cast<u16>(pairs_lo[2] + pairs_lo[3]);
+    out[by * 4 + 2] = static_cast<u16>(pairs_hi[0] + pairs_hi[1]);
+    out[by * 4 + 3] = static_cast<u16>(pairs_hi[2] + pairs_hi[3]);
+  }
+}
+
+u32 sad_block_simd(const u8* a, std::ptrdiff_t stride_a, const u8* b,
+                   std::ptrdiff_t stride_b, int width, int height) {
+  if (width == 16) {
+    __m128i acc = _mm_setzero_si128();
+    for (int y = 0; y < height; ++y) {
+      const __m128i va =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + y * stride_a));
+      const __m128i vb =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + y * stride_b));
+      acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+    }
+    return static_cast<u32>(_mm_cvtsi128_si64(acc)) +
+           static_cast<u32>(
+               _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc, acc)));
+  }
+  if (width == 8) {
+    __m128i acc = _mm_setzero_si128();
+    for (int y = 0; y < height; ++y) {
+      const __m128i va = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(a + y * stride_a));
+      const __m128i vb = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(b + y * stride_b));
+      acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+    }
+    return static_cast<u32>(_mm_cvtsi128_si64(acc));
+  }
+  // width == 4: too narrow for a SIMD win; scalar.
+  u32 acc = 0;
+  for (int y = 0; y < height; ++y) {
+    const u8* ra = a + y * stride_a;
+    const u8* rb = b + y * stride_b;
+    for (int x = 0; x < width; ++x) {
+      acc += static_cast<u32>(ra[x] > rb[x] ? ra[x] - rb[x] : rb[x] - ra[x]);
+    }
+  }
+  return acc;
+}
+
+bool simd_tier_available() { return true; }
+
+#else  // !FEVES_HAVE_SSE2
+
+bool simd_tier_available() { return false; }
+
+#endif
+
+}  // namespace feves

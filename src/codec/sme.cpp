@@ -1,0 +1,76 @@
+#include "codec/sme.hpp"
+
+#include "common/check.hpp"
+#include "codec/sad.hpp"
+
+namespace feves {
+
+namespace {
+
+/// Pointer to the SF sample at quarter-pel position (qy, qx) anchored at
+/// integer pixel (y0, x0): the integer part selects the row/column of the
+/// phase plane, the fractional part selects the plane.
+inline const u8* subpel_ptr(const SubPelFrame& sf, int y0, int x0, int qy,
+                            int qx, std::ptrdiff_t* stride) {
+  const int iy = qy >> 2;  // arithmetic shift: floor for negatives
+  const int ix = qx >> 2;
+  const int py = qy & 3;
+  const int px = qx & 3;
+  const PlaneU8& plane = sf.phase(py, px);
+  *stride = plane.stride();
+  return plane.row(y0 + iy) + (x0 + ix);
+}
+
+}  // namespace
+
+void run_sme_rows(const PlaneU8& cur, const SubPelFrame& sf, int mb_width,
+                  int row_begin, int row_end, const SmeParams& params,
+                  MbMotion* field) {
+  FEVES_CHECK(cur.width() == sf.width() && cur.height() == sf.height());
+  FEVES_CHECK(mb_width * kMbSize == cur.width());
+  FEVES_CHECK(row_begin >= 0 && row_begin <= row_end);
+  FEVES_CHECK(row_end * kMbSize <= cur.height());
+  const int r = params.refine_range;
+  FEVES_CHECK(r >= 0 && r <= 3);
+
+  for (int mb_y = row_begin; mb_y < row_end; ++mb_y) {
+    for (int mb_x = 0; mb_x < mb_width; ++mb_x) {
+      MbMotion& mb = field[mb_y * mb_width + mb_x];
+      for (int mode_i = 0; mode_i < kNumPartitionModes; ++mode_i) {
+        const auto mode = static_cast<PartitionMode>(mode_i);
+        const PartitionGeometry& g = geometry(mode);
+        for (int b = 0; b < g.num_blocks(); ++b) {
+          int bx0, by0;
+          block_origin(mode, b, &bx0, &by0);
+          const int px0 = mb_x * kMbSize + bx0;
+          const int py0 = mb_y * kMbSize + by0;
+          const u8* cur_blk = cur.row(py0) + px0;
+
+          MotionEntry& entry = mb.entry(mode, b);
+          const Mv base = entry.mv;
+          u32 best_cost = kInvalidCost;
+          Mv best_mv = base;
+
+          for (int dqy = -r; dqy <= r; ++dqy) {
+            for (int dqx = -r; dqx <= r; ++dqx) {
+              const int qx = base.x + dqx;
+              const int qy = base.y + dqy;
+              std::ptrdiff_t stride;
+              const u8* ref_blk = subpel_ptr(sf, py0, px0, qy, qx, &stride);
+              const u32 cost = sad_block(cur_blk, cur.stride(), ref_blk,
+                                         stride, g.block_w, g.block_h);
+              if (cost < best_cost) {
+                best_cost = cost;
+                best_mv = Mv{static_cast<i16>(qx), static_cast<i16>(qy)};
+              }
+            }
+          }
+          entry.mv = best_mv;
+          entry.cost = best_cost;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace feves

@@ -1,0 +1,134 @@
+#include "codec/transform.hpp"
+
+#include "common/check.hpp"
+
+namespace feves {
+
+namespace {
+
+/// Position class of coefficient (i,j): 0 for both-even, 1 for both-odd,
+/// 2 otherwise — the three distinct entries of the H.264 scaling matrices.
+inline int pos_class(int i, int j) {
+  const bool ei = (i & 1) == 0;
+  const bool ej = (j & 1) == 0;
+  return ei && ej ? 0 : (!ei && !ej ? 1 : 2);
+}
+
+/// Quantization multipliers MF[QP%6][class].
+constexpr i32 kMF[6][3] = {
+    {13107, 5243, 8066}, {11916, 4660, 7490}, {10082, 4194, 6554},
+    {9362, 3647, 5825},  {8192, 3355, 5243},  {7282, 2893, 4559},
+};
+
+/// Dequantization scales V[QP%6][class].
+constexpr i32 kV[6][3] = {
+    {10, 16, 13}, {11, 18, 14}, {13, 20, 16},
+    {14, 23, 18}, {16, 25, 20}, {18, 29, 23},
+};
+
+}  // namespace
+
+void forward_transform_4x4(const i16 in[16], i16 out[16]) {
+  i32 tmp[16];
+  // Rows: Cf * X
+  for (int i = 0; i < 4; ++i) {
+    const i32 s0 = in[i * 4 + 0];
+    const i32 s1 = in[i * 4 + 1];
+    const i32 s2 = in[i * 4 + 2];
+    const i32 s3 = in[i * 4 + 3];
+    const i32 a = s0 + s3;
+    const i32 b = s1 + s2;
+    const i32 c = s1 - s2;
+    const i32 d = s0 - s3;
+    tmp[i * 4 + 0] = a + b;
+    tmp[i * 4 + 1] = 2 * d + c;
+    tmp[i * 4 + 2] = a - b;
+    tmp[i * 4 + 3] = d - 2 * c;
+  }
+  // Columns: (Cf * X) * Cf^T
+  for (int j = 0; j < 4; ++j) {
+    const i32 s0 = tmp[0 * 4 + j];
+    const i32 s1 = tmp[1 * 4 + j];
+    const i32 s2 = tmp[2 * 4 + j];
+    const i32 s3 = tmp[3 * 4 + j];
+    const i32 a = s0 + s3;
+    const i32 b = s1 + s2;
+    const i32 c = s1 - s2;
+    const i32 d = s0 - s3;
+    out[0 * 4 + j] = static_cast<i16>(a + b);
+    out[1 * 4 + j] = static_cast<i16>(2 * d + c);
+    out[2 * 4 + j] = static_cast<i16>(a - b);
+    out[3 * 4 + j] = static_cast<i16>(d - 2 * c);
+  }
+}
+
+void quantize_4x4(const i16 coeffs[16], int qp, bool intra, i16 levels[16]) {
+  FEVES_CHECK(qp >= 0 && qp <= 51);
+  const int qbits = 15 + qp / 6;
+  const i32 f = intra ? (i32{1} << qbits) / 3 : (i32{1} << qbits) / 6;
+  const int rem = qp % 6;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const i32 w = coeffs[i * 4 + j];
+      const i32 mf = kMF[rem][pos_class(i, j)];
+      const i32 mag =
+          static_cast<i32>((static_cast<i64>(w < 0 ? -w : w) * mf + f) >> qbits);
+      levels[i * 4 + j] = static_cast<i16>(w < 0 ? -mag : mag);
+    }
+  }
+}
+
+void dequantize_4x4(const i16 levels[16], int qp, i32 coeffs[16]) {
+  FEVES_CHECK(qp >= 0 && qp <= 51);
+  const int shift = qp / 6;
+  const int rem = qp % 6;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const i32 v = kV[rem][pos_class(i, j)];
+      coeffs[i * 4 + j] = (levels[i * 4 + j] * v) << shift;
+    }
+  }
+}
+
+void inverse_transform_4x4(const i32 in[16], i16 out[16]) {
+  i32 tmp[16];
+  // Rows.
+  for (int i = 0; i < 4; ++i) {
+    const i32 s0 = in[i * 4 + 0];
+    const i32 s1 = in[i * 4 + 1];
+    const i32 s2 = in[i * 4 + 2];
+    const i32 s3 = in[i * 4 + 3];
+    const i32 e0 = s0 + s2;
+    const i32 e1 = s0 - s2;
+    const i32 e2 = (s1 >> 1) - s3;
+    const i32 e3 = s1 + (s3 >> 1);
+    tmp[i * 4 + 0] = e0 + e3;
+    tmp[i * 4 + 1] = e1 + e2;
+    tmp[i * 4 + 2] = e1 - e2;
+    tmp[i * 4 + 3] = e0 - e3;
+  }
+  // Columns, with final rounding.
+  for (int j = 0; j < 4; ++j) {
+    const i32 s0 = tmp[0 * 4 + j];
+    const i32 s1 = tmp[1 * 4 + j];
+    const i32 s2 = tmp[2 * 4 + j];
+    const i32 s3 = tmp[3 * 4 + j];
+    const i32 e0 = s0 + s2;
+    const i32 e1 = s0 - s2;
+    const i32 e2 = (s1 >> 1) - s3;
+    const i32 e3 = s1 + (s3 >> 1);
+    out[0 * 4 + j] = static_cast<i16>((e0 + e3 + 32) >> 6);
+    out[1 * 4 + j] = static_cast<i16>((e1 + e2 + 32) >> 6);
+    out[2 * 4 + j] = static_cast<i16>((e1 - e2 + 32) >> 6);
+    out[3 * 4 + j] = static_cast<i16>((e0 - e3 + 32) >> 6);
+  }
+}
+
+bool any_nonzero(const i16 levels[16]) {
+  for (int i = 0; i < 16; ++i) {
+    if (levels[i] != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace feves

@@ -1,0 +1,30 @@
+// H.264 4x4 integer core transform, quantization and their inverses
+// (the paper's TQ and TQ^-1 modules). Exact integer arithmetic per the
+// standard: forward Cf butterfly, MF/V scaling tables indexed by QP%6 with
+// position classes, qbits = 15 + QP/6, inverse butterfly with (x+32)>>6.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace feves {
+
+/// Forward core transform of a 4x4 residual block (row-major).
+/// Input range [-255, 255]; output magnitudes bounded by 255*36 < 2^15.
+void forward_transform_4x4(const i16 in[16], i16 out[16]);
+
+/// Quantizes transform coefficients. `intra` selects the deadzone constant
+/// (f = 2^qbits/3 intra, 2^qbits/6 inter, JM convention).
+void quantize_4x4(const i16 coeffs[16], int qp, bool intra, i16 levels[16]);
+
+/// Rescales quantized levels; 32-bit output because V << (QP/6) can exceed
+/// 16-bit range at high QP.
+void dequantize_4x4(const i16 levels[16], int qp, i32 coeffs[16]);
+
+/// Inverse core transform including the final (x + 32) >> 6 rounding.
+void inverse_transform_4x4(const i32 in[16], i16 out[16]);
+
+/// True if any of the 16 levels is non-zero (feeds CAVLC and the deblocking
+/// boundary-strength decision).
+bool any_nonzero(const i16 levels[16]);
+
+}  // namespace feves

@@ -1,0 +1,44 @@
+// Cache-line / SIMD-width aligned storage for pixel planes and SAD grids.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace feves {
+
+/// Alignment used for all pixel buffers: wide enough for AVX2 loads and a
+/// full x86 cache line, which also avoids false sharing between the MB rows
+/// that different worker threads write.
+inline constexpr std::size_t kBufferAlign = 64;
+
+/// Minimal allocator propagating 64-byte alignment to std::vector storage.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(kBufferAlign));
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(kBufferAlign));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept { return true; }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept { return false; }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace feves

@@ -1,0 +1,42 @@
+// Invariant checking. FEVES_CHECK is active in every build type: the
+// framework schedules work across devices from runtime-measured parameters,
+// so silent out-of-range distributions must fail loudly, not corrupt frames.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace feves {
+
+/// Exception thrown on any broken precondition or invariant inside FEVES.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FEVES_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace feves
+
+#define FEVES_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) ::feves::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define FEVES_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream feves_os_;                                    \
+      feves_os_ << msg;                                                \
+      ::feves::detail::check_failed(#expr, __FILE__, __LINE__, feves_os_.str()); \
+    }                                                                  \
+  } while (0)

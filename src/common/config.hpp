@@ -1,0 +1,78 @@
+// Encoder-wide configuration. Field defaults follow the paper's evaluation
+// setup (Sec. IV): IPPP structure, FSBM motion estimation, QP 27/28 for
+// I/P slices per the VCEG common conditions, and up to 16 reference frames.
+#pragma once
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace feves {
+
+/// Which MB partition shapes the mode decision may choose from.
+struct PartitionSet {
+  bool p16x16 = true;
+  bool p16x8 = true;
+  bool p8x16 = true;
+  bool p8x8 = true;
+  bool p8x4 = true;
+  bool p4x8 = true;
+  bool p4x4 = true;
+
+  int count() const {
+    return int(p16x16) + int(p16x8) + int(p8x16) + int(p8x8) + int(p8x4) +
+           int(p4x8) + int(p4x4);
+  }
+};
+
+struct EncoderConfig {
+  int width = 1920;   ///< Luma width in pixels; must be a multiple of 16.
+  int height = 1088;  ///< Coded luma height (1080p codes 68 MB rows = 1088
+                      ///< pixels and crops; must be a multiple of 16).
+
+  /// Full-search range: candidates span [-search_range, +search_range) in
+  /// both dimensions, i.e. the paper's "SA size" of 32x32 corresponds to
+  /// search_range = 16 (a 32-pixel-wide window).
+  int search_range = 16;
+
+  int num_ref_frames = 1;  ///< RFs kept for ME (paper sweeps 1..8).
+
+  int qp_i = 27;  ///< Quantization parameter for I slices (VCEG rec.).
+  int qp_p = 28;  ///< Quantization parameter for P slices.
+
+  /// Lagrangian weight on motion-vector rate in the mode decision. 0 gives
+  /// pure minimum-SAD selection (the paper's distortion-only criterion).
+  double lambda_mode = 4.0;
+
+  /// Quarter-pel refinement radius for the SME module, in quarter-pel steps.
+  int subpel_refine_range = 2;
+
+  PartitionSet partitions;
+
+  bool enable_deblocking = true;
+
+  int mb_width() const { return width / kMbSize; }
+  int mb_height() const { return height / kMbSize; }
+  int total_mbs() const { return mb_width() * mb_height(); }
+  /// The framework's unit of load distribution: one MB row (paper, Sec. III).
+  int num_mb_rows() const { return mb_height(); }
+  /// Search-area edge length in pixels, as quoted in the paper's figures.
+  int search_area_size() const { return 2 * search_range; }
+
+  void validate() const {
+    FEVES_CHECK_MSG(width > 0 && width % kMbSize == 0,
+                    "width must be a positive multiple of 16, got " << width);
+    FEVES_CHECK_MSG(height > 0 && height % kMbSize == 0,
+                    "height must be a positive multiple of 16, got " << height);
+    FEVES_CHECK_MSG(search_range >= 1 && search_range <= 128,
+                    "search_range out of [1,128]: " << search_range);
+    FEVES_CHECK_MSG(num_ref_frames >= 1 && num_ref_frames <= 16,
+                    "num_ref_frames out of [1,16]: " << num_ref_frames);
+    FEVES_CHECK_MSG(qp_i >= 0 && qp_i <= 51, "qp_i out of [0,51]: " << qp_i);
+    FEVES_CHECK_MSG(qp_p >= 0 && qp_p <= 51, "qp_p out of [0,51]: " << qp_p);
+    FEVES_CHECK_MSG(partitions.count() > 0, "no partition mode enabled");
+    FEVES_CHECK_MSG(subpel_refine_range >= 0 && subpel_refine_range <= 3,
+                    "subpel_refine_range out of [0,3]");
+  }
+};
+
+}  // namespace feves

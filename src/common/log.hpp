@@ -1,0 +1,52 @@
+// Minimal leveled logging to stderr. The framework logs scheduling decisions
+// at kDebug so figure benches can run silent while integration debugging can
+// trace every distribution vector.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace feves {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace detail {
+inline LogLevel& log_threshold() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+inline std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace detail
+
+inline void set_log_level(LogLevel level) { detail::log_threshold() = level; }
+inline LogLevel log_level() { return detail::log_threshold(); }
+
+inline void log_line(LogLevel level, std::string_view tag,
+                     const std::string& msg) {
+  if (level < detail::log_threshold()) return;
+  static constexpr std::string_view names[] = {"DEBUG", "INFO", "WARN",
+                                               "ERROR"};
+  std::lock_guard lock(detail::log_mutex());
+  std::cerr << "[feves:" << names[static_cast<int>(level)] << "] " << tag
+            << ": " << msg << '\n';
+}
+
+}  // namespace feves
+
+#define FEVES_LOG(level, tag, expr)                                   \
+  do {                                                                \
+    if ((level) >= ::feves::log_level()) {                            \
+      std::ostringstream feves_log_os_;                               \
+      feves_log_os_ << expr;                                          \
+      ::feves::log_line((level), (tag), feves_log_os_.str());         \
+    }                                                                 \
+  } while (0)
+
+#define FEVES_DEBUG(tag, expr) FEVES_LOG(::feves::LogLevel::kDebug, tag, expr)
+#define FEVES_INFO(tag, expr) FEVES_LOG(::feves::LogLevel::kInfo, tag, expr)
+#define FEVES_WARN(tag, expr) FEVES_LOG(::feves::LogLevel::kWarn, tag, expr)

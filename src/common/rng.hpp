@@ -1,0 +1,68 @@
+// Deterministic pseudo-random generation (splitmix64 + xoshiro256**).
+// Every stochastic element in the repository — synthetic video content,
+// property-test sweeps, perturbation schedules — draws from this so that
+// tests and benchmark figures are reproducible bit-for-bit across runs.
+#pragma once
+
+#include "common/types.hpp"
+
+#include <limits>
+
+namespace feves {
+
+/// splitmix64: used to expand a user seed into xoshiro state.
+constexpr u64 splitmix64(u64& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x5EED5EED5EED5EEDull) {
+    u64 s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+  }
+
+  u64 next() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  i64 uniform_int(i64 lo, i64 hi) {
+    const u64 span = static_cast<u64>(hi - lo) + 1;
+    return lo + static_cast<i64>(next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Approximately normal via sum of uniforms (Irwin–Hall, 12 terms).
+  double gaussian(double mean, double stddev) {
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i) acc += uniform01();
+    return mean + stddev * (acc - 6.0);
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 state_[4] = {};
+};
+
+}  // namespace feves

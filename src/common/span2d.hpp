@@ -1,0 +1,51 @@
+// Non-owning strided 2-D view used to hand sub-rectangles of pixel planes to
+// kernels without copying. The stride is in elements, not bytes.
+#pragma once
+
+#include "common/check.hpp"
+
+#include <cstddef>
+
+namespace feves {
+
+template <typename T>
+class Span2D {
+ public:
+  Span2D() = default;
+  Span2D(T* data, int width, int height, std::ptrdiff_t stride)
+      : data_(data), width_(width), height_(height), stride_(stride) {
+    FEVES_CHECK(width >= 0 && height >= 0);
+    FEVES_CHECK(stride >= width);
+  }
+
+  T* row(int y) const { return data_ + static_cast<std::ptrdiff_t>(y) * stride_; }
+  T& at(int y, int x) const {
+    FEVES_CHECK(y >= 0 && y < height_ && x >= 0 && x < width_);
+    return row(y)[x];
+  }
+  T& operator()(int y, int x) const { return row(y)[x]; }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::ptrdiff_t stride() const { return stride_; }
+  T* data() const { return data_; }
+  bool empty() const { return width_ == 0 || height_ == 0; }
+
+  /// View of the rectangle [x0, x0+w) x [y0, y0+h); must lie inside *this.
+  Span2D sub(int x0, int y0, int w, int h) const {
+    FEVES_CHECK(x0 >= 0 && y0 >= 0 && w >= 0 && h >= 0);
+    FEVES_CHECK(x0 + w <= width_ && y0 + h <= height_);
+    return Span2D(row(y0) + x0, w, h, stride_);
+  }
+
+  /// Implicit const view conversion (Span2D<T> -> Span2D<const T>).
+  operator Span2D<const T>() const { return {data_, width_, height_, stride_}; }
+
+ private:
+  T* data_ = nullptr;
+  int width_ = 0;
+  int height_ = 0;
+  std::ptrdiff_t stride_ = 0;
+};
+
+}  // namespace feves

@@ -1,0 +1,92 @@
+#include "common/thread_pool.hpp"
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+#include <atomic>
+#include <algorithm>
+#include <exception>
+
+namespace feves {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  const unsigned n = std::max(1u, num_threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> fut = task->get_future();
+  {
+    std::lock_guard lock(mutex_);
+    FEVES_CHECK_MSG(!stop_, "submit() on a stopped ThreadPool");
+    tasks_.emplace([task] { (*task)(); });
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::parallel_for(int begin, int end,
+                              const std::function<void(int)>& fn) {
+  if (begin >= end) return;
+  const int total = end - begin;
+  const int parts = std::min<int>(total, static_cast<int>(size()) + 1);
+  const int chunk = ceil_div(total, parts);
+
+  std::atomic<int> next{begin};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto drain = [&] {
+    for (;;) {
+      const int lo = next.fetch_add(chunk);
+      if (lo >= end || failed.load(std::memory_order_relaxed)) break;
+      const int hi = std::min(end, lo + chunk);
+      try {
+        for (int i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+  };
+
+  std::vector<std::future<void>> futs;
+  futs.reserve(parts - 1);
+  for (int p = 1; p < parts; ++p) futs.push_back(submit(drain));
+  drain();  // The caller participates instead of blocking idle.
+  for (auto& f : futs) f.wait();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace feves

@@ -1,0 +1,26 @@
+// Wall-clock timing helpers. All framework time accounting is in
+// double-precision milliseconds, matching the paper's per-frame charts.
+#pragma once
+
+#include <chrono>
+
+namespace feves {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace feves

@@ -1,0 +1,35 @@
+// Fundamental fixed-width types and H.264 geometry constants shared by every
+// FEVES module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace feves {
+
+using u8 = std::uint8_t;
+using i8 = std::int8_t;
+using u16 = std::uint16_t;
+using i16 = std::int16_t;
+using u32 = std::uint32_t;
+using i32 = std::int32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/// Luma macroblock edge length in pixels (H.264/AVC, Sec. II of the paper).
+inline constexpr int kMbSize = 16;
+
+/// Sub-pixel resolution of the interpolated frame: quarter-pel in each
+/// dimension, i.e. the SF structure is "as large as 16 RFs" (paper, Sec. II).
+inline constexpr int kSubPel = 4;
+
+/// Number of MB-partition shapes allowed by the standard (16x16 ... 4x4).
+inline constexpr int kNumPartitionModes = 7;
+
+/// Rounds `v` up to the next multiple of `m` (m > 0).
+constexpr int round_up(int v, int m) { return ((v + m - 1) / m) * m; }
+
+/// Integer ceiling division for non-negative operands.
+constexpr int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+}  // namespace feves

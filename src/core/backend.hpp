@@ -1,0 +1,89 @@
+// Execution backend interface: the Video Coding Manager describes WHAT runs
+// (kernels, transfers, dependencies — Fig 4); a backend supplies either the
+// modelled duration of each op (virtual mode) or a closure doing the actual
+// work (real mode). The orchestration code is byte-identical in both modes,
+// which is what makes virtual-mode figure benches faithful to the real
+// framework's scheduling behaviour.
+#pragma once
+
+#include "core/data_access.hpp"
+#include "sched/perf_char.hpp"
+
+#include <functional>
+
+namespace feves {
+
+/// What a transfer is for — lets backends pick the right source/target
+/// buffers and the framework attribute times to the right K parameter.
+enum class XferPurpose {
+  kRfIn,        ///< newest reconstructed reference, h2d
+  kCfMe,        ///< CF rows for the ME slice, h2d
+  kCfSme,       ///< ∆m CF fragments, h2d
+  kMvSme,       ///< ∆m MV fragments, h2d
+  kSfSme,       ///< ∆l SF fragments, h2d
+  kSfCarry,     ///< σ^{r-1} deferred SF completion (previous frame's SF), h2d
+  kSfComplete,  ///< σ SF completion, h2d
+  kCfMc,        ///< remaining CF for MC (R* device), h2d
+  kSfMc,        ///< remaining SF for MC (R* device), h2d
+  kMvMc,        ///< missing SME MVs for MC (R* device), h2d
+  kMvOut,       ///< ME MVs, d2h
+  kSfOut,       ///< interpolated SF slice, d2h
+  kSmeMvOut,    ///< refined SME MVs, d2h
+  kRfOut,       ///< reconstructed RF, d2h
+};
+
+/// Which K parameter a transfer purpose feeds (buffer kind + direction).
+inline BufferKind buffer_of(XferPurpose p) {
+  switch (p) {
+    case XferPurpose::kRfIn:
+    case XferPurpose::kRfOut:
+      return BufferKind::kRf;
+    case XferPurpose::kCfMe:
+    case XferPurpose::kCfSme:
+    case XferPurpose::kCfMc:
+      return BufferKind::kCf;
+    case XferPurpose::kSfSme:
+    case XferPurpose::kSfCarry:
+    case XferPurpose::kSfComplete:
+    case XferPurpose::kSfMc:
+    case XferPurpose::kSfOut:
+      return BufferKind::kSf;
+    case XferPurpose::kMvSme:
+    case XferPurpose::kMvMc:
+    case XferPurpose::kMvOut:
+    case XferPurpose::kSmeMvOut:
+      return BufferKind::kMv;
+  }
+  return BufferKind::kCf;
+}
+
+inline Direction direction_of(XferPurpose p) {
+  switch (p) {
+    case XferPurpose::kMvOut:
+    case XferPurpose::kSfOut:
+    case XferPurpose::kSmeMvOut:
+    case XferPurpose::kRfOut:
+      return Direction::kDeviceToHost;
+    default:
+      return Direction::kHostToDevice;
+  }
+}
+
+struct OpPayload {
+  double virtual_ms = 0.0;
+  std::function<void()> work;  ///< empty in virtual mode
+};
+
+class FrameBackend {
+ public:
+  virtual ~FrameBackend() = default;
+
+  virtual OpPayload op_me(int device, RowInterval rows) = 0;
+  virtual OpPayload op_int(int device, RowInterval rows) = 0;
+  virtual OpPayload op_sme(int device, RowInterval rows) = 0;
+  virtual OpPayload op_rstar(int device) = 0;
+  virtual OpPayload op_xfer(int device, XferPurpose purpose,
+                            const std::vector<RowInterval>& fragments) = 0;
+};
+
+}  // namespace feves

@@ -1,0 +1,226 @@
+#include "core/coding_manager.hpp"
+
+namespace feves {
+
+namespace {
+
+/// Adds a transfer op when it moves at least one row; returns -1 otherwise.
+int add_xfer(OpGraph& g, FrameBackend& backend, int device, XferPurpose p,
+             const std::vector<RowInterval>& frags, std::vector<int> deps,
+             const char* label) {
+  int rows = 0;
+  for (const RowInterval& f : frags) rows += f.length();
+  if (rows == 0) return -1;
+  OpPayload payload = backend.op_xfer(device, p, frags);
+  Op op;
+  op.label = label + std::string("@d") + std::to_string(device);
+  op.device = device;
+  op.resource = direction_of(p) == Direction::kHostToDevice
+                    ? OpResource::kCopyH2D
+                    : OpResource::kCopyD2H;
+  op.virtual_ms = payload.virtual_ms;
+  op.work = std::move(payload.work);
+  op.deps = std::move(deps);
+  return g.add(std::move(op));
+}
+
+int add_kernel(OpGraph& g, OpPayload&& payload, int device,
+               std::vector<int> deps, const char* label) {
+  Op op;
+  op.label = label + std::string("@d") + std::to_string(device);
+  op.device = device;
+  op.resource = OpResource::kCompute;
+  op.virtual_ms = payload.virtual_ms;
+  op.work = std::move(payload.work);
+  op.deps = std::move(deps);
+  return g.add(std::move(op));
+}
+
+void push_if(std::vector<int>* deps, int id) {
+  if (id >= 0) deps->push_back(id);
+}
+
+}  // namespace
+
+OpGraph build_frame_graph(const PlatformTopology& topo,
+                          const Distribution& dist,
+                          const std::vector<TransferPlan>& plans,
+                          FrameBackend& backend, FrameOpIds* ids) {
+  const int n = topo.num_devices();
+  FEVES_CHECK(dist.num_devices() == n);
+  FEVES_CHECK(static_cast<int>(plans.size()) == n);
+  const bool collaborative = n > 1;  // solo devices skip the gather traffic
+  const int rstar = dist.rstar_device;
+  FEVES_CHECK(rstar >= 0 && rstar < n);
+
+  OpGraph g;
+  ids->dev.assign(static_cast<std::size_t>(n), FrameOpIds::PerDevice{});
+  const auto me_iv = intervals_of(dist.me);
+  const auto l_iv = intervals_of(dist.intp);
+  const auto s_iv = intervals_of(dist.sme);
+
+  int total_rows = 0;
+  for (int r : dist.me) total_rows += r;
+  const RowInterval whole{0, total_rows};
+
+  // ---- Phase A: input staging, ME+INT kernels, slice gathers (τ1) -------
+  for (int i = 0; i < n; ++i) {
+    auto& d = ids->dev[i];
+    const TransferPlan& plan = plans[i];
+    const bool accel = topo.devices[i].is_accelerator();
+
+    if (accel) {
+      if (plan.fetch_rf) {
+        d.rf_in =
+            add_xfer(g, backend, i, XferPurpose::kRfIn, {whole}, {}, "RF_in");
+      }
+      d.cf_me = add_xfer(g, backend, i, XferPurpose::kCfMe, {plan.cf_me}, {},
+                         "CF_me");
+      d.cf_sme = add_xfer(g, backend, i, XferPurpose::kCfSme, plan.cf_sme, {},
+                          "CF_sme");
+      d.sf_carry = add_xfer(g, backend, i, XferPurpose::kSfCarry,
+                            plan.sf_carry, {}, "SF_carry");
+    }
+
+    // Kernels: ME then INT on the device's compute lane.
+    if (!me_iv[i].empty()) {
+      std::vector<int> deps;
+      push_if(&deps, d.cf_me);
+      push_if(&deps, d.rf_in);
+      d.me = add_kernel(g, backend.op_me(i, me_iv[i]), i, std::move(deps),
+                        "ME");
+    }
+    if (!l_iv[i].empty()) {
+      std::vector<int> deps;
+      push_if(&deps, d.rf_in);
+      d.intp = add_kernel(g, backend.op_int(i, l_iv[i]), i, std::move(deps),
+                          "INT");
+    }
+
+    if (accel && collaborative) {
+      if (!plan.mv_out.empty()) {
+        std::vector<int> deps;
+        push_if(&deps, d.me);
+        d.mv_out = add_xfer(g, backend, i, XferPurpose::kMvOut,
+                            {plan.mv_out}, std::move(deps), "MV_out");
+      }
+      if (!plan.sf_out.empty()) {
+        std::vector<int> deps;
+        push_if(&deps, d.intp);
+        d.sf_out = add_xfer(g, backend, i, XferPurpose::kSfOut,
+                            {plan.sf_out}, std::move(deps), "SF_out");
+      }
+    }
+  }
+
+  // Host-availability dependency sets: an SF (or MV) row is at the host
+  // once every accelerator slice has been gathered and the CPU's own
+  // kernels are done — the implicit τ1 synchronization of Fig 4.
+  std::vector<int> sf_ready, mv_ready;
+  for (int i = 0; i < n; ++i) {
+    const bool accel = topo.devices[i].is_accelerator();
+    if (accel) {
+      push_if(&sf_ready, ids->dev[i].sf_out);
+      push_if(&mv_ready, ids->dev[i].mv_out);
+    } else {
+      push_if(&sf_ready, ids->dev[i].intp);
+      push_if(&mv_ready, ids->dev[i].me);
+    }
+  }
+
+  // ---- Phase B: SME inputs and kernels (τ1 → τ2) -------------------------
+  for (int i = 0; i < n; ++i) {
+    auto& d = ids->dev[i];
+    const TransferPlan& plan = plans[i];
+    const bool accel = topo.devices[i].is_accelerator();
+
+    if (accel) {
+      d.sf_sme = add_xfer(g, backend, i, XferPurpose::kSfSme, plan.sf_sme,
+                          sf_ready, "SF_sme");
+      d.mv_sme = add_xfer(g, backend, i, XferPurpose::kMvSme, plan.mv_sme,
+                          mv_ready, "MV_sme");
+    }
+
+    if (!s_iv[i].empty()) {
+      std::vector<int> deps;
+      push_if(&deps, d.me);
+      push_if(&deps, d.intp);
+      if (accel) {
+        push_if(&deps, d.sf_sme);
+        push_if(&deps, d.mv_sme);
+        push_if(&deps, d.cf_sme);
+        push_if(&deps, d.sf_carry);
+      } else {
+        // The host SME reads gathered accelerator outputs directly.
+        for (int dep : sf_ready) push_if(&deps, dep);
+        for (int dep : mv_ready) push_if(&deps, dep);
+      }
+      d.sme = add_kernel(g, backend.op_sme(i, s_iv[i]), i, std::move(deps),
+                         "SME");
+    }
+
+    if (accel && collaborative && i != rstar && !plan.sme_mv_out.empty()) {
+      std::vector<int> deps;
+      push_if(&deps, d.sme);
+      d.sme_mv_out = add_xfer(g, backend, i, XferPurpose::kSmeMvOut,
+                              {plan.sme_mv_out}, std::move(deps), "SMEMV_out");
+    }
+  }
+
+  // Refined MVs available at the host (τ2 from the host's point of view).
+  std::vector<int> sme_mv_ready;
+  for (int i = 0; i < n; ++i) {
+    if (topo.devices[i].is_accelerator()) {
+      push_if(&sme_mv_ready, ids->dev[i].sme_mv_out);
+    } else {
+      push_if(&sme_mv_ready, ids->dev[i].sme);
+    }
+  }
+
+  // ---- Phase C: R* on the selected device, SF completion (τ2 → τtot) -----
+  {
+    auto& d = ids->dev[rstar];
+    const TransferPlan& plan = plans[rstar];
+    const bool accel = topo.devices[rstar].is_accelerator();
+    std::vector<int> rstar_deps;
+    push_if(&rstar_deps, d.sme);
+
+    if (accel) {
+      // MC prefetch overlaps the SME kernel (Fig 4: CF→MC / SF→MC during
+      // τ2 on the selected accelerator's copy engine).
+      d.cf_mc = add_xfer(g, backend, rstar, XferPurpose::kCfMc, plan.cf_mc,
+                         {}, "CF_mc");
+      d.sf_mc = add_xfer(g, backend, rstar, XferPurpose::kSfMc, plan.sf_mc,
+                         sf_ready, "SF_mc");
+      d.mv_mc = add_xfer(g, backend, rstar, XferPurpose::kMvMc, plan.mv_mc,
+                         sme_mv_ready, "MV_mc");
+      push_if(&rstar_deps, d.cf_mc);
+      push_if(&rstar_deps, d.sf_mc);
+      push_if(&rstar_deps, d.mv_mc);
+    } else {
+      // CPU-centric: the host needs every device's refined MVs.
+      for (int dep : sme_mv_ready) push_if(&rstar_deps, dep);
+    }
+
+    d.rstar = add_kernel(g, backend.op_rstar(rstar), rstar,
+                         std::move(rstar_deps), "Rstar");
+
+    if (accel && collaborative) {
+      std::vector<int> deps{d.rstar};
+      d.rf_out = add_xfer(g, backend, rstar, XferPurpose::kRfOut, {whole},
+                          std::move(deps), "RF_out");
+    }
+  }
+
+  // σ SF completion streams into the tail slack on the other accelerators.
+  for (int i = 0; i < n; ++i) {
+    if (!topo.devices[i].is_accelerator() || i == rstar) continue;
+    ids->dev[i].sf_complete =
+        add_xfer(g, backend, i, XferPurpose::kSfComplete,
+                 plans[i].sf_complete, sf_ready, "SF_complete");
+  }
+
+  return g;
+}
+
+}  // namespace feves

@@ -1,0 +1,42 @@
+// Video Coding Manager (paper Sec. III-B, Fig 4): builds the per-frame op
+// graph that orchestrates kernels and transfers across all devices with the
+// correct dependencies and copy-engine issue order, for both GPU-centric
+// and CPU-centric R* placement and single- or dual-copy-engine devices.
+//
+// Dependency structure (the τ synchronization points emerge from it):
+//   τ1: every device's ME+INT done, MV/SF slices gathered at the host;
+//   τ2: every device's SME done (inputs: its ∆l SF and ∆m MV fragments,
+//       which depend on all SF/MV outbound transfers — the implicit τ1);
+//   τtot: R* done on the selected device and the new RF back at the host,
+//       σ SF-completion transfers streamed into the tail slack.
+#pragma once
+
+#include "core/backend.hpp"
+#include "platform/op_graph.hpp"
+#include "sched/distribution.hpp"
+
+#include <vector>
+
+namespace feves {
+
+/// Op ids of interest per device, for time attribution after execution
+/// (-1 where an op does not exist for that device).
+struct FrameOpIds {
+  struct PerDevice {
+    int me = -1, intp = -1, sme = -1, rstar = -1;
+    int rf_in = -1, cf_me = -1, cf_sme = -1, mv_sme = -1, sf_sme = -1;
+    int sf_carry = -1, sf_complete = -1;
+    int cf_mc = -1, sf_mc = -1, mv_mc = -1;
+    int mv_out = -1, sf_out = -1, sme_mv_out = -1, rf_out = -1;
+  };
+  std::vector<PerDevice> dev;
+};
+
+/// Builds the collaborative inter-frame op graph. `plans` comes from
+/// DataAccessManagement::plan_frame for the same distribution.
+OpGraph build_frame_graph(const PlatformTopology& topo,
+                          const Distribution& dist,
+                          const std::vector<TransferPlan>& plans,
+                          FrameBackend& backend, FrameOpIds* ids);
+
+}  // namespace feves

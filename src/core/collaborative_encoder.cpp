@@ -1,0 +1,118 @@
+#include "core/collaborative_encoder.hpp"
+
+#include "codec/bitstream.hpp"
+#include "common/timer.hpp"
+
+namespace feves {
+
+CollaborativeEncoder::CollaborativeEncoder(const EncoderConfig& cfg,
+                                           const PlatformTopology& topo,
+                                           FrameworkOptions opts,
+                                           SimdTier tier)
+    : cfg_(cfg),
+      topo_(topo),
+      opts_(opts),
+      tier_(tier),
+      balancer_(cfg, topo, opts.lb),
+      dam_(cfg, topo, opts.enable_data_reuse),
+      perf_(topo.num_devices(), opts.ewma_alpha),
+      refs_(cfg.num_ref_frames),
+      mirrors_(static_cast<std::size_t>(topo.num_devices())) {
+  cfg_.validate();
+  topo_.validate();
+  rf_holder_ = topo_.cpu_index() >= 0 ? topo_.cpu_index() : 0;
+}
+
+FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
+                                              std::vector<u8>* bitstream_out) {
+  const int frame = next_frame_++;
+  FrameStats stats;
+  stats.frame_number = frame;
+
+  EncodeJob job;
+  std::vector<RefPicture*> borrowed;
+  for (int i = 0; i < refs_.size(); ++i) borrowed.push_back(&refs_.ref(i));
+  job.prepare(cfg_, cur, std::move(borrowed), frame);
+
+  if (job.is_intra) {
+    // Bootstrap I frame: host-only (paper Fig 1's intra path; the inter
+    // loop under study starts at frame 1).
+    Timer t;
+    intra_frame(job);
+    stats.total_ms = t.elapsed_ms();
+    stats.active_refs = 0;
+  } else {
+    const int active_refs = refs_.size();
+    stats.active_refs = active_refs;
+
+    Timer sched_timer;
+    Distribution dist;
+    const std::vector<int> sigma_r_prev = dam_.deferred_rows();
+    auto rstar_of = [&] {
+      return opts_.force_rstar_device >= 0
+                 ? opts_.force_rstar_device
+                 : balancer_.select_rstar_device(perf_);
+    };
+    if (!perf_.initialized()) {
+      dist = balancer_.equidistant(rstar_of());
+    } else {
+      switch (opts_.policy) {
+        case SchedulingPolicy::kAdaptiveLp:
+          dist = balancer_.balance(perf_, sigma_r_prev,
+                                   opts_.force_rstar_device);
+          break;
+        case SchedulingPolicy::kProportional:
+          dist = balancer_.proportional(perf_, sigma_r_prev,
+                                        opts_.force_rstar_device);
+          break;
+        case SchedulingPolicy::kEquidistant:
+          dist = balancer_.equidistant(rstar_of());
+          break;
+      }
+    }
+    const std::vector<TransferPlan> plans =
+        dam_.plan_frame(dist, rf_holder_, active_refs);
+    stats.scheduling_ms = sched_timer.elapsed_ms();
+    stats.dist = dist;
+
+    for (int i = 0; i < topo_.num_devices(); ++i) {
+      if (topo_.devices[i].is_accelerator()) {
+        begin_frame_mirror(mirrors_[i], cfg_, active_refs,
+                           refs_.ref(0).recon.y);
+      }
+    }
+
+    RealBackend backend(job, mirrors_, topo_, tier_, dist.sme);
+    FrameOpIds ids;
+    const OpGraph graph = build_frame_graph(topo_, dist, plans, backend, &ids);
+    const ExecutionResult result = execute_real(graph, topo_);
+    attribute_frame_times(cfg_, topo_, dist, ids, result, &perf_);
+    rf_holder_ = dist.rstar_device;
+
+    stats.total_ms = result.makespan_ms;
+    for (int i = 0; i < topo_.num_devices(); ++i) {
+      const auto& d = ids.dev[i];
+      for (int id : {d.me, d.intp, d.mv_out, d.sf_out}) {
+        if (id >= 0) {
+          stats.tau1_ms = std::max(stats.tau1_ms, result.times[id].end_ms);
+        }
+      }
+      for (int id : {d.sme, d.sme_mv_out}) {
+        if (id >= 0) {
+          stats.tau2_ms = std::max(stats.tau2_ms, result.times[id].end_ms);
+        }
+      }
+    }
+  }
+
+  if (bitstream_out != nullptr) {
+    BitWriter bw;
+    write_frame_bitstream(job, bw);
+    const auto& bytes = bw.bytes();
+    bitstream_out->insert(bitstream_out->end(), bytes.begin(), bytes.end());
+  }
+  refs_.push_front(std::move(job.recon));
+  return stats;
+}
+
+}  // namespace feves

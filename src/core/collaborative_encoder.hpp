@@ -1,0 +1,50 @@
+// Real-mode FEVES encoder: the full Algorithm 1 loop producing an actual
+// bitstream and reconstruction, with kernels executing on host threads and
+// transfers performing genuine copies into per-device mirror buffers.
+//
+// This is the correctness anchor of the repository: for any topology and
+// scheduling policy, the reconstruction must match the single-device
+// reference encoder bit-for-bit — the distribution may change *when* work
+// happens, never *what* is computed.
+#pragma once
+
+#include "core/framework.hpp"
+#include "core/real_backend.hpp"
+
+namespace feves {
+
+class CollaborativeEncoder {
+ public:
+  CollaborativeEncoder(const EncoderConfig& cfg, const PlatformTopology& topo,
+                       FrameworkOptions opts = {},
+                       SimdTier tier = SimdTier::kAuto);
+
+  /// Encodes the next frame (the first call encodes the bootstrap I frame
+  /// on the host; subsequent calls run the collaborative inter loop).
+  /// Appends the frame's bitstream to `bitstream_out` when non-null.
+  FrameStats encode_frame(const Frame420& cur, std::vector<u8>* bitstream_out);
+
+  /// Reconstruction of the most recently encoded frame.
+  const Frame420& last_recon() const {
+    FEVES_CHECK(!refs_.empty());
+    return refs_.ref(0).recon;
+  }
+
+  int frames_encoded() const { return next_frame_; }
+  const PerfCharacterization& characterization() const { return perf_; }
+
+ private:
+  EncoderConfig cfg_;
+  PlatformTopology topo_;
+  FrameworkOptions opts_;
+  SimdTier tier_;
+  LoadBalancer balancer_;
+  DataAccessManagement dam_;
+  PerfCharacterization perf_;
+  RefList refs_;
+  std::vector<DeviceMirror> mirrors_;
+  int next_frame_ = 0;
+  int rf_holder_ = 0;
+};
+
+}  // namespace feves

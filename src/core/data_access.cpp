@@ -1,0 +1,133 @@
+#include "core/data_access.hpp"
+
+#include <algorithm>
+
+namespace feves {
+
+std::vector<RowInterval> subtract_all(RowInterval universe,
+                                      std::vector<RowInterval> cover) {
+  std::sort(cover.begin(), cover.end(),
+            [](const RowInterval& a, const RowInterval& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<RowInterval> out;
+  int at = universe.begin;
+  for (const RowInterval& c : cover) {
+    if (c.empty()) continue;
+    if (c.end <= at) continue;
+    if (c.begin >= universe.end) break;
+    if (c.begin > at) out.push_back({at, std::min(c.begin, universe.end)});
+    at = std::max(at, c.end);
+    if (at >= universe.end) break;
+  }
+  if (at < universe.end) out.push_back({at, universe.end});
+  // Drop empties produced by clipping.
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const RowInterval& f) { return f.empty(); }),
+            out.end());
+  return out;
+}
+
+DataAccessManagement::DataAccessManagement(const EncoderConfig& cfg,
+                                           const PlatformTopology& topo,
+                                           bool enable_reuse)
+    : cfg_(cfg), topo_(topo), enable_reuse_(enable_reuse) {
+  cfg_.validate();
+  topo_.validate();
+  deferred_.assign(static_cast<std::size_t>(topo_.num_devices()), {});
+}
+
+void DataAccessManagement::reset() {
+  for (auto& d : deferred_) d.clear();
+}
+
+std::vector<int> DataAccessManagement::deferred_rows() const {
+  std::vector<int> out(deferred_.size(), 0);
+  for (std::size_t i = 0; i < deferred_.size(); ++i) {
+    out[i] = TransferPlan::rows_of(deferred_[i]);
+  }
+  return out;
+}
+
+std::vector<TransferPlan> DataAccessManagement::plan_frame(
+    const Distribution& dist, int rf_holder, int num_refs) {
+  const int n = topo_.num_devices();
+  const int rows = cfg_.num_mb_rows();
+  FEVES_CHECK(dist.num_devices() == n);
+  dist.check_conservation(rows);
+
+  const auto me_iv = intervals_of(dist.me);
+  const auto l_iv = intervals_of(dist.intp);
+  const auto s_iv = intervals_of(dist.sme);
+  const int halo = sme_sf_halo_rows(cfg_);
+  const RowInterval frame{0, rows};
+
+  std::vector<TransferPlan> plans(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    TransferPlan& p = plans[i];
+    if (!topo_.devices[i].is_accelerator()) {
+      deferred_[i].clear();  // host always holds everything
+      continue;
+    }
+
+    p.fetch_rf = (i != rf_holder);
+    p.cf_me = me_iv[i];
+    p.mv_out = me_iv[i];
+    p.sf_out = l_iv[i];
+    p.sme_mv_out = s_iv[i];
+
+    // ∆m (MS_BOUNDS): SME rows outside the local ME slice — at most the
+    // two fragments of Fig 5(a). Without reuse, the whole SME span is
+    // re-fetched even where the device already holds it.
+    const RowInterval sme_need = halo_extend(s_iv[i], halo, rows);
+    if (enable_reuse_) {
+      p.cf_sme = interval_difference(s_iv[i], me_iv[i]);
+      p.sf_sme = interval_difference(sme_need, l_iv[i]);
+    } else {
+      if (!s_iv[i].empty()) p.cf_sme = {s_iv[i]};
+      if (!sme_need.empty()) p.sf_sme = {sme_need};
+    }
+    p.mv_sme = p.cf_sme;
+
+    // σ^{r-1}: the previous frame's deferred SF completion, delivered now
+    // (only meaningful once there is an older reference to complete).
+    if (num_refs >= 2) p.sf_carry = deferred_[i];
+    deferred_[i].clear();
+
+    if (i == dist.rstar_device) {
+      // The R* host needs everything: remaining CF, SF and the SME MVs
+      // computed on other devices (Fig 5(b)).
+      std::vector<RowInterval> cf_have = p.cf_sme;
+      cf_have.push_back(p.cf_me);
+      p.cf_mc = subtract_all(frame, cf_have);
+      std::vector<RowInterval> sf_have = p.sf_sme;
+      sf_have.push_back(l_iv[i]);
+      p.sf_mc = subtract_all(frame, sf_have);
+      p.mv_mc = subtract_all(frame, {s_iv[i]});
+      // Fully resident at frame end: nothing deferred.
+    } else {
+      // SF completion: σ rows sent now, σ^r deferred. Fill fragments
+      // top-to-bottom deterministically.
+      std::vector<RowInterval> have = p.sf_sme;
+      have.push_back(l_iv[i]);
+      std::vector<RowInterval> remaining = subtract_all(frame, have);
+      int budget = dist.sigma[i];
+      for (const RowInterval& frag : remaining) {
+        if (budget >= frag.length()) {
+          p.sf_complete.push_back(frag);
+          budget -= frag.length();
+        } else {
+          if (budget > 0) {
+            p.sf_complete.push_back({frag.begin, frag.begin + budget});
+          }
+          p.sf_deferred.push_back({frag.begin + budget, frag.end});
+          budget = 0;
+        }
+      }
+      deferred_[i] = p.sf_deferred;
+    }
+  }
+  return plans;
+}
+
+}  // namespace feves

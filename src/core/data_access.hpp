@@ -1,0 +1,91 @@
+// Data Access Management (paper Sec. III-B2, Fig 5): translates the load
+// balancer's row-count distributions into exact per-device transfer
+// intervals, maximizing reuse of data already resident on each device.
+//
+//  * ME and SME share the CF and MV buffers: only the SME rows outside the
+//    device's own ME slice are re-fetched (the two fragments of Fig 5(a),
+//    ∆m from MS_BOUNDS).
+//  * INT and SME share the SF: the SME slice — extended by the search-area
+//    halo, since sub-pel refinement reads up to R+1 pixel rows past the
+//    slice — minus the device's own INT slice is fetched (∆l, LS_BOUNDS).
+//  * SF completion is split into σ (sent in the τ2→τtot slack) and σ^r
+//    (deferred; this object carries the exact deferred fragments into the
+//    next frame, where they surface as the SF(RF-1)→SME transfer of Fig 4).
+#pragma once
+
+#include "common/config.hpp"
+#include "platform/device.hpp"
+#include "sched/distribution.hpp"
+
+#include <vector>
+
+namespace feves {
+
+/// One device's transfer schedule for one frame, as row intervals.
+struct TransferPlan {
+  bool fetch_rf = false;               ///< newest RF (whole frame, h2d)
+  RowInterval cf_me;                   ///< CF rows for the ME slice (h2d)
+  std::vector<RowInterval> cf_sme;     ///< ∆m: extra CF rows for SME (h2d)
+  std::vector<RowInterval> mv_sme;     ///< ∆m: MVs from other devices (h2d)
+  std::vector<RowInterval> sf_sme;     ///< ∆l: SF rows for SME (h2d)
+  std::vector<RowInterval> sf_carry;   ///< σ^{r-1}: deferred completion of
+                                       ///< the PREVIOUS frame's SF (h2d)
+  std::vector<RowInterval> sf_complete;  ///< σ: SF completion now (h2d)
+  std::vector<RowInterval> sf_deferred;  ///< σ^r: recorded for next frame
+  // Ops present only on the R*-hosting accelerator:
+  std::vector<RowInterval> cf_mc;      ///< remaining CF for MC (h2d)
+  std::vector<RowInterval> sf_mc;      ///< remaining SF for MC (h2d)
+  std::vector<RowInterval> mv_mc;      ///< missing SME MVs for MC (h2d)
+
+  // Outbound (d2h) intervals follow the module slices directly:
+  RowInterval mv_out;  ///< ME MVs of the ME slice
+  RowInterval sf_out;  ///< interpolated SF of the INT slice
+  RowInterval sme_mv_out;  ///< refined MVs of the SME slice
+
+  static int rows_of(const std::vector<RowInterval>& frags) {
+    int n = 0;
+    for (const RowInterval& f : frags) n += f.length();
+    return n;
+  }
+};
+
+class DataAccessManagement {
+ public:
+  /// `enable_reuse` = the paper's communication-minimization mechanism
+  /// (MS_BOUNDS/LS_BOUNDS fragment reuse). Disabling it re-transfers the
+  /// full CF/SF span a module needs, ignoring what the device already
+  /// holds — the naive baseline for the reuse ablation bench.
+  DataAccessManagement(const EncoderConfig& cfg, const PlatformTopology& topo,
+                       bool enable_reuse = true);
+
+  /// Computes every device's transfer plan for one frame and advances the
+  /// deferred-SF state. `rf_holder` is the device that produced the newest
+  /// RF (it skips the RF fetch). `num_refs` is the current reference count
+  /// (the carry transfer only exists once an older SF exists).
+  std::vector<TransferPlan> plan_frame(const Distribution& dist,
+                                       int rf_holder, int num_refs);
+
+  /// Deferred fragments carried into the next frame (σ^{r-1} per device).
+  const std::vector<RowInterval>& deferred(int device) const {
+    return deferred_[device];
+  }
+
+  /// Row counts of the deferred fragments (the σ^r vector fed back into
+  /// Algorithm 2).
+  std::vector<int> deferred_rows() const;
+
+  void reset();
+
+ private:
+  EncoderConfig cfg_;
+  PlatformTopology topo_;
+  bool enable_reuse_;
+  std::vector<std::vector<RowInterval>> deferred_;
+};
+
+/// Subtracts a union of disjoint sorted intervals `cover` from `universe`,
+/// returning the uncovered fragments. Exposed for property tests.
+std::vector<RowInterval> subtract_all(RowInterval universe,
+                                      std::vector<RowInterval> cover);
+
+}  // namespace feves

@@ -1,0 +1,172 @@
+#include "core/framework.hpp"
+
+#include "common/timer.hpp"
+#include "core/virtual_backend.hpp"
+
+#include <algorithm>
+
+namespace feves {
+
+VirtualFramework::VirtualFramework(const EncoderConfig& cfg,
+                                   const PlatformTopology& topo,
+                                   FrameworkOptions opts,
+                                   PerturbationSchedule perturbations)
+    : cfg_(cfg),
+      topo_(topo),
+      opts_(opts),
+      perturbations_(std::move(perturbations)),
+      balancer_(cfg, topo, opts.lb),
+      dam_(cfg, topo, opts.enable_data_reuse),
+      perf_(topo.num_devices(), opts.ewma_alpha) {
+  cfg_.validate();
+  topo_.validate();
+  // The I frame (frame 0) bootstraps the first RF; in the simulated
+  // framework the host produces it, so every accelerator must fetch it.
+  rf_holder_ = topo_.cpu_index() >= 0 ? topo_.cpu_index() : 0;
+}
+
+FrameStats VirtualFramework::encode_frame() {
+  const int frame = next_frame_++;
+  const int active_refs = std::min(frame, cfg_.num_ref_frames);
+
+  // ---- Load balancing (Algorithm 1 lines 3 / 8) -------------------------
+  Timer sched_timer;
+  Distribution dist;
+  const std::vector<int> sigma_r_prev = dam_.deferred_rows();
+  auto rstar_of = [&] {
+    return opts_.force_rstar_device >= 0 ? opts_.force_rstar_device
+                                         : balancer_.select_rstar_device(perf_);
+  };
+  if (!perf_.initialized()) {
+    dist = balancer_.equidistant(rstar_of());
+  } else {
+    switch (opts_.policy) {
+      case SchedulingPolicy::kAdaptiveLp:
+        dist = balancer_.balance(perf_, sigma_r_prev, opts_.force_rstar_device);
+        break;
+      case SchedulingPolicy::kProportional:
+        dist = balancer_.proportional(perf_, sigma_r_prev,
+                                      opts_.force_rstar_device);
+        break;
+      case SchedulingPolicy::kEquidistant:
+        dist = balancer_.equidistant(rstar_of());
+        break;
+    }
+  }
+  const std::vector<TransferPlan> plans =
+      dam_.plan_frame(dist, rf_holder_, active_refs);
+  const double scheduling_ms = sched_timer.elapsed_ms();
+
+  // ---- Orchestration + execution (lines 4 / 9) --------------------------
+  std::vector<double> slowdown(static_cast<std::size_t>(topo_.num_devices()));
+  for (int i = 0; i < topo_.num_devices(); ++i) {
+    slowdown[i] = perturbations_.factor(i, frame);
+  }
+  VirtualBackend backend(cfg_, topo_, active_refs, slowdown);
+  FrameOpIds ids;
+  const OpGraph graph = build_frame_graph(topo_, dist, plans, backend, &ids);
+  const ExecutionResult result = execute_virtual(graph, topo_);
+
+  // ---- Characterization update (lines 5-6 / 10) -------------------------
+  attribute_frame_times(cfg_, topo_, dist, ids, result, &perf_);
+  rf_holder_ = dist.rstar_device;
+
+  FrameStats stats;
+  stats.frame_number = frame;
+  stats.active_refs = active_refs;
+  stats.total_ms = result.makespan_ms;
+  stats.scheduling_ms = scheduling_ms;
+  stats.dist = dist;
+  for (int i = 0; i < topo_.num_devices(); ++i) {
+    const auto& d = ids.dev[i];
+    for (int id : {d.me, d.intp, d.mv_out, d.sf_out}) {
+      if (id >= 0) stats.tau1_ms = std::max(stats.tau1_ms, result.times[id].end_ms);
+    }
+    for (int id : {d.sme, d.sme_mv_out}) {
+      if (id >= 0) stats.tau2_ms = std::max(stats.tau2_ms, result.times[id].end_ms);
+    }
+  }
+  return stats;
+}
+
+void attribute_frame_times(const EncoderConfig& cfg,
+                           const PlatformTopology& topo,
+                           const Distribution& dist, const FrameOpIds& ids,
+                           const ExecutionResult& result,
+                           PerfCharacterization* perf) {
+  auto dur = [&](int id) {
+    return result.times[id].end_ms - result.times[id].start_ms;
+  };
+  const auto me_iv = intervals_of(dist.me);
+  const auto l_iv = intervals_of(dist.intp);
+  const auto s_iv = intervals_of(dist.sme);
+
+  for (int i = 0; i < topo.num_devices(); ++i) {
+    const auto& d = ids.dev[i];
+    if (d.me >= 0) {
+      perf->observe_compute(i, ComputeModule::kMe, me_iv[i].length(),
+                            dur(d.me));
+    }
+    if (d.intp >= 0) {
+      perf->observe_compute(i, ComputeModule::kInt, l_iv[i].length(),
+                            dur(d.intp));
+    }
+    if (d.sme >= 0) {
+      perf->observe_compute(i, ComputeModule::kSme, s_iv[i].length(),
+                            dur(d.sme));
+    }
+    if (d.rstar >= 0) perf->observe_rstar(i, dur(d.rstar));
+
+    struct XferSlot {
+      int id;
+      XferPurpose purpose;
+      int rows;
+    };
+    const int rows_total = cfg.num_mb_rows();
+    const XferSlot slots[] = {
+        {d.rf_in, XferPurpose::kRfIn, rows_total},
+        {d.cf_me, XferPurpose::kCfMe, me_iv[i].length()},
+        {d.cf_sme, XferPurpose::kCfSme, dist.delta_m[i]},
+        {d.mv_sme, XferPurpose::kMvSme, dist.delta_m[i]},
+        {d.sf_sme, XferPurpose::kSfSme, dist.delta_l[i]},
+        {d.sf_complete, XferPurpose::kSfComplete, dist.sigma[i]},
+        {d.mv_out, XferPurpose::kMvOut, me_iv[i].length()},
+        {d.sf_out, XferPurpose::kSfOut, l_iv[i].length()},
+        {d.sme_mv_out, XferPurpose::kSmeMvOut, s_iv[i].length()},
+        {d.rf_out, XferPurpose::kRfOut, rows_total},
+        {d.cf_mc, XferPurpose::kCfMc,
+         rows_total - me_iv[i].length() - dist.delta_m[i]},
+        {d.sf_mc, XferPurpose::kSfMc,
+         rows_total - l_iv[i].length() - dist.delta_l[i]},
+        {d.mv_mc, XferPurpose::kMvMc, rows_total - s_iv[i].length()},
+    };
+    for (const XferSlot& s : slots) {
+      if (s.id < 0 || s.rows <= 0) continue;
+      perf->observe_transfer(i, buffer_of(s.purpose), direction_of(s.purpose),
+                             s.rows, dur(s.id));
+    }
+  }
+}
+
+std::vector<FrameStats> VirtualFramework::encode(int frames) {
+  std::vector<FrameStats> out;
+  out.reserve(static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f) out.push_back(encode_frame());
+  return out;
+}
+
+double VirtualFramework::steady_state_fps(int frames, int warmup) {
+  const auto stats = encode(frames);
+  const int skip = std::min<int>(std::max(warmup, cfg_.num_ref_frames + 2),
+                                 frames - 1);
+  double total = 0.0;
+  int count = 0;
+  for (int f = skip; f < frames; ++f) {
+    total += stats[f].total_ms;
+    ++count;
+  }
+  FEVES_CHECK(count > 0);
+  return 1000.0 / (total / count);
+}
+
+}  // namespace feves

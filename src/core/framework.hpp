@@ -1,0 +1,101 @@
+// Framework Control (paper Algorithm 1): the per-frame loop tying together
+// Load Balancing, the Video Coding Manager, Data Access Management and
+// Performance Characterization.
+//
+//   initialization (first inter-frame): equidistant split, record times,
+//     build the initial characterization;
+//   iterative (every further inter-frame): balance from the measured K
+//     parameters, orchestrate, record, update.
+//
+// `VirtualFramework` drives the loop over the discrete-event executor and
+// the analytical cost model — the engine behind every figure bench.
+// The real-mode counterpart lives in collaborative_encoder.hpp.
+#pragma once
+
+#include "core/coding_manager.hpp"
+#include "core/data_access.hpp"
+#include "platform/perturbation.hpp"
+#include "sched/load_balancer.hpp"
+
+#include <vector>
+
+namespace feves {
+
+/// Which scheduler drives the distribution decisions — kAdaptiveLp is the
+/// paper's Algorithm 2; the other two are the evaluation baselines.
+enum class SchedulingPolicy {
+  kAdaptiveLp,    ///< Algorithm 2 (LP + performance characterization)
+  kProportional,  ///< per-module speed-proportional split ([9]-style)
+  kEquidistant,   ///< static equal split (multi-GPU related work)
+};
+
+struct FrameworkOptions {
+  SchedulingPolicy policy = SchedulingPolicy::kAdaptiveLp;
+  /// Weight of the newest measurement when updating the characterization.
+  /// 1.0 = the paper's Algorithm 1 (each frame's recorded times directly
+  /// parameterize the next LP — "a single inter-frame to converge");
+  /// lower values EWMA-smooth noisy non-dedicated systems.
+  double ewma_alpha = 1.0;
+  LoadBalancerOptions lb;
+  /// Shared-buffer reuse in Data Access Management (ablation knob; the
+  /// paper's communication-minimization mechanism, Sec. III-B2).
+  bool enable_data_reuse = true;
+  /// Pin the R* block to a device (-1 = automatic Dijkstra selection).
+  /// Pinning the CPU gives the paper's CPU-centric operation; pinning an
+  /// accelerator the GPU-centric one.
+  int force_rstar_device = -1;
+};
+
+/// Everything measured about one encoded inter-frame.
+struct FrameStats {
+  int frame_number = 0;    ///< 1-based inter-frame index
+  int active_refs = 1;     ///< reference-window size in effect
+  double total_ms = 0.0;   ///< τtot: inter-loop time of this frame
+  double tau1_ms = 0.0;    ///< measured τ1 (ME/INT + gathers done)
+  double tau2_ms = 0.0;    ///< measured τ2 (SME done everywhere)
+  double scheduling_ms = 0.0;  ///< LB + data-access planning wall time
+  Distribution dist;       ///< the distribution that produced the frame
+  double fps() const { return total_ms > 0 ? 1000.0 / total_ms : 0.0; }
+};
+
+class VirtualFramework {
+ public:
+  VirtualFramework(const EncoderConfig& cfg, const PlatformTopology& topo,
+                   FrameworkOptions opts = {},
+                   PerturbationSchedule perturbations = {});
+
+  /// Simulates the next inter-frame; returns its stats.
+  FrameStats encode_frame();
+
+  /// Simulates `frames` consecutive inter-frames.
+  std::vector<FrameStats> encode(int frames);
+
+  /// Steady-state throughput: simulates `frames` and averages over the
+  /// frames after the reference window has filled and balancing has
+  /// converged (skipping the first max(num_ref_frames, warmup) frames).
+  double steady_state_fps(int frames = 30, int warmup = 8);
+
+  const PerfCharacterization& characterization() const { return perf_; }
+  int frames_encoded() const { return next_frame_ - 1; }
+
+ private:
+  EncoderConfig cfg_;
+  PlatformTopology topo_;
+  FrameworkOptions opts_;
+  PerturbationSchedule perturbations_;
+  LoadBalancer balancer_;
+  DataAccessManagement dam_;
+  PerfCharacterization perf_;
+  int next_frame_ = 1;   ///< next inter-frame number (frame 0 is the I frame)
+  int rf_holder_ = 0;    ///< device that produced the newest RF
+};
+
+/// Folds one frame's measured per-op times into the characterization
+/// (Algorithm 1 lines 5-6/10; shared by the virtual and real frameworks).
+void attribute_frame_times(const EncoderConfig& cfg,
+                           const PlatformTopology& topo,
+                           const Distribution& dist, const FrameOpIds& ids,
+                           const ExecutionResult& result,
+                           PerfCharacterization* perf);
+
+}  // namespace feves

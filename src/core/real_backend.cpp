@@ -1,0 +1,251 @@
+#include "core/real_backend.hpp"
+
+#include "codec/interpolate.hpp"
+
+#include <cstring>
+#include <mutex>
+
+namespace feves {
+
+namespace {
+
+/// Copies interior pixel rows [16*b, 16*e) from `src` to `dst`; both planes
+/// must share geometry. `with_borders` also copies the horizontal border
+/// span of each row (valid only when the source borders are extended).
+void copy_pixel_rows(const PlaneU8& src, PlaneU8& dst, RowInterval mb_rows,
+                     bool with_borders) {
+  FEVES_CHECK(src.width() == dst.width() && src.height() == dst.height());
+  FEVES_CHECK(!with_borders || src.border() == dst.border());
+  const int y0 = mb_rows.begin * kMbSize;
+  const int y1 = mb_rows.end * kMbSize;
+  const int b = with_borders ? src.border() : 0;
+  const std::size_t bytes = static_cast<std::size_t>(src.width() + 2 * b);
+  for (int y = y0; y < y1; ++y) {
+    std::memcpy(dst.row(y) - b, src.row(y) - b, bytes);
+  }
+}
+
+/// Copies a whole plane including every border byte.
+void copy_full_plane(const PlaneU8& src, PlaneU8& dst) {
+  FEVES_CHECK(src.width() == dst.width() && src.height() == dst.height());
+  FEVES_CHECK(src.border() == dst.border());
+  const int b = src.border();
+  const std::size_t bytes = static_cast<std::size_t>(src.width() + 2 * b);
+  for (int y = -b; y < src.height() + b; ++y) {
+    std::memcpy(dst.row(y) - b, src.row(y) - b, bytes);
+  }
+}
+
+/// Copies motion-field rows [b, e) (all refs) between field vectors.
+void copy_field_rows(const std::vector<MotionField>& src,
+                     std::vector<MotionField>& dst, RowInterval rows,
+                     int mb_width) {
+  FEVES_CHECK(src.size() == dst.size());
+  for (std::size_t r = 0; r < src.size(); ++r) {
+    const std::size_t lo = static_cast<std::size_t>(rows.begin) * mb_width;
+    const std::size_t hi = static_cast<std::size_t>(rows.end) * mb_width;
+    FEVES_CHECK(hi <= src[r].size());
+    std::copy(src[r].begin() + lo, src[r].begin() + hi, dst[r].begin() + lo);
+  }
+}
+
+}  // namespace
+
+void begin_frame_mirror(DeviceMirror& mirror, const EncoderConfig& cfg,
+                        int active_refs, const PlaneU8& newest_recon_y) {
+  const int border = ref_border(cfg);
+  if (mirror.cf_y.width() != cfg.width) {
+    mirror.cf_y = PlaneU8(cfg.width, cfg.height, border);
+  }
+  mirror.cf_y.fill(DeviceMirror::kPoison);
+
+  auto fresh = std::make_unique<DeviceMirror::RefMirror>(cfg.width, cfg.height,
+                                                         border);
+  for (auto& plane : fresh->sf.phases) plane.fill(DeviceMirror::kPoison);
+  copy_full_plane(newest_recon_y, fresh->recon_y);
+  mirror.refs.push_front(std::move(fresh));
+  while (static_cast<int>(mirror.refs.size()) > active_refs) {
+    mirror.refs.pop_back();
+  }
+
+  mirror.fields.assign(static_cast<std::size_t>(active_refs),
+                       MotionField(static_cast<std::size_t>(cfg.total_mbs())));
+}
+
+RealBackend::RealBackend(EncodeJob& job, std::vector<DeviceMirror>& mirrors,
+                         const PlatformTopology& topo, SimdTier tier,
+                         std::vector<int> sme_dist)
+    : job_(job),
+      mirrors_(mirrors),
+      topo_(topo),
+      tier_(tier),
+      sme_dist_(std::move(sme_dist)) {
+  FEVES_CHECK(static_cast<int>(mirrors.size()) == topo.num_devices());
+  FEVES_CHECK(static_cast<int>(sme_dist_.size()) == topo.num_devices());
+}
+
+void RealBackend::ensure_sf_assembled() {
+  std::lock_guard lock(assemble_mutex_);
+  if (sf_assembled_) return;
+  finish_interpolation(job_);
+  sf_assembled_ = true;
+}
+
+OpPayload RealBackend::op_me(int device, RowInterval rows) {
+  if (!is_accel(device)) {
+    return {0.0, [this, rows] { me_rows(job_, rows.begin, rows.end, tier_); }};
+  }
+  return {0.0, [this, device, rows] {
+            DeviceMirror& m = mirrors_[device];
+            MeParams params;
+            params.search_range = job_.cfg->search_range;
+            params.tier = tier_;
+            for (std::size_t r = 0; r < job_.refs.size(); ++r) {
+              run_me_rows(m.cf_y, m.refs[r]->recon_y, job_.cfg->mb_width(),
+                          rows.begin, rows.end, params, m.fields[r].data());
+            }
+          }};
+}
+
+OpPayload RealBackend::op_int(int device, RowInterval rows) {
+  if (!is_accel(device)) {
+    return {0.0, [this, rows] { int_rows(job_, rows.begin, rows.end); }};
+  }
+  return {0.0, [this, device, rows] {
+            DeviceMirror& m = mirrors_[device];
+            run_interpolation_rows(m.refs[0]->recon_y, rows.begin, rows.end,
+                                   m.refs[0]->sf);
+            // Local slices must carry valid horizontal borders for SME's
+            // out-of-frame motion vectors.
+            for (auto& plane : m.refs[0]->sf.phases) {
+              plane.extend_horizontal_borders(rows.begin * kMbSize,
+                                              rows.end * kMbSize);
+            }
+            if (topo_.num_devices() == 1) {
+              // Solo accelerator: there is no SF_out gather, and R* (which
+              // reads the canonical SF as a stand-in for device-local MC
+              // data) runs on this same device — publish the slice locally.
+              for (int ph = 0; ph < kSubPel * kSubPel; ++ph) {
+                copy_pixel_rows(m.refs[0]->sf.phases[ph],
+                                job_.refs[0]->sf.phases[ph], rows, false);
+              }
+            }
+          }};
+}
+
+OpPayload RealBackend::op_sme(int device, RowInterval rows) {
+  if (!is_accel(device)) {
+    return {0.0, [this, rows] {
+              ensure_sf_assembled();
+              sme_rows(job_, rows.begin, rows.end);
+            }};
+  }
+  return {0.0, [this, device, rows] {
+            DeviceMirror& m = mirrors_[device];
+            SmeParams params;
+            params.refine_range = job_.cfg->subpel_refine_range;
+            for (std::size_t r = 0; r < job_.refs.size(); ++r) {
+              // Vertical borders replicate whatever the edge rows hold; the
+              // halo guarantees edge rows are valid whenever they matter.
+              for (auto& plane : m.refs[r]->sf.phases) {
+                plane.extend_vertical_borders();
+              }
+              run_sme_rows(m.cf_y, m.refs[r]->sf, job_.cfg->mb_width(),
+                           rows.begin, rows.end, params, m.fields[r].data());
+            }
+          }};
+}
+
+OpPayload RealBackend::op_rstar(int device) {
+  return {0.0, [this, device] {
+            if (is_accel(device)) {
+              // The R* host's own SME rows live in its mirror; publish them
+              // into the canonical fields (a device-local no-cost step — in
+              // a real system this data never leaves the device).
+              const auto s_iv = intervals_of(sme_dist_);
+              copy_field_rows(mirrors_[device].fields, job_.fields,
+                              s_iv[device], job_.cfg->mb_width());
+            }
+            ensure_sf_assembled();
+            rstar_frame(job_);
+          }};
+}
+
+OpPayload RealBackend::op_xfer(int device, XferPurpose purpose,
+                               const std::vector<RowInterval>& fragments) {
+  FEVES_CHECK(is_accel(device));
+  auto frags = fragments;
+  return {0.0, [this, device, purpose, frags] {
+            DeviceMirror& m = mirrors_[device];
+            switch (purpose) {
+              case XferPurpose::kRfIn:
+              case XferPurpose::kRfOut:
+                // Reference staging happens in begin_frame_mirror (every
+                // accelerator receives the canonical newest recon); R*
+                // writes the canonical reconstruction directly. These ops
+                // exist for their timing semantics.
+                break;
+              case XferPurpose::kCfMe:
+              case XferPurpose::kCfSme:
+              case XferPurpose::kCfMc:
+                for (const RowInterval& f : frags) {
+                  copy_pixel_rows(job_.cur->y, m.cf_y, f, false);
+                }
+                break;
+              case XferPurpose::kSfSme:
+              case XferPurpose::kSfComplete:
+              case XferPurpose::kSfMc: {
+                ensure_sf_assembled();
+                SubPelFrame& dst = m.refs[0]->sf;
+                const SubPelFrame& src = job_.refs[0]->sf;
+                for (const RowInterval& f : frags) {
+                  for (int ph = 0; ph < kSubPel * kSubPel; ++ph) {
+                    copy_pixel_rows(src.phases[ph], dst.phases[ph], f, true);
+                  }
+                }
+                break;
+              }
+              case XferPurpose::kSfCarry: {
+                // Completes the PREVIOUS frame's SF, now at refs[1].
+                FEVES_CHECK(job_.refs.size() >= 2 && m.refs.size() >= 2);
+                SubPelFrame& dst = m.refs[1]->sf;
+                const SubPelFrame& src = job_.refs[1]->sf;
+                for (const RowInterval& f : frags) {
+                  for (int ph = 0; ph < kSubPel * kSubPel; ++ph) {
+                    copy_pixel_rows(src.phases[ph], dst.phases[ph], f, true);
+                  }
+                }
+                break;
+              }
+              case XferPurpose::kSfOut: {
+                // Gather the locally interpolated slice into the canonical
+                // SF (interior only; canonical borders are extended at
+                // assembly time).
+                SubPelFrame& dst = job_.refs[0]->sf;
+                const SubPelFrame& src = m.refs[0]->sf;
+                for (const RowInterval& f : frags) {
+                  for (int ph = 0; ph < kSubPel * kSubPel; ++ph) {
+                    copy_pixel_rows(src.phases[ph], dst.phases[ph], f, false);
+                  }
+                }
+                break;
+              }
+              case XferPurpose::kMvSme:
+              case XferPurpose::kMvMc:
+                for (const RowInterval& f : frags) {
+                  copy_field_rows(job_.fields, m.fields, f,
+                                  job_.cfg->mb_width());
+                }
+                break;
+              case XferPurpose::kMvOut:
+              case XferPurpose::kSmeMvOut:
+                for (const RowInterval& f : frags) {
+                  copy_field_rows(m.fields, job_.fields, f,
+                                  job_.cfg->mb_width());
+                }
+                break;
+            }
+          }};
+}
+
+}  // namespace feves

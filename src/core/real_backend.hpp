@@ -1,0 +1,85 @@
+// Real-mode backend: kernels run on host threads over actual pixels, and
+// every modelled transfer performs a genuine copy between the host's
+// canonical buffers and a per-accelerator mirror. Accelerator kernels read
+// ONLY their mirrors — if Data Access Management computes a wrong interval,
+// the kernel sees poisoned bytes and the bit-exactness tests fail. That
+// makes the Fig 5 offset/reuse logic empirically verified, not just
+// modelled.
+//
+// (On this host all "devices" are CPU threads, so real mode demonstrates
+// correctness and orchestration, not speedups — see DESIGN.md §1.)
+#pragma once
+
+#include "codec/frame_codec.hpp"
+#include "core/backend.hpp"
+
+#include <deque>
+#include <memory>
+#include <mutex>
+
+namespace feves {
+
+/// Device-local copies of the distribution-sensitive buffers.
+struct DeviceMirror {
+  struct RefMirror {
+    RefMirror(int w, int h, int border)
+        : recon_y(w, h, border), sf(w, h, border) {}
+    PlaneU8 recon_y;  ///< reference luma (ME reads this)
+    SubPelFrame sf;   ///< sub-pel planes (SME reads these)
+  };
+
+  PlaneU8 cf_y;                       ///< current-frame luma rows
+  std::deque<std::unique_ptr<RefMirror>> refs;  ///< parallel to host RefList
+  std::vector<MotionField> fields;    ///< device-local MV fields, per ref
+
+  /// Poison byte written into mirrors before each frame so reads of
+  /// untransferred data are loud in tests.
+  static constexpr u8 kPoison = 0xAA;
+};
+
+/// Real-mode backend for one frame. The canonical state (job, host RefList)
+/// is owned by the CollaborativeEncoder; mirrors persist across frames.
+class RealBackend final : public FrameBackend {
+ public:
+  /// `sme_dist` is the frame's SME row-count vector (used to publish the
+  /// R*-hosting accelerator's locally refined MVs into the canonical
+  /// fields before R* runs).
+  RealBackend(EncodeJob& job, std::vector<DeviceMirror>& mirrors,
+              const PlatformTopology& topo, SimdTier tier,
+              std::vector<int> sme_dist);
+
+  OpPayload op_me(int device, RowInterval rows) override;
+  OpPayload op_int(int device, RowInterval rows) override;
+  OpPayload op_sme(int device, RowInterval rows) override;
+  OpPayload op_rstar(int device) override;
+  OpPayload op_xfer(int device, XferPurpose purpose,
+                    const std::vector<RowInterval>& fragments) override;
+
+ private:
+  bool is_accel(int device) const {
+    return topo_.devices[device].is_accelerator();
+  }
+
+  /// Extends the canonical SF borders exactly once per frame, after all
+  /// SF_out gathers (callers are ordered by the op graph's sf_ready deps).
+  void ensure_sf_assembled();
+
+  EncodeJob& job_;
+  std::vector<DeviceMirror>& mirrors_;
+  const PlatformTopology& topo_;
+  SimdTier tier_;
+  std::vector<int> sme_dist_;
+  std::mutex assemble_mutex_;
+  bool sf_assembled_ = false;
+};
+
+/// Prepares `mirror` for the next frame: allocates the new reference slot
+/// and stages `newest_recon_y` (the canonical newest reconstruction,
+/// borders included) into it, trims the window, poisons the CF rows and
+/// resets the local MV fields. The RF_in op models the transfer time; the
+/// bytes are staged here so the R*-producing device (which skips RF_in) is
+/// handled uniformly.
+void begin_frame_mirror(DeviceMirror& mirror, const EncoderConfig& cfg,
+                        int active_refs, const PlaneU8& newest_recon_y);
+
+}  // namespace feves

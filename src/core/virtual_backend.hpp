@@ -1,0 +1,85 @@
+// Virtual-mode backend: op durations come from the calibrated analytical
+// cost model (perf_model.hpp) scaled by the frame's perturbation factor;
+// no pixel work is performed. Used by the figure benches, where the paper's
+// 1080p full-search workloads are far beyond this container's compute but
+// the scheduling behaviour — the object of study — is fully preserved.
+#pragma once
+
+#include "core/backend.hpp"
+#include "platform/perf_model.hpp"
+
+#include <vector>
+
+namespace feves {
+
+class VirtualBackend final : public FrameBackend {
+ public:
+  /// `active_refs` is the current reference-window size (it ramps up over
+  /// the first num_ref_frames inter-frames); `slowdown[i]` multiplies
+  /// device i's compute durations (PerturbationSchedule::factor).
+  VirtualBackend(const EncoderConfig& cfg, const PlatformTopology& topo,
+                 int active_refs, std::vector<double> slowdown)
+      : cfg_(cfg),
+        topo_(topo),
+        active_refs_(active_refs),
+        slowdown_(std::move(slowdown)) {
+    FEVES_CHECK(active_refs >= 1);
+    FEVES_CHECK(static_cast<int>(slowdown_.size()) == topo.num_devices());
+  }
+
+  OpPayload op_me(int device, RowInterval rows) override {
+    return {me_rows_ms(topo_.devices[device], cfg_, rows.length(),
+                       active_refs_) *
+                slowdown_[device],
+            {}};
+  }
+  OpPayload op_int(int device, RowInterval rows) override {
+    return {int_rows_ms(topo_.devices[device], cfg_, rows.length()) *
+                slowdown_[device],
+            {}};
+  }
+  OpPayload op_sme(int device, RowInterval rows) override {
+    return {sme_rows_ms(topo_.devices[device], cfg_, rows.length(),
+                        active_refs_) *
+                slowdown_[device],
+            {}};
+  }
+  OpPayload op_rstar(int device) override {
+    return {rstar_ms(topo_.devices[device], cfg_) * slowdown_[device], {}};
+  }
+
+  OpPayload op_xfer(int device, XferPurpose purpose,
+                    const std::vector<RowInterval>& fragments) override {
+    const DeviceSpec& dev = topo_.devices[device];
+    FEVES_CHECK(dev.is_accelerator());
+    int rows = 0;
+    for (const RowInterval& f : fragments) rows += f.length();
+    double bytes = 0.0;
+    switch (buffer_of(purpose)) {
+      case BufferKind::kCf:
+        bytes = rows * cf_row_bytes(cfg_);
+        break;
+      case BufferKind::kRf:
+        bytes = rows * rf_row_bytes(cfg_);
+        break;
+      case BufferKind::kSf:
+        bytes = rows * sf_row_bytes(cfg_);
+        break;
+      case BufferKind::kMv:
+        bytes = rows * mv_row_bytes(cfg_, active_refs_);
+        break;
+    }
+    const double ms = direction_of(purpose) == Direction::kHostToDevice
+                          ? dev.link.h2d_ms(bytes)
+                          : dev.link.d2h_ms(bytes);
+    return {ms, {}};
+  }
+
+ private:
+  EncoderConfig cfg_;
+  const PlatformTopology& topo_;
+  int active_refs_;
+  std::vector<double> slowdown_;
+};
+
+}  // namespace feves

@@ -1,0 +1,46 @@
+#include "graph/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace feves::graph {
+
+std::vector<int> ShortestPaths::path_to(int target) const {
+  FEVES_CHECK(target >= 0 && target < static_cast<int>(distance.size()));
+  if (distance[target] == kUnreachable) return {};
+  std::vector<int> path;
+  for (int node = target; node != -1; node = predecessor[node]) {
+    path.push_back(node);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPaths dijkstra(const Graph& g, int source) {
+  FEVES_CHECK(source >= 0 && source < g.num_nodes());
+  ShortestPaths out;
+  out.distance.assign(g.num_nodes(), kUnreachable);
+  out.predecessor.assign(g.num_nodes(), -1);
+  out.distance[source] = 0.0;
+
+  using Item = std::pair<double, int>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    const auto [dist, node] = heap.top();
+    heap.pop();
+    if (dist > out.distance[node]) continue;  // stale entry
+    for (const Edge& e : g.edges_from(node)) {
+      const double cand = dist + e.weight;
+      if (cand < out.distance[e.to]) {
+        out.distance[e.to] = cand;
+        out.predecessor[e.to] = node;
+        heap.emplace(cand, e.to);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace feves::graph

@@ -1,0 +1,52 @@
+// Dijkstra shortest path over a small directed weighted graph. The FEVES
+// scheduler uses it to select the device that hosts the R* modules
+// (MC+TQ+TQ^-1+DBL): nodes model "frame data resident on device d" states,
+// edges carry transfer-in + compute + transfer-out costs, and the cheapest
+// source→sink path names the winning device (paper Sec. III-B, citing [9]).
+#pragma once
+
+#include "common/check.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace feves::graph {
+
+struct Edge {
+  int to;
+  double weight;
+};
+
+class Graph {
+ public:
+  explicit Graph(int num_nodes) : adj_(num_nodes) {}
+
+  int num_nodes() const { return static_cast<int>(adj_.size()); }
+
+  void add_edge(int from, int to, double weight) {
+    FEVES_CHECK(from >= 0 && from < num_nodes());
+    FEVES_CHECK(to >= 0 && to < num_nodes());
+    FEVES_CHECK(weight >= 0.0);
+    adj_[from].push_back({to, weight});
+  }
+
+  const std::vector<Edge>& edges_from(int node) const { return adj_[node]; }
+
+ private:
+  std::vector<std::vector<Edge>> adj_;
+};
+
+struct ShortestPaths {
+  std::vector<double> distance;  ///< +inf when unreachable
+  std::vector<int> predecessor;  ///< -1 for source / unreachable
+
+  /// Reconstructs the node sequence source→target (empty if unreachable).
+  std::vector<int> path_to(int target) const;
+};
+
+/// Single-source Dijkstra; non-negative weights required (checked on insert).
+ShortestPaths dijkstra(const Graph& g, int source);
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+}  // namespace feves::graph

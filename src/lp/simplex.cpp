@@ -1,0 +1,282 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace feves::lp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense simplex tableau. Column layout: [decision | slack/surplus |
+/// artificial], final column is the RHS. One row per constraint plus the
+/// objective row kept separately as reduced costs.
+struct Tableau {
+  int rows = 0;
+  int cols = 0;  // variables only; RHS stored separately
+  std::vector<std::vector<double>> a;
+  std::vector<double> rhs;
+  std::vector<double> cost;     // current objective row (reduced costs)
+  double cost_rhs = 0.0;        // negative of current objective value
+  std::vector<int> basis;       // basis variable per row
+  std::vector<bool> blocked;    // columns barred from entering (phase-2
+                                // artificials: clamping their reduced cost
+                                // once is NOT enough — later pivots can turn
+                                // it negative again and re-admit them)
+
+  void pivot(int prow, int pcol) {
+    const double pv = a[prow][pcol];
+    FEVES_CHECK(std::abs(pv) > kEps);
+    const double inv = 1.0 / pv;
+    for (int j = 0; j < cols; ++j) a[prow][j] *= inv;
+    rhs[prow] *= inv;
+    a[prow][pcol] = 1.0;  // avoid drift
+    for (int i = 0; i < rows; ++i) {
+      if (i == prow) continue;
+      const double f = a[i][pcol];
+      if (std::abs(f) < kEps) {
+        a[i][pcol] = 0.0;
+        continue;
+      }
+      for (int j = 0; j < cols; ++j) a[i][j] -= f * a[prow][j];
+      a[i][pcol] = 0.0;
+      rhs[i] -= f * rhs[prow];
+    }
+    const double f = cost[pcol];
+    if (std::abs(f) > 0.0) {
+      for (int j = 0; j < cols; ++j) cost[j] -= f * a[prow][j];
+      cost[pcol] = 0.0;
+      cost_rhs -= f * rhs[prow];
+    }
+    basis[prow] = pcol;
+  }
+
+  /// Runs simplex iterations until optimal/unbounded/limit. Bland's rule.
+  SolveStatus iterate(int max_iters) {
+    for (int iter = 0; iter < max_iters; ++iter) {
+      // Entering: lowest-index unblocked column with negative reduced cost
+      // (Bland's rule).
+      int pcol = -1;
+      for (int j = 0; j < cols; ++j) {
+        if (!blocked.empty() && blocked[j]) continue;
+        if (cost[j] < -kEps) {
+          pcol = j;
+          break;
+        }
+      }
+      if (pcol < 0) return SolveStatus::kOptimal;
+
+      // Leaving: min ratio, ties by lowest basis variable index (Bland).
+      int prow = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < rows; ++i) {
+        if (a[i][pcol] > kEps) {
+          const double ratio = rhs[i] / a[i][pcol];
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (prow < 0 || basis[i] < basis[prow]))) {
+            best_ratio = ratio;
+            prow = i;
+          }
+        }
+      }
+      if (prow < 0) return SolveStatus::kUnbounded;
+      pivot(prow, pcol);
+    }
+    return SolveStatus::kIterationLimit;
+  }
+};
+
+}  // namespace
+
+int Problem::add_variable(std::string name, double objective_coeff) {
+  objective_.push_back(objective_coeff);
+  if (name.empty()) name = "x" + std::to_string(objective_.size() - 1);
+  names_.push_back(std::move(name));
+  return static_cast<int>(objective_.size()) - 1;
+}
+
+void Problem::set_objective(int var, double coeff) {
+  FEVES_CHECK(var >= 0 && var < num_variables());
+  objective_[var] = coeff;
+}
+
+int Problem::add_constraint(std::vector<Term> terms, Relation rel, double rhs) {
+  for (const Term& t : terms) {
+    FEVES_CHECK_MSG(t.var >= 0 && t.var < num_variables(),
+                    "constraint references unknown variable " << t.var);
+    FEVES_CHECK_MSG(std::isfinite(t.coeff), "non-finite coefficient");
+  }
+  FEVES_CHECK_MSG(std::isfinite(rhs), "non-finite rhs");
+  constraints_.push_back({std::move(terms), rel, rhs});
+  return static_cast<int>(constraints_.size()) - 1;
+}
+
+Solution solve(const Problem& p) {
+  const int n = p.num_variables();
+  const int m = p.num_constraints();
+
+  // Count auxiliary columns.
+  int num_slack = 0;
+  int num_artificial = 0;
+  for (const auto& c : p.constraints()) {
+    const bool rhs_neg = c.rhs < 0.0;
+    const Relation rel =
+        !rhs_neg ? c.rel
+                 : (c.rel == Relation::kLe
+                        ? Relation::kGe
+                        : (c.rel == Relation::kGe ? Relation::kLe : Relation::kEq));
+    if (rel != Relation::kEq) ++num_slack;
+    if (rel != Relation::kLe) ++num_artificial;
+  }
+
+  Tableau t;
+  t.rows = m;
+  t.cols = n + num_slack + num_artificial;
+  t.a.assign(m, std::vector<double>(t.cols, 0.0));
+  t.rhs.assign(m, 0.0);
+  t.basis.assign(m, -1);
+
+  int next_slack = n;
+  int next_art = n + num_slack;
+  std::vector<int> artificial_cols;
+
+  for (int i = 0; i < m; ++i) {
+    const Constraint& c = p.constraints()[i];
+    const double sign = c.rhs < 0.0 ? -1.0 : 1.0;
+    Relation rel = c.rel;
+    if (sign < 0.0) {
+      rel = rel == Relation::kLe ? Relation::kGe
+            : rel == Relation::kGe ? Relation::kLe
+                                   : Relation::kEq;
+    }
+    for (const Term& term : c.terms) t.a[i][term.var] += sign * term.coeff;
+    t.rhs[i] = sign * c.rhs;
+
+    if (rel == Relation::kLe) {
+      t.a[i][next_slack] = 1.0;
+      t.basis[i] = next_slack++;
+    } else if (rel == Relation::kGe) {
+      t.a[i][next_slack++] = -1.0;
+      t.a[i][next_art] = 1.0;
+      t.basis[i] = next_art;
+      artificial_cols.push_back(next_art++);
+    } else {
+      t.a[i][next_art] = 1.0;
+      t.basis[i] = next_art;
+      artificial_cols.push_back(next_art++);
+    }
+    // The slack index advanced only for kLe above; for kGe we advanced
+    // inline. (kEq uses no slack.)
+  }
+
+  const int max_iters = 200 * (t.cols + t.rows + 8);
+
+  // Phase 1: minimize the sum of artificial variables.
+  if (!artificial_cols.empty()) {
+    t.cost.assign(t.cols, 0.0);
+    t.cost_rhs = 0.0;
+    for (int col : artificial_cols) t.cost[col] = 1.0;
+    // Price out the artificial basis.
+    for (int i = 0; i < m; ++i) {
+      if (t.cost[t.basis[i]] != 0.0) {
+        for (int j = 0; j < t.cols; ++j) t.cost[j] -= t.a[i][j];
+        t.cost_rhs -= t.rhs[i];
+      }
+    }
+    const SolveStatus s1 = t.iterate(max_iters);
+    if (s1 == SolveStatus::kIterationLimit) return {SolveStatus::kIterationLimit, 0.0, {}};
+    const double phase1_obj = -t.cost_rhs;
+    if (phase1_obj > 1e-6) return {SolveStatus::kInfeasible, 0.0, {}};
+    // Drive remaining artificial variables out of the basis where possible.
+    for (int i = 0; i < m; ++i) {
+      if (t.basis[i] >= n + num_slack) {
+        int pcol = -1;
+        for (int j = 0; j < n + num_slack; ++j) {
+          if (std::abs(t.a[i][j]) > kEps) {
+            pcol = j;
+            break;
+          }
+        }
+        if (pcol >= 0) t.pivot(i, pcol);
+        // A degenerate all-zero row stays basic in the artificial at value 0;
+        // harmless for phase 2 because the column is forbidden below.
+      }
+    }
+  }
+
+  // Phase 2: original objective, artificial columns forbidden.
+  t.cost.assign(t.cols, 0.0);
+  t.cost_rhs = 0.0;
+  for (int j = 0; j < n; ++j) t.cost[j] = p.objective()[j];
+  for (int i = 0; i < m; ++i) {
+    const double cb = t.basis[i] < n ? p.objective()[t.basis[i]] : 0.0;
+    if (cb != 0.0) {
+      for (int j = 0; j < t.cols; ++j) t.cost[j] -= cb * t.a[i][j];
+      t.cost_rhs -= cb * t.rhs[i];
+    }
+  }
+  // Artificial columns are permanently barred from entering in phase 2.
+  if (!artificial_cols.empty()) {
+    t.blocked.assign(static_cast<std::size_t>(t.cols), false);
+    for (int col : artificial_cols) t.blocked[col] = true;
+  }
+
+  const SolveStatus s2 = t.iterate(max_iters);
+  if (s2 != SolveStatus::kOptimal) return {s2, 0.0, {}};
+
+  Solution sol;
+  sol.status = SolveStatus::kOptimal;
+  sol.values.assign(n, 0.0);
+  for (int i = 0; i < m; ++i) {
+    if (t.basis[i] < n) sol.values[t.basis[i]] = t.rhs[i];
+  }
+  sol.objective = 0.0;
+  for (int j = 0; j < n; ++j) sol.objective += p.objective()[j] * sol.values[j];
+  return sol;
+}
+
+double max_violation(const Problem& p, const std::vector<double>& values) {
+  FEVES_CHECK(static_cast<int>(values.size()) == p.num_variables());
+  double worst = 0.0;
+  for (double v : values) worst = std::max(worst, -v);
+  for (const Constraint& c : p.constraints()) {
+    double lhs = 0.0;
+    for (const Term& t : c.terms) lhs += t.coeff * values[t.var];
+    switch (c.rel) {
+      case Relation::kLe:
+        worst = std::max(worst, lhs - c.rhs);
+        break;
+      case Relation::kGe:
+        worst = std::max(worst, c.rhs - lhs);
+        break;
+      case Relation::kEq:
+        worst = std::max(worst, std::abs(lhs - c.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+std::string to_string(const Problem& p) {
+  std::string out = "min";
+  for (int j = 0; j < p.num_variables(); ++j) {
+    if (p.objective()[j] != 0.0) {
+      out += " + " + std::to_string(p.objective()[j]) + "*" +
+             p.variable_name(j);
+    }
+  }
+  out += "\n";
+  for (const Constraint& c : p.constraints()) {
+    for (const Term& t : c.terms) {
+      out += " + " + std::to_string(t.coeff) + "*" + p.variable_name(t.var);
+    }
+    out += c.rel == Relation::kLe ? " <= " : c.rel == Relation::kGe ? " >= " : " == ";
+    out += std::to_string(c.rhs) + "\n";
+  }
+  return out;
+}
+
+}  // namespace feves::lp

@@ -1,0 +1,77 @@
+// Dense two-phase simplex solver for the linear programs produced by the
+// FEVES load balancer (Algorithm 2 of the paper). Built from scratch: the
+// problems are tiny (tens of variables/constraints: three distribution
+// vectors over a handful of devices, plus the synchronization-point times),
+// so a dense tableau with Bland's anti-cycling rule is both simple and fast
+// — the paper reports the whole scheduling step under 2 ms, and this solver
+// is well inside that.
+//
+// Canonical form handled:   minimize  c'x
+//                           subject to  a_i'x {<=,=,>=} b_i,   x >= 0.
+#pragma once
+
+#include "common/check.hpp"
+
+#include <string>
+#include <vector>
+
+namespace feves::lp {
+
+enum class Relation { kLe, kEq, kGe };
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct Term {
+  int var;
+  double coeff;
+};
+
+struct Constraint {
+  std::vector<Term> terms;
+  Relation rel = Relation::kLe;
+  double rhs = 0.0;
+};
+
+class Problem {
+ public:
+  /// Adds a non-negative decision variable; returns its index.
+  int add_variable(std::string name = {}, double objective_coeff = 0.0);
+
+  /// Sets (replaces) the objective coefficient of `var`.
+  void set_objective(int var, double coeff);
+
+  /// Adds `sum(terms) rel rhs`; terms may repeat a variable (coefficients
+  /// are accumulated). Returns the constraint index.
+  int add_constraint(std::vector<Term> terms, Relation rel, double rhs);
+
+  int num_variables() const { return static_cast<int>(objective_.size()); }
+  int num_constraints() const { return static_cast<int>(constraints_.size()); }
+  const std::string& variable_name(int v) const { return names_[v]; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  const std::vector<double>& objective() const { return objective_; }
+
+ private:
+  std::vector<double> objective_;
+  std::vector<std::string> names_;
+  std::vector<Constraint> constraints_;
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;  ///< one entry per decision variable
+
+  bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+/// Solves `p` (minimization). Deterministic: same problem, same answer.
+Solution solve(const Problem& p);
+
+/// Maximum constraint violation of `values` (0 when feasible). Negative
+/// variable values count as violations too.
+double max_violation(const Problem& p, const std::vector<double>& values);
+
+/// Human-readable dump of the problem (debugging aid).
+std::string to_string(const Problem& p);
+
+}  // namespace feves::lp

@@ -1,0 +1,108 @@
+// Heterogeneous platform description (Fig 3 of the paper): a host multicore
+// CPU plus a set of accelerators behind asymmetric interconnect links, each
+// with one or two copy engines that bound how much communication can overlap
+// with kernel execution.
+//
+// Hardware substitution (see DESIGN.md §1): real CUDA devices are replaced
+// by device *descriptions* whose per-module throughputs and link bandwidths
+// are calibrated to the paper's testbed. The scheduler only ever consumed
+// measured times per MB row — it does so here too, fed either by the
+// discrete-event executor (virtual mode) or by host threads running the
+// actual kernels (real mode).
+#pragma once
+
+#include "common/check.hpp"
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+#include <string>
+#include <vector>
+
+namespace feves {
+
+enum class DeviceKind {
+  kCpu,          ///< the host multicore (no transfers needed)
+  kAccelerator,  ///< GPU-like device behind an interconnect link
+};
+
+/// Number of DMA engines: single overlaps kernels with transfers in one
+/// direction at a time; dual also overlaps H2D with D2H (paper Sec. III-A).
+enum class CopyEngines { kSingle = 1, kDual = 2 };
+
+/// Virtual-mode per-module processing rates. Units are "work units per
+/// millisecond" where the work unit is module-specific (see the cost
+/// functions in perf_model.hpp). Calibrated per device preset.
+struct ThroughputModel {
+  double me_ops_per_ms = 1.0;     ///< ME candidate-pixel comparisons / ms
+  double int_pix_per_ms = 1.0;    ///< interpolated output samples / ms
+  double sme_ops_per_ms = 1.0;    ///< SME candidate-pixel comparisons / ms
+  double rstar_pix_per_ms = 1.0;  ///< R* processed pixels / ms
+  double kernel_launch_ms = 0.0;  ///< fixed overhead per kernel invocation
+
+  /// GPU occupancy knee for the ME kernel, in search candidates per MB:
+  /// effective throughput = me_ops_per_ms * cands / (cands + knee). Small
+  /// search areas under-occupy wide devices, so ME cost grows sub-
+  /// quadratically with the SA edge (the paper's Fig 6(a) GPU curves fall
+  /// by ~3x, not 4x, per SA step). 0 disables the effect (CPUs).
+  double me_occupancy_cands = 0.0;
+};
+
+/// Interconnect link model for accelerators: latency plus direction-specific
+/// bandwidth (PCIe is asymmetric in practice; Algorithm 2 carries separate
+/// K^{*hd} and K^{*dh} parameters for exactly this reason).
+struct LinkModel {
+  double latency_ms = 0.0;
+  double h2d_bytes_per_ms = 1.0;
+  double d2h_bytes_per_ms = 1.0;
+
+  double h2d_ms(double bytes) const {
+    return latency_ms + bytes / h2d_bytes_per_ms;
+  }
+  double d2h_ms(double bytes) const {
+    return latency_ms + bytes / d2h_bytes_per_ms;
+  }
+};
+
+struct DeviceSpec {
+  std::string name;
+  DeviceKind kind = DeviceKind::kCpu;
+  int parallel_units = 1;  ///< CPU cores / a coarse SM-count stand-in
+  CopyEngines copy_engines = CopyEngines::kSingle;
+  ThroughputModel tput;
+  LinkModel link;  ///< meaningful only for accelerators
+
+  bool is_accelerator() const { return kind == DeviceKind::kAccelerator; }
+};
+
+/// The machine: device 0..n-1. By convention the CPU (if present) comes
+/// first; any device may host the R* modules (GPU-centric vs CPU-centric
+/// operation, paper Sec. III-B).
+struct PlatformTopology {
+  std::vector<DeviceSpec> devices;
+
+  int num_devices() const { return static_cast<int>(devices.size()); }
+  int num_accelerators() const {
+    int n = 0;
+    for (const auto& d : devices) n += d.is_accelerator() ? 1 : 0;
+    return n;
+  }
+  int cpu_index() const {
+    for (int i = 0; i < num_devices(); ++i) {
+      if (!devices[i].is_accelerator()) return i;
+    }
+    return -1;
+  }
+  void validate() const {
+    FEVES_CHECK_MSG(!devices.empty(), "topology has no devices");
+    for (const auto& d : devices) {
+      FEVES_CHECK_MSG(d.parallel_units >= 1, "device with no parallel units");
+      if (d.is_accelerator()) {
+        FEVES_CHECK_MSG(d.link.h2d_bytes_per_ms > 0 &&
+                            d.link.d2h_bytes_per_ms > 0,
+                        "accelerator " << d.name << " has no link bandwidth");
+      }
+    }
+  }
+};
+
+}  // namespace feves

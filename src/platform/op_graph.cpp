@@ -1,0 +1,159 @@
+#include "platform/op_graph.hpp"
+
+#include "common/timer.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace feves {
+
+namespace {
+
+/// Maps (device, resource) to a serial execution lane. Single-copy-engine
+/// devices fold H2D and D2H into one lane (the hardware has one DMA unit);
+/// dual-copy devices get independent lanes per direction.
+int lane_of(const PlatformTopology& topo, int device, OpResource res) {
+  FEVES_CHECK(device >= 0 && device < topo.num_devices());
+  const int base = device * 3;
+  switch (res) {
+    case OpResource::kCompute:
+      return base + 0;
+    case OpResource::kCopyH2D:
+      return base + 1;
+    case OpResource::kCopyD2H:
+      return topo.devices[device].copy_engines == CopyEngines::kDual
+                 ? base + 2
+                 : base + 1;
+  }
+  return base;
+}
+
+/// Builds per-lane FIFO queues in op insertion order.
+std::vector<std::vector<int>> build_lanes(const OpGraph& graph,
+                                          const PlatformTopology& topo) {
+  std::vector<std::vector<int>> lanes(
+      static_cast<std::size_t>(topo.num_devices()) * 3);
+  for (int i = 0; i < graph.size(); ++i) {
+    const Op& op = graph.ops()[i];
+    lanes[lane_of(topo, op.device, op.resource)].push_back(i);
+  }
+  return lanes;
+}
+
+}  // namespace
+
+ExecutionResult execute_virtual(const OpGraph& graph,
+                                const PlatformTopology& topo) {
+  topo.validate();
+  ExecutionResult result;
+  result.times.assign(graph.size(), OpTimes{});
+  if (graph.empty()) return result;
+
+  auto lanes = build_lanes(graph, topo);
+  std::vector<std::size_t> head(lanes.size(), 0);
+  std::vector<double> lane_free(lanes.size(), 0.0);
+  std::vector<bool> done(graph.size(), false);
+
+  int remaining = graph.size();
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+      while (head[lane] < lanes[lane].size()) {
+        const int id = lanes[lane][head[lane]];
+        const Op& op = graph.ops()[id];
+        double ready = lane_free[lane];
+        bool deps_done = true;
+        for (int d : op.deps) {
+          if (!done[d]) {
+            deps_done = false;
+            break;
+          }
+          ready = std::max(ready, result.times[d].end_ms);
+        }
+        if (!deps_done) break;  // FIFO: later ops in this lane must wait
+        result.times[id].start_ms = ready;
+        result.times[id].end_ms = ready + op.virtual_ms;
+        lane_free[lane] = result.times[id].end_ms;
+        done[id] = true;
+        ++head[lane];
+        --remaining;
+        progressed = true;
+      }
+    }
+    FEVES_CHECK_MSG(progressed,
+                    "op graph deadlocked: circular dependency across lanes");
+  }
+
+  for (const OpTimes& t : result.times) {
+    result.makespan_ms = std::max(result.makespan_ms, t.end_ms);
+  }
+  return result;
+}
+
+ExecutionResult execute_real(const OpGraph& graph,
+                             const PlatformTopology& topo) {
+  topo.validate();
+  ExecutionResult result;
+  result.times.assign(graph.size(), OpTimes{});
+  if (graph.empty()) return result;
+
+  auto lanes = build_lanes(graph, topo);
+  std::vector<bool> done(graph.size(), false);
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr first_error;
+  bool aborted = false;
+
+  Timer clock;
+  auto lane_worker = [&](const std::vector<int>& queue) {
+    for (int id : queue) {
+      const Op& op = graph.ops()[id];
+      {
+        std::unique_lock lock(mutex);
+        cv.wait(lock, [&] {
+          if (aborted) return true;
+          for (int d : op.deps) {
+            if (!done[d]) return false;
+          }
+          return true;
+        });
+        if (aborted) return;
+      }
+      const double t0 = clock.elapsed_ms();
+      if (op.work) {
+        try {
+          op.work();
+        } catch (...) {
+          std::lock_guard lock(mutex);
+          if (!first_error) first_error = std::current_exception();
+          aborted = true;
+          cv.notify_all();
+          return;
+        }
+      }
+      const double t1 = clock.elapsed_ms();
+      {
+        std::lock_guard lock(mutex);
+        result.times[id] = {t0, t1};
+        done[id] = true;
+      }
+      cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> workers;
+  for (const auto& queue : lanes) {
+    if (!queue.empty()) workers.emplace_back(lane_worker, std::cref(queue));
+  }
+  for (auto& w : workers) w.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (const OpTimes& t : result.times) {
+    result.makespan_ms = std::max(result.makespan_ms, t.end_ms);
+  }
+  return result;
+}
+
+}  // namespace feves

@@ -1,0 +1,81 @@
+// Operation graph: the unit of orchestration the Video Coding Manager emits
+// per frame (Fig 4 of the paper). Each op is a kernel or a DMA transfer,
+// bound to a device resource (compute queue or copy engine) with explicit
+// dependencies. Ops issued to the same resource execute FIFO in issue order
+// — the same semantics as CUDA streams, and the mechanism by which single-
+// vs dual-copy-engine concurrency (Sec. III-A) is expressed.
+//
+// The same graph runs on two executors:
+//   * execute_virtual — discrete-event simulation over the calibrated cost
+//     model (figure benches; no pixels touched);
+//   * execute_real    — host threads running the actual kernel closures with
+//     wall-clock measurement (correctness tests, examples).
+#pragma once
+
+#include "common/check.hpp"
+#include "platform/device.hpp"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace feves {
+
+enum class OpResource {
+  kCompute,  ///< the device's kernel queue
+  kCopyH2D,  ///< host-to-device engine
+  kCopyD2H,  ///< device-to-host engine (same engine as H2D when single-copy)
+};
+
+struct Op {
+  std::string label;
+  int device = 0;
+  OpResource resource = OpResource::kCompute;
+  double virtual_ms = 0.0;           ///< modelled duration (virtual mode)
+  std::function<void()> work;        ///< real-mode payload (may be empty)
+  std::vector<int> deps;             ///< op ids that must finish first
+};
+
+class OpGraph {
+ public:
+  /// Adds an op; `op.deps` must reference previously added ops.
+  int add(Op op) {
+    for (int d : op.deps) {
+      FEVES_CHECK_MSG(d >= 0 && d < static_cast<int>(ops_.size()),
+                      "op '" << op.label << "' depends on unknown op " << d);
+    }
+    FEVES_CHECK(op.virtual_ms >= 0.0);
+    ops_.push_back(std::move(op));
+    return static_cast<int>(ops_.size()) - 1;
+  }
+
+  const std::vector<Op>& ops() const { return ops_; }
+  int size() const { return static_cast<int>(ops_.size()); }
+  bool empty() const { return ops_.empty(); }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+struct OpTimes {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+};
+
+struct ExecutionResult {
+  std::vector<OpTimes> times;  ///< per op id
+  double makespan_ms = 0.0;    ///< max end time (the frame's tau_tot)
+};
+
+/// Discrete-event execution against the devices' cost/link models. Fully
+/// deterministic. Throws on a graph whose FIFO queues deadlock.
+ExecutionResult execute_virtual(const OpGraph& graph,
+                                const PlatformTopology& topo);
+
+/// Threaded execution running each op's `work` closure, measuring wall
+/// time. Resource FIFO order and dependencies are honoured exactly as in
+/// virtual mode.
+ExecutionResult execute_real(const OpGraph& graph,
+                             const PlatformTopology& topo);
+
+}  // namespace feves

@@ -1,0 +1,115 @@
+// Analytical cost model for virtual-mode execution and buffer-size
+// accounting for the transfer model. Work volumes follow directly from the
+// algorithm definitions (Sec. II):
+//   ME   — every MB probes (2R)^2 candidates x 256 pixels, per reference;
+//   INT  — 16 quarter-pel output samples per reference pixel, newest RF only;
+//   SME  — every partition block probes (2r+1)^2 quarter-pel candidates;
+//          all 7 modes together cover the MB 7 times (7*256 px), per ref;
+//   R*   — a constant number of passes over the frame (MC+TQ+TQ^-1+DBL).
+#pragma once
+
+#include "common/config.hpp"
+#include "platform/device.hpp"
+
+namespace feves {
+
+// ---- Work volumes (device-independent) -----------------------------------
+
+/// Effective work multiplier for searching `refs` reference frames. The
+/// marginal reference costs less than the first: the current-MB pixels are
+/// loaded once and stay register/cache resident while candidates from every
+/// reference stream through (calibrated to the paper's Fig 6(b) decline,
+/// where fps falls distinctly slower than 1/refs).
+inline double multi_ref_factor(int refs) {
+  constexpr double kMarginalRefCost = 0.55;
+  return 1.0 + kMarginalRefCost * (refs - 1);
+}
+
+/// ME candidate-pixel comparisons in one MB row.
+inline double me_row_ops(const EncoderConfig& cfg, int active_refs) {
+  const double candidates =
+      static_cast<double>(cfg.search_area_size()) * cfg.search_area_size();
+  return static_cast<double>(cfg.mb_width()) * candidates * 256.0 *
+         multi_ref_factor(active_refs);
+}
+
+/// Interpolated output samples in one MB row of the SF (16 phases).
+inline double int_row_pixels(const EncoderConfig& cfg) {
+  return static_cast<double>(cfg.width) * kMbSize * 16.0;
+}
+
+/// SME candidate-pixel comparisons in one MB row.
+inline double sme_row_ops(const EncoderConfig& cfg, int active_refs) {
+  const int probes = (2 * cfg.subpel_refine_range + 1) *
+                     (2 * cfg.subpel_refine_range + 1);
+  return static_cast<double>(cfg.mb_width()) * probes *
+         (kNumPartitionModes * 256.0) * multi_ref_factor(active_refs);
+}
+
+/// R* processed pixels for the whole frame (luma + chroma ~ 1.5x).
+inline double rstar_frame_pixels(const EncoderConfig& cfg) {
+  return static_cast<double>(cfg.width) * cfg.height * 1.5;
+}
+
+// ---- Buffer volumes (bytes per MB row) ------------------------------------
+
+/// Current-frame luma bytes per MB row (ME/SME read luma only on device).
+inline double cf_row_bytes(const EncoderConfig& cfg) {
+  return static_cast<double>(cfg.width) * kMbSize;
+}
+
+/// Reconstructed reference bytes per MB row (luma + 4:2:0 chroma).
+inline double rf_row_bytes(const EncoderConfig& cfg) {
+  return static_cast<double>(cfg.width) * kMbSize * 1.5;
+}
+
+/// Sub-pel frame bytes per MB row: 16 phase planes of luma.
+inline double sf_row_bytes(const EncoderConfig& cfg) {
+  return static_cast<double>(cfg.width) * kMbSize * 16.0;
+}
+
+/// Motion-vector payload per MB row: one (mv + cost) record per partition
+/// block of every mode — 41 per MB (see codec/partition.hpp) — per
+/// reference frame.
+inline double mv_row_bytes(const EncoderConfig& cfg, int active_refs) {
+  constexpr double kMotionEntriesPerMb = 41.0;
+  return static_cast<double>(cfg.mb_width()) * kMotionEntriesPerMb * 8.0 *
+         active_refs;
+}
+
+// ---- Virtual-mode durations ------------------------------------------------
+
+inline double me_rows_ms(const DeviceSpec& dev, const EncoderConfig& cfg,
+                         int rows, int active_refs) {
+  if (rows <= 0) return 0.0;
+  const double cands = static_cast<double>(cfg.search_area_size()) *
+                       cfg.search_area_size();
+  const double occupancy =
+      dev.tput.me_occupancy_cands > 0.0
+          ? cands / (cands + dev.tput.me_occupancy_cands)
+          : 1.0;
+  return dev.tput.kernel_launch_ms +
+         rows * me_row_ops(cfg, active_refs) /
+             (dev.tput.me_ops_per_ms * occupancy);
+}
+
+inline double int_rows_ms(const DeviceSpec& dev, const EncoderConfig& cfg,
+                          int rows) {
+  if (rows <= 0) return 0.0;
+  return dev.tput.kernel_launch_ms +
+         rows * int_row_pixels(cfg) / dev.tput.int_pix_per_ms;
+}
+
+inline double sme_rows_ms(const DeviceSpec& dev, const EncoderConfig& cfg,
+                          int rows, int active_refs) {
+  if (rows <= 0) return 0.0;
+  return dev.tput.kernel_launch_ms +
+         rows * sme_row_ops(cfg, active_refs) / dev.tput.sme_ops_per_ms;
+}
+
+inline double rstar_ms(const DeviceSpec& dev, const EncoderConfig& cfg) {
+  return dev.tput.kernel_launch_ms +
+         rstar_frame_pixels(cfg) / dev.tput.rstar_pix_per_ms;
+}
+
+}  // namespace feves

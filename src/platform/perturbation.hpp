@@ -1,0 +1,49 @@
+// Deterministic stand-in for the uncontrolled performance events of Fig 7
+// ("a sudden change in the system performance occurred, e.g. other processes
+// started running"): on chosen frames, a device's effective compute
+// throughput drops by a slowdown factor. The Performance Characterization
+// sees only the resulting longer measured times and must recover within a
+// frame, exactly as the paper demonstrates.
+#pragma once
+
+#include "common/check.hpp"
+
+#include <vector>
+
+namespace feves {
+
+struct Perturbation {
+  int device = 0;
+  int frame_begin = 0;  ///< first affected frame (inclusive)
+  int frame_end = 0;    ///< last affected frame (exclusive)
+  double slowdown = 1.0;  ///< duration multiplier, > 1 slows the device
+};
+
+class PerturbationSchedule {
+ public:
+  PerturbationSchedule() = default;
+
+  void add(const Perturbation& p) {
+    FEVES_CHECK(p.slowdown > 0.0);
+    FEVES_CHECK(p.frame_begin <= p.frame_end);
+    events_.push_back(p);
+  }
+
+  /// Combined compute-duration multiplier for `device` on `frame`.
+  double factor(int device, int frame) const {
+    double f = 1.0;
+    for (const Perturbation& p : events_) {
+      if (p.device == device && frame >= p.frame_begin && frame < p.frame_end) {
+        f *= p.slowdown;
+      }
+    }
+    return f;
+  }
+
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<Perturbation> events_;
+};
+
+}  // namespace feves

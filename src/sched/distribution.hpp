@@ -1,0 +1,116 @@
+// Distribution vectors — the load balancer's output (Algorithm 2): how many
+// MB rows of ME (m), INT (l) and SME (s) each device processes, the extra
+// shared-buffer transfers (∆m, ∆l from MS_BOUNDS/LS_BOUNDS), the SF
+// completion split (σ now / σ^r deferred to the next frame), and the device
+// hosting the R* block.
+#pragma once
+
+#include "common/check.hpp"
+#include "common/config.hpp"
+
+#include <numeric>
+#include <vector>
+
+namespace feves {
+
+/// Half-open MB-row interval [begin, end).
+struct RowInterval {
+  int begin = 0;
+  int end = 0;
+  int length() const { return end - begin; }
+  bool empty() const { return end <= begin; }
+};
+
+/// Rows in `a` not covered by `b` (both intervals over the same axis).
+/// Returns up to two fragments (above and below b), mirroring Fig 5's two
+/// extra CF/SF transfers.
+inline std::vector<RowInterval> interval_difference(RowInterval a,
+                                                    RowInterval b) {
+  std::vector<RowInterval> out;
+  if (a.empty()) return out;
+  if (b.empty() || b.end <= a.begin || b.begin >= a.end) {
+    out.push_back(a);
+    return out;
+  }
+  if (a.begin < b.begin) out.push_back({a.begin, b.begin});
+  if (b.end < a.end) out.push_back({b.end, a.end});
+  return out;
+}
+
+inline int interval_difference_rows(RowInterval a, RowInterval b) {
+  int rows = 0;
+  for (const RowInterval& f : interval_difference(a, b)) rows += f.length();
+  return rows;
+}
+
+/// Converts a per-device row-count vector into contiguous intervals in
+/// device-index order (the offsets of Fig 5: device i's slice starts where
+/// device i-1's ends).
+inline std::vector<RowInterval> intervals_of(const std::vector<int>& rows) {
+  std::vector<RowInterval> out;
+  out.reserve(rows.size());
+  int at = 0;
+  for (int r : rows) {
+    FEVES_CHECK(r >= 0);
+    out.push_back({at, at + r});
+    at += r;
+  }
+  return out;
+}
+
+/// MB rows of vertical halo SME needs around its slice in the SF: sub-pel
+/// refinement around an FSBM vector reads up to search_range + 1 pixel rows
+/// past the slice boundary (Fig 5's LS_BOUNDS accounts for it).
+inline int sme_sf_halo_rows(const EncoderConfig& cfg) {
+  return ceil_div(cfg.search_range + 2, kMbSize);
+}
+
+/// Clips and extends `iv` by `halo` rows on both sides within [0, n).
+inline RowInterval halo_extend(RowInterval iv, int halo, int n) {
+  if (iv.empty()) return iv;
+  return {iv.begin - halo < 0 ? 0 : iv.begin - halo,
+          iv.end + halo > n ? n : iv.end + halo};
+}
+
+struct Distribution {
+  std::vector<int> me;    ///< m_i: ME rows per device
+  std::vector<int> intp;  ///< l_i: INT rows per device
+  std::vector<int> sme;   ///< s_i: SME rows per device
+
+  std::vector<int> delta_m;  ///< ∆m_i: extra CF/MV rows for SME (eq. 16)
+  std::vector<int> delta_l;  ///< ∆l_i: extra SF rows for SME (eq. 17)
+  std::vector<int> sigma;    ///< σ_i: SF completion rows sent this frame
+  std::vector<int> sigma_r;  ///< σ^r_i: SF rows deferred to the next frame
+
+  int rstar_device = 0;
+
+  // LP estimates of the synchronization points (Fig 4), for reporting.
+  double tau1_ms = 0.0;
+  double tau2_ms = 0.0;
+  double tau_tot_ms = 0.0;
+
+  int num_devices() const { return static_cast<int>(me.size()); }
+
+  /// Conservation invariant (eq. 1): every module's rows sum to N.
+  void check_conservation(int total_rows) const {
+    auto sum = [](const std::vector<int>& v) {
+      return std::accumulate(v.begin(), v.end(), 0);
+    };
+    FEVES_CHECK_MSG(sum(me) == total_rows,
+                    "ME distribution sums to " << sum(me) << " != "
+                                               << total_rows);
+    FEVES_CHECK_MSG(sum(intp) == total_rows,
+                    "INT distribution sums to " << sum(intp) << " != "
+                                                << total_rows);
+    FEVES_CHECK_MSG(sum(sme) == total_rows,
+                    "SME distribution sums to " << sum(sme) << " != "
+                                                << total_rows);
+  }
+};
+
+/// Rounds a non-negative fractional allocation to integers preserving the
+/// exact total (largest-remainder / Hamilton method; deterministic ties by
+/// lower index). Exposed for testing.
+std::vector<int> round_preserving_sum(const std::vector<double>& x, int total);
+
+}  // namespace feves

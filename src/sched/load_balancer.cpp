@@ -1,0 +1,402 @@
+#include "sched/load_balancer.hpp"
+
+#include "graph/dijkstra.hpp"
+#include "lp/simplex.hpp"
+#include "common/log.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace feves {
+
+namespace {
+
+double kx(const DeviceParams& p, BufferKind b, Direction d) {
+  return p.k_xfer[static_cast<int>(b)][static_cast<int>(d)];
+}
+
+}  // namespace
+
+std::vector<int> round_preserving_sum(const std::vector<double>& x,
+                                      int total) {
+  const int n = static_cast<int>(x.size());
+  std::vector<int> out(n, 0);
+  std::vector<std::pair<double, int>> remainder(n);
+  int assigned = 0;
+  for (int i = 0; i < n; ++i) {
+    FEVES_CHECK_MSG(x[i] >= -1e-9, "negative allocation " << x[i]);
+    const double v = std::max(0.0, x[i]);
+    out[i] = static_cast<int>(v);
+    assigned += out[i];
+    remainder[i] = {v - out[i], i};
+  }
+  FEVES_CHECK_MSG(assigned <= total,
+                  "allocation " << assigned << " exceeds total " << total);
+  // Hand out the leftover rows to the largest fractional parts; ties break
+  // to the lower device index for determinism.
+  std::sort(remainder.begin(), remainder.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (int k = 0; k < total - assigned; ++k) {
+    out[remainder[k % n].second] += 1;
+  }
+  return out;
+}
+
+LoadBalancer::LoadBalancer(const EncoderConfig& cfg,
+                           const PlatformTopology& topo,
+                           LoadBalancerOptions opts)
+    : cfg_(cfg), topo_(topo), opts_(opts) {
+  cfg_.validate();
+  topo_.validate();
+}
+
+Distribution LoadBalancer::equidistant(int rstar_device) const {
+  const int n = topo_.num_devices();
+  const int rows = cfg_.num_mb_rows();
+  Distribution d;
+  d.rstar_device = rstar_device;
+  std::vector<double> equal(n, static_cast<double>(rows) / n);
+  d.me = round_preserving_sum(equal, rows);
+  d.intp = d.me;
+  d.sme = d.me;
+  d.delta_m.assign(n, 0);
+  d.delta_l.assign(n, 0);
+  d.sigma.assign(n, 0);
+  d.sigma_r.assign(n, 0);
+  // Equidistant mode transfers the full SF completion within the frame.
+  for (int i = 0; i < n; ++i) {
+    if (topo_.devices[i].is_accelerator() && i != rstar_device) {
+      d.sigma[i] = rows - d.intp[i];
+    }
+  }
+  // ∆ bounds still apply: identical slices make them zero by construction,
+  // but rounding can shift interval edges by a row.
+  auto me_iv = intervals_of(d.me);
+  auto l_iv = intervals_of(d.intp);
+  auto s_iv = intervals_of(d.sme);
+  for (int i = 0; i < n; ++i) {
+    if (!topo_.devices[i].is_accelerator()) continue;
+    d.delta_m[i] = interval_difference_rows(s_iv[i], me_iv[i]);
+    d.delta_l[i] = interval_difference_rows(s_iv[i], l_iv[i]);
+  }
+  d.check_conservation(rows);
+  return d;
+}
+
+int LoadBalancer::select_rstar_device(const PerfCharacterization& perf) const {
+  const int n = topo_.num_devices();
+  // Before characterization, default to the first accelerator (GPU-centric,
+  // the paper's common case), falling back to the CPU.
+  bool any_rstar = false;
+  for (int i = 0; i < n; ++i) {
+    if (perf.params(i).t_rstar_ms > 0) any_rstar = true;
+  }
+  if (!any_rstar) {
+    for (int i = 0; i < n; ++i) {
+      if (topo_.devices[i].is_accelerator()) return i;
+    }
+    return 0;
+  }
+
+  // Graph: source(0) -> device node (1+i) -> sink (1+n). The in-edge
+  // carries the data staging cost (missing SF/CF/MV for MC on an
+  // accelerator), the out-edge carries R* compute plus shipping the
+  // reconstructed RF home.
+  const int rows = cfg_.num_mb_rows();
+  graph::Graph g(n + 2);
+  const int sink = n + 1;
+  for (int i = 0; i < n; ++i) {
+    const DeviceParams& p = perf.params(i);
+    if (p.t_rstar_ms <= 0) continue;  // never measured: not a candidate
+    double stage_in = 0.0;
+    double ship_out = 0.0;
+    if (topo_.devices[i].is_accelerator()) {
+      // Rough staging volume: the MC inputs it would not already hold.
+      stage_in = rows * 0.5 *
+                 (kx(p, BufferKind::kCf, Direction::kHostToDevice) +
+                  kx(p, BufferKind::kSf, Direction::kHostToDevice));
+      ship_out = rows * kx(p, BufferKind::kRf, Direction::kDeviceToHost);
+    }
+    g.add_edge(0, 1 + i, stage_in);
+    g.add_edge(1 + i, sink, p.t_rstar_ms + ship_out);
+  }
+  const auto sp = graph::dijkstra(g, 0);
+  if (sp.distance[sink] == graph::kUnreachable) {
+    return topo_.num_accelerators() > 0 ? 1 : 0;
+  }
+  const auto path = sp.path_to(sink);
+  FEVES_CHECK(path.size() == 3);
+  return path[1] - 1;
+}
+
+Distribution LoadBalancer::proportional(const PerfCharacterization& perf,
+                                        const std::vector<int>& sigma_r_prev,
+                                        int force_rstar) const {
+  FEVES_CHECK(perf.initialized());
+  const int n = topo_.num_devices();
+  const int rows = cfg_.num_mb_rows();
+
+  auto split_by = [&](auto speed_of) {
+    std::vector<double> share(n);
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double k = speed_of(perf.params(i));
+      share[i] = k > 0 ? 1.0 / k : 0.0;
+      total += share[i];
+    }
+    FEVES_CHECK_MSG(total > 0, "no device has a known speed");
+    for (double& s : share) s = s / total * rows;
+    return round_preserving_sum(share, rows);
+  };
+
+  Distribution d;
+  d.rstar_device =
+      force_rstar >= 0 ? force_rstar : select_rstar_device(perf);
+  FEVES_CHECK(d.rstar_device < n);
+  d.me = split_by([](const DeviceParams& p) { return p.k_me; });
+  d.intp = split_by([](const DeviceParams& p) { return p.k_int; });
+  d.sme = split_by([](const DeviceParams& p) { return p.k_sme; });
+  d.delta_m.assign(n, 0);
+  d.delta_l.assign(n, 0);
+  d.sigma.assign(n, 0);
+  d.sigma_r.assign(n, 0);
+  (void)sigma_r_prev;
+  finalize_bounds(&d, perf);
+  d.check_conservation(rows);
+  return d;
+}
+
+Distribution LoadBalancer::balance(const PerfCharacterization& perf,
+                                   const std::vector<int>& sigma_r_prev,
+                                   int force_rstar) const {
+  FEVES_CHECK_MSG(perf.initialized(),
+                  "balance() before performance characterization");
+  const int n = topo_.num_devices();
+  const int rows = cfg_.num_mb_rows();
+  FEVES_CHECK(static_cast<int>(sigma_r_prev.size()) == n);
+
+  const int rstar =
+      force_rstar >= 0 ? force_rstar : select_rstar_device(perf);
+  FEVES_CHECK(rstar < n);
+
+  // Warm start for the ∆ fix-point: proportional distribution.
+  Distribution current = proportional(perf, sigma_r_prev, rstar);
+  current.rstar_device = rstar;
+  finalize_bounds(&current, perf);
+
+  for (int iter = 0; iter < opts_.max_delta_iterations; ++iter) {
+    lp::Problem lp;
+    const int v_tau1 = lp.add_variable("tau1");
+    const int v_tau2 = lp.add_variable("tau2");
+    const int v_tautot = lp.add_variable("tautot", 1.0);
+    std::vector<int> v_m(n), v_l(n), v_s(n), v_sig(n, -1), v_sigr(n, -1);
+    for (int i = 0; i < n; ++i) {
+      v_m[i] = lp.add_variable("m" + std::to_string(i));
+      v_l[i] = lp.add_variable("l" + std::to_string(i));
+      v_s[i] = lp.add_variable("s" + std::to_string(i));
+    }
+
+    // (1) conservation.
+    {
+      std::vector<lp::Term> tm, tl, ts;
+      for (int i = 0; i < n; ++i) {
+        tm.push_back({v_m[i], 1.0});
+        tl.push_back({v_l[i], 1.0});
+        ts.push_back({v_s[i], 1.0});
+      }
+      lp.add_constraint(tm, lp::Relation::kEq, rows);
+      lp.add_constraint(tl, lp::Relation::kEq, rows);
+      lp.add_constraint(ts, lp::Relation::kEq, rows);
+    }
+    // τ1 ≤ τ2 ≤ τtot ordering.
+    lp.add_constraint({{v_tau1, 1.0}, {v_tau2, -1.0}}, lp::Relation::kLe, 0.0);
+    lp.add_constraint({{v_tau2, 1.0}, {v_tautot, -1.0}}, lp::Relation::kLe,
+                      0.0);
+
+    const double N = rows;
+    for (int i = 0; i < n; ++i) {
+      const DeviceParams& p = perf.params(i);
+      const DeviceSpec& dev = topo_.devices[i];
+      const double dm = current.delta_m[i];
+      const double dl = current.delta_l[i];
+
+      // Combined kernel budget in τ1 (paper eq. 2 for CPUs; Fig 4 lanes for
+      // accelerators).
+      lp.add_constraint({{v_m[i], p.k_me}, {v_l[i], p.k_int}, {v_tau1, -1.0}},
+                        lp::Relation::kLe, 0.0);
+      // SME kernel between τ1 and τ2 (eq. 3 / eq. 13 compute part).
+      lp.add_constraint({{v_s[i], p.k_sme}, {v_tau1, 1.0}, {v_tau2, -1.0}},
+                        lp::Relation::kLe, 0.0);
+
+      if (!dev.is_accelerator()) {
+        if (i == rstar) {
+          // CPU-centric: R* runs on the host after τ2 (needs no transfers).
+          lp.add_constraint({{v_tau2, 1.0}, {v_tautot, -1.0}},
+                            lp::Relation::kLe, -p.t_rstar_ms);
+        }
+        continue;
+      }
+
+      const double cf_hd = kx(p, BufferKind::kCf, Direction::kHostToDevice);
+      const double rf_hd = kx(p, BufferKind::kRf, Direction::kHostToDevice);
+      const double rf_dh = kx(p, BufferKind::kRf, Direction::kDeviceToHost);
+      const double sf_hd = kx(p, BufferKind::kSf, Direction::kHostToDevice);
+      const double sf_dh = kx(p, BufferKind::kSf, Direction::kDeviceToHost);
+      const double mv_hd = kx(p, BufferKind::kMv, Direction::kHostToDevice);
+      const double mv_dh = kx(p, BufferKind::kMv, Direction::kDeviceToHost);
+
+      if (i == rstar) {
+        // --- Selected accelerator (GPU1), eqs. (4)-(9) ---
+        // Chain: CF in -> ME -> MV out.
+        lp.add_constraint({{v_m[i], cf_hd + p.k_me + mv_dh}, {v_tau1, -1.0}},
+                          lp::Relation::kLe, 0.0);
+        // Chain: CF in -> ME -> INT -> SF out.
+        lp.add_constraint({{v_m[i], cf_hd + p.k_me},
+                           {v_l[i], p.k_int + sf_dh},
+                           {v_tau1, -1.0}},
+                          lp::Relation::kLe, 0.0);
+        // Copy-engine budget in τ1: CF in, ∆m CF in, SF out, MV out.
+        lp.add_constraint({{v_m[i], cf_hd + mv_dh},
+                           {v_l[i], sf_dh},
+                           {v_tau1, -1.0}},
+                          lp::Relation::kLe, -dm * cf_hd);
+        // (7): SME with its missing inputs.
+        lp.add_constraint({{v_s[i], p.k_sme}, {v_tau1, 1.0}, {v_tau2, -1.0}},
+                          lp::Relation::kLe, -(dl * sf_hd + dm * mv_hd));
+        // (8): τ1→τ2 copy-engine budget incl. the MC prefetch of the
+        // remaining CF and SF: (N-m-∆m)cf + (N-l-∆l)sf.
+        lp.add_constraint({{v_m[i], -cf_hd},
+                           {v_l[i], -sf_hd},
+                           {v_tau1, 1.0},
+                           {v_tau2, -1.0}},
+                          lp::Relation::kLe,
+                          -(dl * sf_hd + dm * mv_hd) - (N - dm) * cf_hd -
+                              (N - dl) * sf_hd);
+        // (9): missing SME MVs in, R*, RF back.
+        lp.add_constraint({{v_s[i], -mv_hd}, {v_tau2, 1.0}, {v_tautot, -1.0}},
+                          lp::Relation::kLe,
+                          -(N * mv_hd + p.t_rstar_ms + N * rf_dh));
+      } else {
+        // --- Other accelerators (GPUi), eqs. (10)-(15) ---
+        const double sr_prev = sigma_r_prev[i];
+        // (10): RF in -> CF in -> ME -> MV out.
+        lp.add_constraint({{v_m[i], cf_hd + p.k_me + mv_dh}, {v_tau1, -1.0}},
+                          lp::Relation::kLe, -N * rf_hd);
+        // (11): RF in, kernels, SF out.
+        lp.add_constraint({{v_m[i], cf_hd + p.k_me},
+                           {v_l[i], p.k_int + sf_dh},
+                           {v_tau1, -1.0}},
+                          lp::Relation::kLe, -N * rf_hd);
+        // (12): copy-engine budget in τ1 incl. deferred SF remainder σ^{r-1}.
+        lp.add_constraint({{v_m[i], cf_hd + mv_dh},
+                           {v_l[i], sf_dh},
+                           {v_tau1, -1.0}},
+                          lp::Relation::kLe,
+                          -(N * rf_hd + dm * cf_hd + sr_prev * sf_hd));
+        // (13): SME with inputs and MV return.
+        lp.add_constraint({{v_s[i], p.k_sme + mv_dh},
+                           {v_tau1, 1.0},
+                           {v_tau2, -1.0}},
+                          lp::Relation::kLe, -(dl * sf_hd + dm * mv_hd));
+
+        // (14)-(15) linearized: σ + σ^r + l = N − ∆l; σ·K^{sfhd} ≤ τtot−τ2.
+        v_sig[i] = lp.add_variable("sig" + std::to_string(i));
+        v_sigr[i] = lp.add_variable("sigr" + std::to_string(i),
+                                    opts_.sigma_epsilon);
+        lp.add_constraint(
+            {{v_sig[i], 1.0}, {v_sigr[i], 1.0}, {v_l[i], 1.0}},
+            lp::Relation::kEq, N - dl);
+        lp.add_constraint(
+            {{v_sig[i], sf_hd}, {v_tau2, 1.0}, {v_tautot, -1.0}},
+            lp::Relation::kLe, 0.0);
+        if (!opts_.enable_sf_deferral) {
+          lp.add_constraint({{v_sigr[i], 1.0}}, lp::Relation::kEq, 0.0);
+        }
+      }
+    }
+
+    const lp::Solution sol = lp::solve(lp);
+    if (!sol.optimal()) {
+      FEVES_WARN("load_balancer",
+                 "LP not optimal (status " << static_cast<int>(sol.status)
+                                           << "); keeping previous split");
+      break;
+    }
+
+    Distribution next;
+    next.rstar_device = rstar;
+    std::vector<double> fm(n), fl(n), fs(n);
+    for (int i = 0; i < n; ++i) {
+      fm[i] = sol.values[v_m[i]];
+      fl[i] = sol.values[v_l[i]];
+      fs[i] = sol.values[v_s[i]];
+    }
+    next.me = round_preserving_sum(fm, rows);
+    next.intp = round_preserving_sum(fl, rows);
+    next.sme = round_preserving_sum(fs, rows);
+    next.delta_m.assign(n, 0);
+    next.delta_l.assign(n, 0);
+    next.sigma.assign(n, 0);
+    next.sigma_r.assign(n, 0);
+    next.tau1_ms = sol.values[v_tau1];
+    next.tau2_ms = sol.values[v_tau2];
+    next.tau_tot_ms = sol.values[v_tautot];
+    finalize_bounds(&next, perf);
+
+    const bool converged = next.delta_m == current.delta_m &&
+                           next.delta_l == current.delta_l &&
+                           next.me == current.me && next.sme == current.sme;
+    current = std::move(next);
+    if (converged) break;
+  }
+
+  current.check_conservation(rows);
+  return current;
+}
+
+void LoadBalancer::finalize_bounds(Distribution* dist,
+                                   const PerfCharacterization& perf) const {
+  const int n = topo_.num_devices();
+  const int rows = cfg_.num_mb_rows();
+  dist->delta_m.assign(n, 0);
+  dist->delta_l.assign(n, 0);
+  dist->sigma.assign(n, 0);
+  dist->sigma_r.assign(n, 0);
+
+  const auto me_iv = intervals_of(dist->me);
+  const auto l_iv = intervals_of(dist->intp);
+  const auto s_iv = intervals_of(dist->sme);
+
+  for (int i = 0; i < n; ++i) {
+    if (!topo_.devices[i].is_accelerator()) continue;
+    // (16) MS_BOUNDS: SME rows whose CF/MVs were produced elsewhere.
+    dist->delta_m[i] = interval_difference_rows(s_iv[i], me_iv[i]);
+    // (17) LS_BOUNDS: SME rows whose SF slice was interpolated elsewhere,
+    // halo-extended for the sub-pel search margin.
+    const RowInterval sme_need =
+        halo_extend(s_iv[i], sme_sf_halo_rows(cfg_), rows);
+    int dl = 0;
+    for (const RowInterval& f : interval_difference(sme_need, l_iv[i])) {
+      dl += f.length();
+    }
+    dist->delta_l[i] = dl;
+
+    if (i == dist->rstar_device) continue;  // GPU1 completes SF in-frame
+    const int remaining = rows - dist->intp[i] - dist->delta_l[i];
+    if (remaining <= 0) continue;
+    const double sf_hd =
+        kx(perf.params(i), BufferKind::kSf, Direction::kHostToDevice);
+    const double slack = std::max(0.0, dist->tau_tot_ms - dist->tau2_ms);
+    int fit = remaining;
+    if (opts_.enable_sf_deferral && sf_hd > 0) {
+      fit = std::min(remaining, static_cast<int>(slack / sf_hd));
+    }
+    dist->sigma[i] = fit;
+    dist->sigma_r[i] = remaining - fit;
+  }
+}
+
+}  // namespace feves

@@ -1,0 +1,81 @@
+// Load Balancing for CPU+GPU inter-loop video encoding — the paper's
+// Algorithm 2. Distributes MB rows of ME/INT/SME over all devices and maps
+// the R* block to one device, minimizing the total inter-frame time τtot
+// under communication-aware constraints, via linear programming over the
+// measured Performance Characterization.
+//
+// Formulation notes (vs. the paper's listing):
+//  * The MIN of eq. (14) is linearized exactly: σ_i and σ_i^r become LP
+//    variables with σ_i + σ_i^r + l_i = N − ∆l_i, σ_i·K^{sfhd} ≤ τtot − τ2,
+//    and a tiny objective weight ε·Σσ_i^r that pushes deferral to the
+//    minimum the slack allows.
+//  * MS_BOUNDS (16) / LS_BOUNDS (17) make the problem nonlinear; like the
+//    paper we iterate: solve the LP with ∆ fixed → recompute the bounds
+//    from the new integer distributions → re-solve until the ∆ vectors
+//    stabilize (a handful of iterations).
+//  * Kernels on one device serialize (Fig 4 shows ME and INT back to back
+//    on each device's kernel lane), so the per-device compute constraint is
+//    the combined m_i·K^m + l_i·K^l ≤ τ1 — this matches both the CPU
+//    constraint (2) and the discrete-event executor's semantics.
+#pragma once
+
+#include "common/config.hpp"
+#include "platform/device.hpp"
+#include "sched/distribution.hpp"
+#include "sched/perf_char.hpp"
+
+namespace feves {
+
+struct LoadBalancerOptions {
+  /// σ/σ^r SF-completion deferral (Fig 5). Disabling it forces the full SF
+  /// remainder to transfer within the current frame — the ablation knob.
+  bool enable_sf_deferral = true;
+  /// Fix-point iterations over MS_BOUNDS/LS_BOUNDS.
+  int max_delta_iterations = 4;
+  /// Objective weight on deferred SF rows (must stay << 1/N so it never
+  /// trades against τtot).
+  double sigma_epsilon = 1e-5;
+};
+
+class LoadBalancer {
+ public:
+  LoadBalancer(const EncoderConfig& cfg, const PlatformTopology& topo,
+               LoadBalancerOptions opts = {});
+
+  /// Equidistant split of every module across all devices (Algorithm 1,
+  /// line 3 — the initialization frame, and the related-work multi-GPU
+  /// baseline).
+  Distribution equidistant(int rstar_device) const;
+
+  /// Per-module speed-proportional split (the synchronous per-module
+  /// balancing of the authors' earlier work [9], used as a baseline).
+  /// `force_rstar` >= 0 pins the R* device instead of selecting it.
+  Distribution proportional(const PerfCharacterization& perf,
+                            const std::vector<int>& sigma_r_prev,
+                            int force_rstar = -1) const;
+
+  /// Algorithm 2: LP-based distribution. `sigma_r_prev` carries the SF rows
+  /// deferred from the previous frame (σ^{r-1}); pass zeros for the first
+  /// balanced frame. Requires perf.initialized(). `force_rstar` >= 0 pins
+  /// the R* device (CPU-centric vs GPU-centric operation, Sec. III-B).
+  Distribution balance(const PerfCharacterization& perf,
+                       const std::vector<int>& sigma_r_prev,
+                       int force_rstar = -1) const;
+
+  /// R* device selection: cheapest transfer-in + compute + transfer-out
+  /// path, found with Dijkstra over the device graph (Sec. III-B, [9]).
+  int select_rstar_device(const PerfCharacterization& perf) const;
+
+  const PlatformTopology& topology() const { return topo_; }
+
+ private:
+  /// Recomputes ∆m/∆l/σ/σ^r from the integer distributions.
+  void finalize_bounds(Distribution* dist,
+                       const PerfCharacterization& perf) const;
+
+  EncoderConfig cfg_;
+  PlatformTopology topo_;
+  LoadBalancerOptions opts_;
+};
+
+}  // namespace feves

@@ -1,0 +1,80 @@
+// On-the-fly Performance Characterization (Algorithm 1, lines 5-6 and 10).
+// After each frame, measured kernel and transfer times are folded into
+// per-device parameters expressed in *time per MB row* — exactly the K
+// inputs of the paper's Algorithm 2:
+//   K^m, K^l, K^s            — ME / INT / SME compute speed
+//   K^{cf,rf,sf,mv x hd,dh}  — per-buffer transfer speed per direction
+//   T^{R*}                   — whole-frame R* time
+// An exponentially weighted moving average tracks drifting platform state
+// (the paper stresses non-dedicated systems whose performance fluctuates).
+#pragma once
+
+#include "common/check.hpp"
+
+#include <vector>
+
+namespace feves {
+
+enum class ComputeModule { kMe = 0, kInt = 1, kSme = 2 };
+enum class BufferKind { kCf = 0, kRf = 1, kSf = 2, kMv = 3 };
+enum class Direction { kHostToDevice = 0, kDeviceToHost = 1 };
+
+/// Per-device characterization snapshot; units: milliseconds per MB row
+/// (t_rstar_ms: milliseconds per frame).
+struct DeviceParams {
+  double k_me = 0.0;
+  double k_int = 0.0;
+  double k_sme = 0.0;
+  // [BufferKind][Direction]
+  double k_xfer[4][2] = {};
+  double t_rstar_ms = 0.0;
+
+  bool compute_known() const { return k_me > 0 && k_int > 0 && k_sme > 0; }
+};
+
+class PerfCharacterization {
+ public:
+  /// `alpha` is the EWMA weight of the newest observation.
+  explicit PerfCharacterization(int num_devices, double alpha = 0.5)
+      : alpha_(alpha), params_(static_cast<std::size_t>(num_devices)) {
+    FEVES_CHECK(num_devices >= 1);
+    FEVES_CHECK(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  int num_devices() const { return static_cast<int>(params_.size()); }
+
+  void observe_compute(int device, ComputeModule module, int rows, double ms);
+  void observe_transfer(int device, BufferKind buffer, Direction dir, int rows,
+                        double ms);
+  void observe_rstar(int device, double ms);
+
+  const DeviceParams& params(int device) const {
+    FEVES_CHECK(device >= 0 && device < num_devices());
+    return params_[device];
+  }
+
+  /// True once every device has compute parameters (i.e. the equidistant
+  /// initialization frame has been processed everywhere).
+  bool initialized() const {
+    for (const auto& p : params_) {
+      if (!p.compute_known()) return false;
+    }
+    return true;
+  }
+
+  /// Directly seeds parameters (tests / warm restarts).
+  void seed(int device, const DeviceParams& p) {
+    FEVES_CHECK(device >= 0 && device < num_devices());
+    params_[device] = p;
+  }
+
+ private:
+  void fold(double* slot, double value) {
+    *slot = (*slot == 0.0) ? value : alpha_ * value + (1.0 - alpha_) * *slot;
+  }
+
+  double alpha_;
+  std::vector<DeviceParams> params_;
+};
+
+}  // namespace feves

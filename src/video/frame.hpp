@@ -1,0 +1,68 @@
+// YUV 4:2:0 frame built from three bordered planes, plus the derived frame
+// structures the inter-loop operates on (reference frames and the sub-pixel
+// interpolated SF).
+#pragma once
+
+#include "common/config.hpp"
+#include "video/plane.hpp"
+
+#include <array>
+
+namespace feves {
+
+/// Border applied to every frame plane. Large enough for the maximum search
+/// range (128) plus the 6-tap interpolation margin.
+inline constexpr int kFrameBorder = 136;
+
+struct Frame420 {
+  Frame420() = default;
+  Frame420(int width, int height, int border = kFrameBorder)
+      : y(width, height, border),
+        u(width / 2, height / 2, border / 2),
+        v(width / 2, height / 2, border / 2) {
+    FEVES_CHECK(width % 2 == 0 && height % 2 == 0);
+  }
+
+  PlaneU8 y, u, v;
+
+  int width() const { return y.width(); }
+  int height() const { return y.height(); }
+
+  void extend_borders() {
+    y.extend_borders();
+    u.extend_borders();
+    v.extend_borders();
+  }
+
+  bool same_geometry(const Frame420& o) const {
+    return y.same_geometry(o.y) && u.same_geometry(o.u) && v.same_geometry(o.v);
+  }
+};
+
+/// Sub-pixel interpolated frame: one plane per quarter-pel phase (dy,dx),
+/// 16 phases total, each the size of the reference frame — the paper's
+/// "SF structure, which size is as large as 16 RFs" (Sec. II). Phase (0,0)
+/// is the integer-pel reference itself.
+struct SubPelFrame {
+  SubPelFrame() = default;
+  SubPelFrame(int width, int height, int border = kFrameBorder) {
+    for (auto& p : phases) p = PlaneU8(width, height, border);
+  }
+
+  /// Index layout: phase(dy,dx) with dy,dx in [0,4) quarter-pel offsets.
+  PlaneU8& phase(int dy, int dx) {
+    FEVES_CHECK(dy >= 0 && dy < kSubPel && dx >= 0 && dx < kSubPel);
+    return phases[dy * kSubPel + dx];
+  }
+  const PlaneU8& phase(int dy, int dx) const {
+    FEVES_CHECK(dy >= 0 && dy < kSubPel && dx >= 0 && dx < kSubPel);
+    return phases[dy * kSubPel + dx];
+  }
+
+  int width() const { return phases[0].width(); }
+  int height() const { return phases[0].height(); }
+
+  std::array<PlaneU8, kSubPel * kSubPel> phases;
+};
+
+}  // namespace feves

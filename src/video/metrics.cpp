@@ -1,0 +1,91 @@
+#include "video/metrics.hpp"
+
+#include "common/check.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace feves {
+
+double plane_mse(const PlaneU8& a, const PlaneU8& b) {
+  FEVES_CHECK(a.width() == b.width() && a.height() == b.height());
+  if (a.width() == 0 || a.height() == 0) return 0.0;
+  u64 acc = 0;
+  for (int y = 0; y < a.height(); ++y) {
+    const u8* ra = a.row(y);
+    const u8* rb = b.row(y);
+    for (int x = 0; x < a.width(); ++x) {
+      const int d = static_cast<int>(ra[x]) - static_cast<int>(rb[x]);
+      acc += static_cast<u64>(d * d);
+    }
+  }
+  return static_cast<double>(acc) /
+         (static_cast<double>(a.width()) * a.height());
+}
+
+double plane_psnr(const PlaneU8& a, const PlaneU8& b) {
+  const double mse = plane_mse(a, b);
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+double frame_psnr_y(const Frame420& a, const Frame420& b) {
+  return plane_psnr(a.y, b.y);
+}
+
+double plane_ssim(const PlaneU8& a, const PlaneU8& b) {
+  FEVES_CHECK(a.width() == b.width() && a.height() == b.height());
+  constexpr int kWin = 8;
+  constexpr double c1 = 6.5025;   // (0.01 * 255)^2
+  constexpr double c2 = 58.5225;  // (0.03 * 255)^2
+  double total = 0.0;
+  int windows = 0;
+  for (int y0 = 0; y0 + kWin <= a.height(); y0 += kWin) {
+    for (int x0 = 0; x0 + kWin <= a.width(); x0 += kWin) {
+      double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+      for (int y = y0; y < y0 + kWin; ++y) {
+        const u8* ra = a.row(y);
+        const u8* rb = b.row(y);
+        for (int x = x0; x < x0 + kWin; ++x) {
+          const double pa = ra[x];
+          const double pb = rb[x];
+          sa += pa;
+          sb += pb;
+          saa += pa * pa;
+          sbb += pb * pb;
+          sab += pa * pb;
+        }
+      }
+      const double n = kWin * kWin;
+      const double mu_a = sa / n;
+      const double mu_b = sb / n;
+      const double var_a = saa / n - mu_a * mu_a;
+      const double var_b = sbb / n - mu_b * mu_b;
+      const double cov = sab / n - mu_a * mu_b;
+      const double s = ((2 * mu_a * mu_b + c1) * (2 * cov + c2)) /
+                       ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2));
+      total += s;
+      ++windows;
+    }
+  }
+  return windows > 0 ? total / windows : 1.0;
+}
+
+bool frames_bit_exact(const Frame420& a, const Frame420& b) {
+  if (!a.same_geometry(b) && (a.width() != b.width() || a.height() != b.height()))
+    return false;
+  auto planes_equal = [](const PlaneU8& pa, const PlaneU8& pb) {
+    if (pa.width() != pb.width() || pa.height() != pb.height()) return false;
+    for (int y = 0; y < pa.height(); ++y) {
+      if (std::memcmp(pa.row(y), pb.row(y),
+                      static_cast<std::size_t>(pa.width())) != 0)
+        return false;
+    }
+    return true;
+  };
+  return planes_equal(a.y, b.y) && planes_equal(a.u, b.u) &&
+         planes_equal(a.v, b.v);
+}
+
+}  // namespace feves

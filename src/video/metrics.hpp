@@ -1,0 +1,26 @@
+// Objective quality metrics used by tests and examples to validate that the
+// collaborative encoder reconstructs frames at the quality the single-device
+// reference achieves (they must in fact be bit-exact; PSNR/SSIM quantify the
+// encode quality itself against the source).
+#pragma once
+
+#include "video/frame.hpp"
+
+namespace feves {
+
+/// Mean squared error over the interior of two equally sized planes.
+double plane_mse(const PlaneU8& a, const PlaneU8& b);
+
+/// Peak signal-to-noise ratio in dB; returns +inf for identical planes.
+double plane_psnr(const PlaneU8& a, const PlaneU8& b);
+
+/// Luma PSNR of two frames.
+double frame_psnr_y(const Frame420& a, const Frame420& b);
+
+/// Structural similarity (global, 8x8 windows, standard constants).
+double plane_ssim(const PlaneU8& a, const PlaneU8& b);
+
+/// True if every pixel of every plane matches.
+bool frames_bit_exact(const Frame420& a, const Frame420& b);
+
+}  // namespace feves

@@ -1,0 +1,125 @@
+// Pixel plane with an owned, aligned allocation and a replicated border.
+// The border serves two consumers: full-search ME probing candidates that
+// extend past the frame edge, and the 6-tap interpolation filter that reads
+// up to 3 samples beyond either side.
+#pragma once
+
+#include "common/aligned.hpp"
+#include "common/check.hpp"
+#include "common/span2d.hpp"
+#include "common/types.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace feves {
+
+template <typename T>
+class Plane {
+ public:
+  Plane() = default;
+
+  Plane(int width, int height, int border = 0)
+      : width_(width), height_(height), border_(border) {
+    FEVES_CHECK(width >= 0 && height >= 0 && border >= 0);
+    stride_ = round_up(width + 2 * border, static_cast<int>(kBufferAlign));
+    data_.assign(static_cast<std::size_t>(stride_) * (height + 2 * border),
+                 T{});
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int border() const { return border_; }
+  std::ptrdiff_t stride() const { return stride_; }
+
+  /// Pointer to pixel (0,0) of the interior (border excluded).
+  T* origin() {
+    return data_.data() + static_cast<std::ptrdiff_t>(border_) * stride_ +
+           border_;
+  }
+  const T* origin() const {
+    return data_.data() + static_cast<std::ptrdiff_t>(border_) * stride_ +
+           border_;
+  }
+
+  /// Interior view; (y,x) addressing with y in [0,height).
+  Span2D<T> view() { return {origin(), width_, height_, stride_}; }
+  Span2D<const T> view() const { return {origin(), width_, height_, stride_}; }
+
+  /// Row pointer that may legally be offset into the border by up to
+  /// border() pixels in either direction.
+  T* row(int y) { return origin() + static_cast<std::ptrdiff_t>(y) * stride_; }
+  const T* row(int y) const {
+    return origin() + static_cast<std::ptrdiff_t>(y) * stride_;
+  }
+
+  T& at(int y, int x) {
+    FEVES_CHECK(y >= -border_ && y < height_ + border_);
+    FEVES_CHECK(x >= -border_ && x < width_ + border_);
+    return row(y)[x];
+  }
+  const T& at(int y, int x) const {
+    FEVES_CHECK(y >= -border_ && y < height_ + border_);
+    FEVES_CHECK(x >= -border_ && x < width_ + border_);
+    return row(y)[x];
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Replicates left/right edge pixels into the horizontal border for pixel
+  /// rows [y0, y1) only — used by device mirrors whose planes fill
+  /// incrementally as row slices arrive.
+  void extend_horizontal_borders(int y0, int y1) {
+    if (border_ == 0 || width_ == 0) return;
+    FEVES_CHECK(y0 >= 0 && y1 <= height_);
+    for (int y = y0; y < y1; ++y) {
+      T* r = row(y);
+      std::fill(r - border_, r, r[0]);
+      std::fill(r + width_, r + width_ + border_, r[width_ - 1]);
+    }
+  }
+
+  /// Replicates the first/last rows (with their horizontal borders) into the
+  /// vertical border.
+  void extend_vertical_borders() {
+    if (border_ == 0 || width_ == 0 || height_ == 0) return;
+    const std::size_t full = static_cast<std::size_t>(width_ + 2 * border_);
+    for (int b = 1; b <= border_; ++b) {
+      std::memcpy(row(-b) - border_, row(0) - border_, full * sizeof(T));
+      std::memcpy(row(height_ - 1 + b) - border_, row(height_ - 1) - border_,
+                  full * sizeof(T));
+    }
+  }
+
+  /// Replicates edge pixels into the border (H.264 unrestricted-MV padding).
+  void extend_borders() {
+    if (border_ == 0 || width_ == 0 || height_ == 0) return;
+    for (int y = 0; y < height_; ++y) {
+      T* r = row(y);
+      std::fill(r - border_, r, r[0]);
+      std::fill(r + width_, r + width_ + border_, r[width_ - 1]);
+    }
+    const std::size_t full = static_cast<std::size_t>(width_ + 2 * border_);
+    for (int b = 1; b <= border_; ++b) {
+      std::memcpy(row(-b) - border_, row(0) - border_, full * sizeof(T));
+      std::memcpy(row(height_ - 1 + b) - border_, row(height_ - 1) - border_,
+                  full * sizeof(T));
+    }
+  }
+
+  bool same_geometry(const Plane& o) const {
+    return width_ == o.width_ && height_ == o.height_ && border_ == o.border_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  int border_ = 0;
+  std::ptrdiff_t stride_ = 0;
+  AlignedVector<T> data_;
+};
+
+using PlaneU8 = Plane<u8>;
+using PlaneI16 = Plane<i16>;
+
+}  // namespace feves

@@ -1,0 +1,173 @@
+#include "video/sequence.hpp"
+
+#include "common/check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace feves {
+
+namespace {
+
+u8 clamp_u8(double v) {
+  return static_cast<u8>(std::clamp(v, 0.0, 255.0));
+}
+
+/// Cheap value-noise texture: smooth, band-limited pattern so motion
+/// estimation has real gradients to lock onto (pure random noise would make
+/// every SAD candidate equally bad and hide ME bugs).
+double texture(int x, int y, int seed) {
+  u64 s = static_cast<u64>(seed) * 0x9E3779B97F4A7C15ull;
+  const double a = std::sin((x + static_cast<double>(s % 97)) * 0.093) *
+                   std::cos((y + static_cast<double>(s % 131)) * 0.081);
+  const double b = std::sin((x * 0.031 + y * 0.047) +
+                            static_cast<double>(s % 17));
+  return 24.0 * a + 14.0 * b;
+}
+
+}  // namespace
+
+SyntheticSequence::SyntheticSequence(const SyntheticConfig& cfg) : cfg_(cfg) {
+  FEVES_CHECK(cfg.width > 0 && cfg.width % 2 == 0);
+  FEVES_CHECK(cfg.height > 0 && cfg.height % 2 == 0);
+  Rng rng(cfg.seed);
+  const double speed = cfg.kind == SceneKind::kCalendar
+                           ? std::min(cfg.max_object_speed, 2.0)
+                           : cfg.max_object_speed;
+  objects_.reserve(cfg.num_objects);
+  for (int i = 0; i < cfg.num_objects; ++i) {
+    Object o;
+    o.x = rng.uniform_real(0.0, static_cast<double>(cfg.width));
+    o.y = rng.uniform_real(0.0, static_cast<double>(cfg.height));
+    o.vx = rng.uniform_real(-speed, speed);
+    o.vy = rng.uniform_real(-speed, speed);
+    o.w = static_cast<int>(rng.uniform_int(24, std::max(25, cfg.width / 5)));
+    o.h = static_cast<int>(rng.uniform_int(24, std::max(25, cfg.height / 5)));
+    o.luma = static_cast<u8>(rng.uniform_int(60, 220));
+    o.cb = static_cast<u8>(rng.uniform_int(64, 192));
+    o.cr = static_cast<u8>(rng.uniform_int(64, 192));
+    o.texture_seed = static_cast<int>(rng.uniform_int(1, 1 << 20));
+    objects_.push_back(o);
+  }
+}
+
+bool SyntheticSequence::read_frame(int index, Frame420& out) {
+  if (index < 0 || (cfg_.frames >= 0 && index >= cfg_.frames)) return false;
+  FEVES_CHECK(out.width() == cfg_.width && out.height() == cfg_.height);
+
+  const double t = static_cast<double>(index);
+  const double pan_x =
+      cfg_.kind == SceneKind::kCalendar ? cfg_.global_pan_speed * t : 0.3 * t;
+  const double pan_y = cfg_.kind == SceneKind::kCalendar ? 0.4 * t : 0.0;
+
+  auto yv = out.y.view();
+  // Background: panned texture.
+  for (int y = 0; y < cfg_.height; ++y) {
+    u8* row = yv.row(y);
+    for (int x = 0; x < cfg_.width; ++x) {
+      const int sx = x + static_cast<int>(std::lround(pan_x));
+      const int sy = y + static_cast<int>(std::lround(pan_y));
+      row[x] = clamp_u8(128.0 + texture(sx, sy, 7));
+    }
+  }
+  auto uv = out.u.view();
+  auto vv = out.v.view();
+  for (int y = 0; y < cfg_.height / 2; ++y) {
+    u8* ru = uv.row(y);
+    u8* rv = vv.row(y);
+    for (int x = 0; x < cfg_.width / 2; ++x) {
+      ru[x] = clamp_u8(118.0 + 0.25 * texture(x * 2, y * 2, 11));
+      rv[x] = clamp_u8(138.0 + 0.25 * texture(x * 2, y * 2, 13));
+    }
+  }
+
+  if (cfg_.kind != SceneKind::kNoise) {
+    // Foreground objects translate with wrap-around so content never leaves.
+    for (const Object& o : objects_) {
+      const double cx =
+          std::fmod(o.x + o.vx * t + 4.0 * cfg_.width, cfg_.width);
+      const double cy =
+          std::fmod(o.y + o.vy * t + 4.0 * cfg_.height, cfg_.height);
+      const int x0 = static_cast<int>(std::lround(cx)) - o.w / 2;
+      const int y0 = static_cast<int>(std::lround(cy)) - o.h / 2;
+      for (int dy = 0; dy < o.h; ++dy) {
+        const int y = y0 + dy;
+        if (y < 0 || y >= cfg_.height) continue;
+        u8* row = yv.row(y);
+        for (int dx = 0; dx < o.w; ++dx) {
+          const int x = x0 + dx;
+          if (x < 0 || x >= cfg_.width) continue;
+          row[x] = clamp_u8(o.luma + texture(dx, dy, o.texture_seed));
+          if ((y & 1) == 0 && (x & 1) == 0) {
+            uv.row(y / 2)[x / 2] = o.cb;
+            vv.row(y / 2)[x / 2] = o.cr;
+          }
+        }
+      }
+    }
+  }
+
+  if (cfg_.noise_stddev > 0.0 || cfg_.kind == SceneKind::kNoise) {
+    const double sd =
+        cfg_.kind == SceneKind::kNoise ? 40.0 : cfg_.noise_stddev;
+    Rng noise(cfg_.seed ^ (0xABCDull + static_cast<u64>(index) * 0x9E37ull));
+    for (int y = 0; y < cfg_.height; ++y) {
+      u8* row = yv.row(y);
+      for (int x = 0; x < cfg_.width; ++x) {
+        row[x] = clamp_u8(row[x] + noise.gaussian(0.0, sd));
+      }
+    }
+  }
+
+  out.extend_borders();
+  return true;
+}
+
+YuvFileSequence::YuvFileSequence(std::string path, int width, int height)
+    : path_(std::move(path)), width_(width), height_(height) {
+  FEVES_CHECK(width > 0 && width % 2 == 0 && height > 0 && height % 2 == 0);
+  std::ifstream in(path_, std::ios::binary | std::ios::ate);
+  FEVES_CHECK_MSG(in.good(), "cannot open YUV file " << path_);
+  const auto bytes = static_cast<u64>(in.tellg());
+  const u64 frame_bytes =
+      static_cast<u64>(width) * height * 3 / 2;  // I420: 1.5 bytes/pixel
+  frame_count_ = static_cast<int>(bytes / frame_bytes);
+}
+
+bool YuvFileSequence::read_frame(int index, Frame420& out) {
+  if (index < 0 || index >= frame_count_) return false;
+  FEVES_CHECK(out.width() == width_ && out.height() == height_);
+  std::ifstream in(path_, std::ios::binary);
+  FEVES_CHECK_MSG(in.good(), "cannot open YUV file " << path_);
+  const u64 frame_bytes = static_cast<u64>(width_) * height_ * 3 / 2;
+  in.seekg(static_cast<std::streamoff>(frame_bytes * static_cast<u64>(index)));
+
+  auto read_plane = [&in](PlaneU8& p) {
+    for (int y = 0; y < p.height(); ++y) {
+      in.read(reinterpret_cast<char*>(p.row(y)), p.width());
+    }
+  };
+  read_plane(out.y);
+  read_plane(out.u);
+  read_plane(out.v);
+  FEVES_CHECK_MSG(in.good(), "short read from " << path_);
+  out.extend_borders();
+  return true;
+}
+
+void append_yuv(const Frame420& frame, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  FEVES_CHECK_MSG(out.good(), "cannot open " << path << " for append");
+  auto write_plane = [&out](const PlaneU8& p) {
+    for (int y = 0; y < p.height(); ++y) {
+      out.write(reinterpret_cast<const char*>(p.row(y)), p.width());
+    }
+  };
+  write_plane(frame.y);
+  write_plane(frame.u);
+  write_plane(frame.v);
+}
+
+}  // namespace feves

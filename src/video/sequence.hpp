@@ -1,0 +1,98 @@
+// Video sources. `SyntheticSequence` procedurally generates deterministic
+// scenes (textured background with global pan, translating objects, sensor
+// noise) that stand in for the paper's 1080p test clips; `YuvFileSequence`
+// reads raw planar I420 footage. Both implement `VideoSource`.
+#pragma once
+
+#include "common/rng.hpp"
+#include "video/frame.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace feves {
+
+/// Abstract pull-based source of frames in display order.
+class VideoSource {
+ public:
+  virtual ~VideoSource() = default;
+
+  virtual int width() const = 0;
+  virtual int height() const = 0;
+  /// Total frames available; < 0 means unbounded.
+  virtual int frame_count() const = 0;
+
+  /// Fills `out` (already sized width x height) with frame `index`.
+  /// Returns false when `index` is past the end of the source.
+  virtual bool read_frame(int index, Frame420& out) = 0;
+};
+
+/// Scene style for the synthetic generator.
+enum class SceneKind {
+  /// Slow global pan over a textured background with a few moving objects —
+  /// stands in for "Toys and Calendar" (mostly smooth, small motion).
+  kCalendar,
+  /// Fast, independently moving objects with larger displacements — stands
+  /// in for "Rolling Tomatoes".
+  kRollingObjects,
+  /// Pure noise; worst case for prediction, exercises high-residual paths.
+  kNoise,
+};
+
+struct SyntheticConfig {
+  int width = 352;
+  int height = 288;
+  int frames = 30;
+  SceneKind kind = SceneKind::kRollingObjects;
+  u64 seed = 1234;
+  int num_objects = 6;
+  double max_object_speed = 6.0;  ///< pixels per frame
+  double global_pan_speed = 1.0;  ///< pixels per frame
+  double noise_stddev = 1.5;      ///< additive Gaussian sensor noise
+};
+
+class SyntheticSequence final : public VideoSource {
+ public:
+  explicit SyntheticSequence(const SyntheticConfig& cfg);
+
+  int width() const override { return cfg_.width; }
+  int height() const override { return cfg_.height; }
+  int frame_count() const override { return cfg_.frames; }
+  bool read_frame(int index, Frame420& out) override;
+
+ private:
+  struct Object {
+    double x, y;       // position of the centre at frame 0
+    double vx, vy;     // velocity, pixels/frame
+    int w, h;          // size
+    u8 luma;           // base brightness
+    u8 cb, cr;         // chroma
+    int texture_seed;  // per-object texture pattern
+  };
+
+  SyntheticConfig cfg_;
+  std::vector<Object> objects_;
+};
+
+/// Raw planar I420 (YUV 4:2:0) file reader.
+class YuvFileSequence final : public VideoSource {
+ public:
+  YuvFileSequence(std::string path, int width, int height);
+
+  int width() const override { return width_; }
+  int height() const override { return height_; }
+  int frame_count() const override { return frame_count_; }
+  bool read_frame(int index, Frame420& out) override;
+
+ private:
+  std::string path_;
+  int width_;
+  int height_;
+  int frame_count_;
+};
+
+/// Writes a frame to an open raw I420 stream (appends Y, U, V planes).
+void append_yuv(const Frame420& frame, const std::string& path);
+
+}  // namespace feves

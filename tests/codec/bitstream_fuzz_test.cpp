@@ -1,0 +1,131 @@
+// Failure injection on the bitstream path: a decoder fed corrupted or
+// truncated data must fail with a checked Error (never crash, hang, or
+// silently produce garbage geometry).
+#include "codec/bitstream.hpp"
+#include "codec/cavlc.hpp"
+#include "codec/frame_codec.hpp"
+#include "common/rng.hpp"
+#include "video/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace feves {
+namespace {
+
+EncoderConfig small_config() {
+  EncoderConfig cfg;
+  cfg.width = 96;
+  cfg.height = 64;
+  cfg.search_range = 8;
+  cfg.num_ref_frames = 1;
+  return cfg;
+}
+
+std::vector<u8> encode_two_frames(const EncoderConfig& cfg) {
+  SyntheticConfig sc;
+  sc.width = cfg.width;
+  sc.height = cfg.height;
+  sc.frames = 2;
+  SyntheticSequence seq(sc);
+  RefList refs(cfg.num_ref_frames);
+  std::vector<u8> bits;
+  Frame420 frame(cfg.width, cfg.height);
+  for (int f = 0; f < 2; ++f) {
+    EXPECT_TRUE(seq.read_frame(f, frame));
+    refs.push_front(encode_frame_reference(cfg, frame, refs, f, &bits));
+  }
+  return bits;
+}
+
+/// Decodes as far as the stream allows; returns true on full success.
+bool try_decode(const EncoderConfig& cfg, const std::vector<u8>& bits) {
+  RefList refs(cfg.num_ref_frames);
+  BitReader br(bits);
+  for (int f = 0; f < 2; ++f) {
+    refs.push_front(decode_frame(cfg, br, refs));
+  }
+  return true;
+}
+
+TEST(BitstreamFuzz, CleanStreamDecodes) {
+  const auto cfg = small_config();
+  EXPECT_TRUE(try_decode(cfg, encode_two_frames(cfg)));
+}
+
+TEST(BitstreamFuzz, TruncatedStreamThrows) {
+  const auto cfg = small_config();
+  auto bits = encode_two_frames(cfg);
+  bits.resize(bits.size() / 3);
+  EXPECT_THROW(try_decode(cfg, bits), Error);
+}
+
+TEST(BitstreamFuzz, EmptyStreamThrows) {
+  const auto cfg = small_config();
+  std::vector<u8> empty;
+  EXPECT_THROW(try_decode(cfg, empty), Error);
+}
+
+class BitstreamFuzzFlip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitstreamFuzzFlip, RandomBitFlipsNeverCrash) {
+  // Flipping bits may produce (a) a stream that still decodes — different
+  // levels decode to different pixels, which is fine — or (b) a structural
+  // violation, which must surface as a checked Error. Either outcome is
+  // acceptable; UB/crash/hang is not.
+  const auto cfg = small_config();
+  const auto clean = encode_two_frames(cfg);
+  Rng rng(static_cast<u64>(GetParam()) * 31337 + 1);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto bits = clean;
+    const int flips = 1 + static_cast<int>(rng.uniform_int(0, 7));
+    for (int i = 0; i < flips; ++i) {
+      const auto pos =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<i64>(bits.size()) - 1));
+      bits[pos] ^= static_cast<u8>(1u << rng.uniform_int(0, 7));
+    }
+    try {
+      try_decode(cfg, bits);
+    } catch (const Error&) {
+      // Checked rejection: acceptable.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitstreamFuzzFlip, ::testing::Range(0, 8));
+
+TEST(BitstreamFuzz, GeometryMismatchRejected) {
+  const auto cfg = small_config();
+  const auto bits = encode_two_frames(cfg);
+  EncoderConfig other = cfg;
+  other.width = 128;  // decoder expects different MB grid
+  RefList refs(other.num_ref_frames);
+  BitReader br(bits);
+  EXPECT_THROW(decode_frame(other, br, refs), Error);
+}
+
+TEST(BitstreamFuzz, CavlcRejectsImpossibleTokens) {
+  // TotalCoeff > 16 must be caught, not index out of bounds.
+  BitWriter bw;
+  bw.put_ue(20);  // bogus TotalCoeff
+  bw.put_bits(0, 2);
+  bw.finish();
+  BitReader br(bw.bytes());
+  i16 levels[16];
+  EXPECT_THROW(cavlc_decode_4x4(br, levels), Error);
+}
+
+TEST(BitstreamFuzz, CavlcRejectsZerosOverflow) {
+  BitWriter bw;
+  bw.put_ue(2);        // TotalCoeff = 2
+  bw.put_bits(2, 2);   // TrailingOnes = 2
+  bw.put_bit(0);       // sign +
+  bw.put_bit(0);       // sign +
+  bw.put_ue(15);       // total_zeros = 15 -> 2 + 15 > 16
+  bw.finish();
+  BitReader br(bw.bytes());
+  i16 levels[16];
+  EXPECT_THROW(cavlc_decode_4x4(br, levels), Error);
+}
+
+}  // namespace
+}  // namespace feves

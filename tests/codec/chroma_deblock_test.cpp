@@ -1,0 +1,105 @@
+#include "codec/deblock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace feves {
+namespace {
+
+struct ChromaFixture {
+  static constexpr int kMbW = 2, kMbH = 2;
+  PlaneU8 chroma{kMbW * 8, kMbH * 8, 4};
+  std::vector<Block4x4Info> blocks{
+      static_cast<std::size_t>(kMbW * 4 * kMbH * 4)};
+
+  void make_vertical_step(u8 left, u8 right) {
+    for (int y = 0; y < kMbH * 8; ++y) {
+      for (int x = 0; x < kMbW * 8; ++x) {
+        chroma.at(y, x) = x < 8 ? left : right;
+      }
+    }
+  }
+};
+
+TEST(ChromaDeblock, SmoothsCodedEdge) {
+  ChromaFixture fx;
+  fx.make_vertical_step(100, 112);
+  for (auto& b : fx.blocks) b.nonzero = true;  // bS 2
+  DeblockParams p;
+  p.qp = 30;
+  run_deblock_chroma(fx.chroma, ChromaFixture::kMbW, ChromaFixture::kMbH,
+                     fx.blocks.data(), p);
+  EXPECT_GT(fx.chroma.at(4, 7), 100);
+  EXPECT_LT(fx.chroma.at(4, 8), 112);
+}
+
+TEST(ChromaDeblock, OnlyTwoSamplesTouched) {
+  // The chroma filter must never modify p1/q1 (unlike luma's normal filter).
+  ChromaFixture fx;
+  fx.make_vertical_step(100, 112);
+  for (auto& b : fx.blocks) b.nonzero = true;
+  DeblockParams p;
+  p.qp = 30;
+  run_deblock_chroma(fx.chroma, ChromaFixture::kMbW, ChromaFixture::kMbH,
+                     fx.blocks.data(), p);
+  EXPECT_EQ(fx.chroma.at(4, 6), 100);
+  EXPECT_EQ(fx.chroma.at(4, 9), 112);
+}
+
+TEST(ChromaDeblock, StrongFilterOnIntraEdges) {
+  ChromaFixture fx;
+  fx.make_vertical_step(100, 108);
+  for (auto& b : fx.blocks) b.intra = true;  // bS 4
+  DeblockParams p;
+  p.qp = 36;
+  const int p1 = fx.chroma.at(2, 6), q1 = fx.chroma.at(2, 9);
+  run_deblock_chroma(fx.chroma, ChromaFixture::kMbW, ChromaFixture::kMbH,
+                     fx.blocks.data(), p);
+  // bS 4 blend: p0' = (2*100 + 100 + 108 + 2)/4 = 102, q0' = 106.
+  EXPECT_EQ(fx.chroma.at(2, 7), 102);
+  EXPECT_EQ(fx.chroma.at(2, 8), 106);
+  EXPECT_EQ(fx.chroma.at(2, 6), p1);
+  EXPECT_EQ(fx.chroma.at(2, 9), q1);
+}
+
+TEST(ChromaDeblock, NoFilterAtBsZeroOrRealEdges) {
+  ChromaFixture fx;
+  fx.make_vertical_step(30, 220);  // giant step: real content
+  for (auto& b : fx.blocks) b.nonzero = true;
+  DeblockParams p;
+  p.qp = 30;
+  run_deblock_chroma(fx.chroma, ChromaFixture::kMbW, ChromaFixture::kMbH,
+                     fx.blocks.data(), p);
+  EXPECT_EQ(fx.chroma.at(4, 7), 30);
+  EXPECT_EQ(fx.chroma.at(4, 8), 220);
+
+  fx.make_vertical_step(100, 112);
+  for (auto& b : fx.blocks) {
+    b.nonzero = false;
+    b.intra = false;  // bS 0
+  }
+  run_deblock_chroma(fx.chroma, ChromaFixture::kMbW, ChromaFixture::kMbH,
+                     fx.blocks.data(), p);
+  EXPECT_EQ(fx.chroma.at(4, 7), 100);
+  EXPECT_EQ(fx.chroma.at(4, 8), 112);
+}
+
+TEST(ChromaDeblock, HorizontalEdges) {
+  ChromaFixture fx;
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      fx.chroma.at(y, x) = y < 8 ? u8{100} : u8{112};
+    }
+  }
+  for (auto& b : fx.blocks) b.nonzero = true;
+  DeblockParams p;
+  p.qp = 30;
+  run_deblock_chroma(fx.chroma, ChromaFixture::kMbW, ChromaFixture::kMbH,
+                     fx.blocks.data(), p);
+  EXPECT_GT(fx.chroma.at(7, 4), 100);
+  EXPECT_LT(fx.chroma.at(8, 4), 112);
+}
+
+}  // namespace
+}  // namespace feves

@@ -1,0 +1,171 @@
+#include "codec/deblock.hpp"
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+namespace feves {
+namespace {
+
+TEST(BoundaryStrength, IntraWinsEverything) {
+  Block4x4Info a, b;
+  a.intra = true;
+  EXPECT_EQ(boundary_strength(a, b), 4);
+  a.intra = false;
+  b.intra = true;
+  EXPECT_EQ(boundary_strength(a, b), 4);
+}
+
+TEST(BoundaryStrength, CodedCoefficientsGiveTwo) {
+  Block4x4Info a, b;
+  a.nonzero = true;
+  EXPECT_EQ(boundary_strength(a, b), 2);
+}
+
+TEST(BoundaryStrength, MotionDiscontinuityGivesOne) {
+  Block4x4Info a, b;
+  a.mv = Mv{0, 0};
+  b.mv = Mv{4, 0};  // one full pel apart
+  EXPECT_EQ(boundary_strength(a, b), 1);
+  b.mv = Mv{3, 0};  // under a full pel: smooth
+  EXPECT_EQ(boundary_strength(a, b), 0);
+  b.mv = Mv{0, 0};
+  b.ref_idx = 1;
+  EXPECT_EQ(boundary_strength(a, b), 1);
+}
+
+TEST(BoundaryStrength, IdenticalMotionGivesZero) {
+  Block4x4Info a, b;
+  a.mv = b.mv = Mv{7, -9};
+  EXPECT_EQ(boundary_strength(a, b), 0);
+}
+
+struct DeblockFixture {
+  static constexpr int kMbW = 2, kMbH = 2;
+  PlaneU8 luma{kMbW * 16, kMbH * 16, 8};
+  std::vector<Block4x4Info> blocks{
+      static_cast<std::size_t>(kMbW * 4 * kMbH * 4)};
+
+  /// Hard step edge across the x=16 MB boundary.
+  void make_vertical_step(u8 left, u8 right) {
+    for (int y = 0; y < kMbH * 16; ++y) {
+      for (int x = 0; x < kMbW * 16; ++x) {
+        luma.at(y, x) = x < 16 ? left : right;
+      }
+    }
+  }
+};
+
+TEST(Deblock, SmoothsBlockingArtifactAtCodedEdge) {
+  DeblockFixture fx;
+  fx.make_vertical_step(100, 116);
+  for (auto& b : fx.blocks) b.nonzero = true;  // bS = 2 everywhere
+
+  DeblockParams p;
+  p.qp = 32;
+  run_deblock_frame(fx.luma, DeblockFixture::kMbW, DeblockFixture::kMbH,
+                    fx.blocks.data(), p);
+  // The step must shrink: p0/q0 moved toward each other.
+  const int p0 = fx.luma.at(8, 15);
+  const int q0 = fx.luma.at(8, 16);
+  EXPECT_GT(p0, 100);
+  EXPECT_LT(q0, 116);
+}
+
+TEST(Deblock, LeavesLargeRealEdgesAlone) {
+  // |p0 - q0| >= alpha: this is real content, not a coding artifact.
+  DeblockFixture fx;
+  fx.make_vertical_step(30, 220);
+  for (auto& b : fx.blocks) b.nonzero = true;
+
+  DeblockParams p;
+  p.qp = 32;
+  run_deblock_frame(fx.luma, DeblockFixture::kMbW, DeblockFixture::kMbH,
+                    fx.blocks.data(), p);
+  EXPECT_EQ(fx.luma.at(8, 15), 30);
+  EXPECT_EQ(fx.luma.at(8, 16), 220);
+}
+
+TEST(Deblock, NoFilteringWhenBsZero) {
+  DeblockFixture fx;
+  fx.make_vertical_step(100, 112);
+  // Default blocks: no coeffs, same MV/ref -> bS 0 everywhere.
+  DeblockParams p;
+  p.qp = 32;
+  run_deblock_frame(fx.luma, DeblockFixture::kMbW, DeblockFixture::kMbH,
+                    fx.blocks.data(), p);
+  EXPECT_EQ(fx.luma.at(8, 15), 100);
+  EXPECT_EQ(fx.luma.at(8, 16), 112);
+}
+
+TEST(Deblock, LowQpDisablesFilterEntirely) {
+  DeblockFixture fx;
+  fx.make_vertical_step(100, 110);
+  for (auto& b : fx.blocks) b.intra = true;
+  DeblockParams p;
+  p.qp = 10;  // alpha table is zero below 16
+  run_deblock_frame(fx.luma, DeblockFixture::kMbW, DeblockFixture::kMbH,
+                    fx.blocks.data(), p);
+  EXPECT_EQ(fx.luma.at(8, 15), 100);
+  EXPECT_EQ(fx.luma.at(8, 16), 110);
+}
+
+TEST(Deblock, StrongFilterTouchesThreeSamples) {
+  DeblockFixture fx;
+  // Gentle ramp either side of the boundary so ap/aq < beta holds, then a
+  // modest step: the bS=4 strong filter rewrites p2..q2.
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      fx.luma.at(y, x) = x < 16 ? 100 : 108;
+    }
+  }
+  for (auto& b : fx.blocks) b.intra = true;
+  DeblockParams p;
+  p.qp = 40;
+
+  const u8 before_p2 = fx.luma.at(4, 13);
+  run_deblock_frame(fx.luma, DeblockFixture::kMbW, DeblockFixture::kMbH,
+                    fx.blocks.data(), p);
+  EXPECT_NE(fx.luma.at(4, 13), before_p2);
+  // Samples beyond p3 are never written.
+  EXPECT_EQ(fx.luma.at(4, 11), 100);
+}
+
+TEST(Deblock, HorizontalEdgesFiltered) {
+  DeblockFixture fx;
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      fx.luma.at(y, x) = y < 16 ? 100 : 114;
+    }
+  }
+  for (auto& b : fx.blocks) b.nonzero = true;
+  DeblockParams p;
+  p.qp = 32;
+  run_deblock_frame(fx.luma, DeblockFixture::kMbW, DeblockFixture::kMbH,
+                    fx.blocks.data(), p);
+  EXPECT_GT(fx.luma.at(15, 8), 100);
+  EXPECT_LT(fx.luma.at(16, 8), 114);
+}
+
+TEST(Deblock, FrameBoundariesNeverFiltered) {
+  DeblockFixture fx;
+  fx.make_vertical_step(100, 116);
+  for (auto& b : fx.blocks) b.intra = true;
+  // Poison the border: if the filter read/wrote across the frame edge the
+  // poison would leak into row/column 0 results differently.
+  DeblockParams p;
+  p.qp = 36;
+  run_deblock_frame(fx.luma, DeblockFixture::kMbW, DeblockFixture::kMbH,
+                    fx.blocks.data(), p);
+  // Column 0 (left frame edge) has no left neighbour: x=0 edge skipped, so
+  // the leftmost samples are untouched by any vertical-edge filter other
+  // than the internal x=4 edge, which cannot modify x<1... verify x=0
+  // retains its value.
+  EXPECT_EQ(fx.luma.at(0, 0), 100);
+}
+
+}  // namespace
+}  // namespace feves

@@ -1,0 +1,193 @@
+#include "codec/bitstream.hpp"
+#include "codec/cavlc.hpp"
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+namespace feves {
+namespace {
+
+TEST(Bitstream, BitRoundTrip) {
+  BitWriter bw;
+  bw.put_bit(1);
+  bw.put_bit(0);
+  bw.put_bits(0b1011, 4);
+  bw.put_bits(0xDEAD, 16);
+  bw.finish();
+  BitReader br(bw.bytes());
+  EXPECT_EQ(br.get_bit(), 1);
+  EXPECT_EQ(br.get_bit(), 0);
+  EXPECT_EQ(br.get_bits(4), 0b1011u);
+  EXPECT_EQ(br.get_bits(16), 0xDEADu);
+}
+
+TEST(Bitstream, UeKnownCodewords) {
+  // ue(0)='1', ue(1)='010', ue(2)='011', ue(3)='00100'.
+  BitWriter bw;
+  bw.put_ue(0);
+  bw.put_ue(1);
+  bw.put_ue(2);
+  bw.put_ue(3);
+  bw.finish();
+  EXPECT_EQ(bw.bytes().size(), 2u);
+  EXPECT_EQ(bw.bytes()[0], 0b10100110);  // 1 010 011 0...
+  BitReader br(bw.bytes());
+  EXPECT_EQ(br.get_ue(), 0u);
+  EXPECT_EQ(br.get_ue(), 1u);
+  EXPECT_EQ(br.get_ue(), 2u);
+  EXPECT_EQ(br.get_ue(), 3u);
+}
+
+TEST(Bitstream, UeSeSweepRoundTrip) {
+  BitWriter bw;
+  for (u32 v = 0; v < 1000; ++v) bw.put_ue(v);
+  for (i32 v = -500; v <= 500; ++v) bw.put_se(v);
+  bw.put_ue(0xFFFFFF);
+  bw.finish();
+  BitReader br(bw.bytes());
+  for (u32 v = 0; v < 1000; ++v) EXPECT_EQ(br.get_ue(), v);
+  for (i32 v = -500; v <= 500; ++v) EXPECT_EQ(br.get_se(), v);
+  EXPECT_EQ(br.get_ue(), 0xFFFFFFu);
+}
+
+TEST(Bitstream, ReaderThrowsPastEnd) {
+  BitWriter bw;
+  bw.put_bits(0xA, 4);
+  bw.finish();
+  BitReader br(bw.bytes());
+  br.get_bits(8);
+  EXPECT_THROW(br.get_bit(), Error);
+}
+
+// ---- CAVLC --------------------------------------------------------------
+
+void roundtrip(const i16 in[16]) {
+  BitWriter bw;
+  const int tc = cavlc_encode_4x4(bw, in);
+  bw.finish();
+  BitReader br(bw.bytes());
+  i16 out[16];
+  const int tc2 = cavlc_decode_4x4(br, out);
+  EXPECT_EQ(tc, tc2);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(in[i], out[i]) << "coeff " << i;
+}
+
+TEST(Cavlc, AllZeroBlock) {
+  i16 levels[16] = {};
+  BitWriter bw;
+  EXPECT_EQ(cavlc_encode_4x4(bw, levels), 0);
+  bw.finish();
+  EXPECT_LE(bw.bytes().size(), 1u);  // a zero block costs one ue(0) = 1 bit
+  roundtrip(levels);
+}
+
+TEST(Cavlc, SingleDcCoefficient) {
+  i16 levels[16] = {};
+  levels[0] = 5;
+  roundtrip(levels);
+}
+
+TEST(Cavlc, TrailingOnesOnly) {
+  i16 levels[16] = {};
+  levels[0] = 1;
+  levels[1] = -1;
+  levels[4] = 1;  // zig-zag: positions 0,1,2
+  roundtrip(levels);
+}
+
+TEST(Cavlc, MixedLevelsAndZeroRuns) {
+  i16 levels[16] = {};
+  levels[0] = -7;
+  levels[4] = 3;
+  levels[2] = 1;
+  levels[10] = -1;
+  roundtrip(levels);
+}
+
+TEST(Cavlc, FullBlockMaxCoefficients) {
+  i16 levels[16];
+  for (int i = 0; i < 16; ++i) levels[i] = static_cast<i16>((i % 2) ? -3 - i : 3 + i);
+  roundtrip(levels);
+}
+
+TEST(Cavlc, LargeLevelsUseEscape) {
+  i16 levels[16] = {};
+  levels[0] = 3000;
+  levels[1] = -2900;
+  levels[5] = 2;
+  roundtrip(levels);
+}
+
+TEST(Cavlc, FourTrailingOnesOnlyThreeQualify) {
+  // Five ±1 coefficients: only the last three (in scan order) are T1s, the
+  // rest go through level coding.
+  i16 levels[16] = {};
+  levels[0] = 1;
+  levels[1] = -1;
+  levels[4] = 1;
+  levels[8] = -1;
+  levels[5] = 1;
+  roundtrip(levels);
+}
+
+TEST(Cavlc, HighFrequencyOnlyCoefficient) {
+  i16 levels[16] = {};
+  levels[15] = -2;  // last zig-zag position: total_zeros = 15
+  roundtrip(levels);
+}
+
+/// Exhaustive-ish property sweep over random sparse blocks at several
+/// densities — the encoder/decoder pair must be the identity.
+class CavlcRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(CavlcRandom, RoundTripRandomBlocks) {
+  const int density = GetParam();  // coefficients per block
+  Rng rng(static_cast<u64>(density) * 7001 + 17);
+  for (int trial = 0; trial < 300; ++trial) {
+    i16 levels[16] = {};
+    for (int c = 0; c < density; ++c) {
+      const int pos = static_cast<int>(rng.uniform_int(0, 15));
+      const int mag_class = static_cast<int>(rng.uniform_int(0, 3));
+      const i64 mag = mag_class == 0   ? 1
+                      : mag_class == 1 ? rng.uniform_int(1, 3)
+                      : mag_class == 2 ? rng.uniform_int(1, 40)
+                                       : rng.uniform_int(1, 3500);
+      levels[pos] = static_cast<i16>(rng.uniform_int(0, 1) ? mag : -mag);
+    }
+    roundtrip(levels);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, CavlcRandom,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 16));
+
+TEST(Cavlc, StreamOfManyBlocksStaysInSync) {
+  // Decoding must consume exactly the bits encoding produced, block after
+  // block, with no drift.
+  Rng rng(4242);
+  std::vector<std::array<i16, 16>> blocks(200);
+  BitWriter bw;
+  for (auto& blk : blocks) {
+    blk.fill(0);
+    const int n = static_cast<int>(rng.uniform_int(0, 6));
+    for (int c = 0; c < n; ++c) {
+      blk[static_cast<std::size_t>(rng.uniform_int(0, 15))] =
+          static_cast<i16>(rng.uniform_int(-9, 9));
+    }
+    cavlc_encode_4x4(bw, blk.data());
+  }
+  bw.finish();
+  BitReader br(bw.bytes());
+  for (const auto& blk : blocks) {
+    i16 out[16];
+    cavlc_decode_4x4(br, out);
+    EXPECT_EQ(std::memcmp(blk.data(), out, sizeof(out)), 0);
+  }
+}
+
+}  // namespace
+}  // namespace feves

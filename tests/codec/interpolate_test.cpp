@@ -1,0 +1,143 @@
+#include "codec/interpolate.hpp"
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace feves {
+namespace {
+
+PlaneU8 random_plane(int w, int h, int border, u64 seed) {
+  PlaneU8 p(w, h, border);
+  Rng rng(seed);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      p.at(y, x) = static_cast<u8>(rng.uniform_int(0, 255));
+    }
+  }
+  p.extend_borders();
+  return p;
+}
+
+TEST(Interpolation, IntegerPhaseIsExactCopy) {
+  auto ref = random_plane(32, 32, 8, 1);
+  SubPelFrame sf(32, 32, 8);
+  run_interpolation_rows(ref, 0, 2, sf);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      EXPECT_EQ(sf.phase(0, 0).at(y, x), ref.at(y, x));
+    }
+  }
+}
+
+TEST(Interpolation, ConstantPlaneStaysConstant) {
+  PlaneU8 ref(32, 32, 8);
+  ref.fill(77);
+  SubPelFrame sf(32, 32, 8);
+  run_interpolation_rows(ref, 0, 2, sf);
+  // The 6-tap filter has unit DC gain and the averages preserve constants.
+  for (int dy = 0; dy < 4; ++dy) {
+    for (int dx = 0; dx < 4; ++dx) {
+      for (int y = 0; y < 32; ++y) {
+        for (int x = 0; x < 32; ++x) {
+          EXPECT_EQ(sf.phase(dy, dx).at(y, x), 77)
+              << "phase " << dy << "," << dx;
+        }
+      }
+    }
+  }
+}
+
+TEST(Interpolation, HalfPelMatchesDirectSixTap) {
+  auto ref = random_plane(48, 32, 8, 3);
+  SubPelFrame sf(48, 32, 8);
+  run_interpolation_rows(ref, 0, 2, sf);
+  // Horizontal half-pel b at (y, x+1/2).
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 48; ++x) {
+      const int t = ref.at(y, x - 2) - 5 * ref.at(y, x - 1) +
+                    20 * ref.at(y, x) + 20 * ref.at(y, x + 1) -
+                    5 * ref.at(y, x + 2) + ref.at(y, x + 3);
+      const int expect = std::clamp((t + 16) >> 5, 0, 255);
+      EXPECT_EQ(sf.phase(0, 2).at(y, x), expect);
+    }
+  }
+  // Vertical half-pel h at (y+1/2, x).
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 48; ++x) {
+      const int t = ref.at(y - 2, x) - 5 * ref.at(y - 1, x) +
+                    20 * ref.at(y, x) + 20 * ref.at(y + 1, x) -
+                    5 * ref.at(y + 2, x) + ref.at(y + 3, x);
+      const int expect = std::clamp((t + 16) >> 5, 0, 255);
+      EXPECT_EQ(sf.phase(2, 0).at(y, x), expect);
+    }
+  }
+}
+
+TEST(Interpolation, QuarterPelsAreAveragesOfNeighbours) {
+  auto ref = random_plane(32, 32, 8, 4);
+  SubPelFrame sf(32, 32, 8);
+  run_interpolation_rows(ref, 0, 2, sf);
+  for (int y = 1; y < 31; ++y) {
+    for (int x = 1; x < 31; ++x) {
+      const int G = ref.at(y, x);
+      const int b = sf.phase(0, 2).at(y, x);
+      const int h = sf.phase(2, 0).at(y, x);
+      const int j = sf.phase(2, 2).at(y, x);
+      EXPECT_EQ(sf.phase(0, 1).at(y, x), (G + b + 1) >> 1);  // a
+      EXPECT_EQ(sf.phase(1, 0).at(y, x), (G + h + 1) >> 1);  // d
+      EXPECT_EQ(sf.phase(1, 1).at(y, x), (b + h + 1) >> 1);  // e
+      EXPECT_EQ(sf.phase(1, 2).at(y, x), (b + j + 1) >> 1);  // f
+      EXPECT_EQ(sf.phase(2, 1).at(y, x), (h + j + 1) >> 1);  // i
+      // c uses the next integer sample to the right.
+      const int H = ref.at(y, x + 1);
+      EXPECT_EQ(sf.phase(0, 3).at(y, x), (H + b + 1) >> 1);
+      // n uses the integer sample below.
+      const int M = ref.at(y + 1, x);
+      EXPECT_EQ(sf.phase(3, 0).at(y, x), (M + h + 1) >> 1);
+      // g/k/p/q/r use shifted half-pel neighbours.
+      const int m = sf.phase(2, 0).at(y, x + 1);
+      const int s = sf.phase(0, 2).at(y + 1, x);
+      EXPECT_EQ(sf.phase(1, 3).at(y, x), (b + m + 1) >> 1);  // g
+      EXPECT_EQ(sf.phase(2, 3).at(y, x), (j + m + 1) >> 1);  // k
+      EXPECT_EQ(sf.phase(3, 1).at(y, x), (h + s + 1) >> 1);  // p
+      EXPECT_EQ(sf.phase(3, 2).at(y, x), (j + s + 1) >> 1);  // q
+      EXPECT_EQ(sf.phase(3, 3).at(y, x), (m + s + 1) >> 1);  // r
+    }
+  }
+}
+
+TEST(Interpolation, RowSlicesMatchWholeFrame) {
+  auto ref = random_plane(32, 64, 8, 5);
+  SubPelFrame whole(32, 64, 8), sliced(32, 64, 8);
+  run_interpolation_rows(ref, 0, 4, whole);
+  run_interpolation_rows(ref, 0, 1, sliced);
+  run_interpolation_rows(ref, 1, 3, sliced);
+  run_interpolation_rows(ref, 3, 4, sliced);
+  for (int dy = 0; dy < 4; ++dy) {
+    for (int dx = 0; dx < 4; ++dx) {
+      for (int y = 0; y < 64; ++y) {
+        for (int x = 0; x < 32; ++x) {
+          ASSERT_EQ(whole.phase(dy, dx).at(y, x), sliced.phase(dy, dx).at(y, x))
+              << "phase " << dy << dx << " at " << y << "," << x;
+        }
+      }
+    }
+  }
+}
+
+TEST(Interpolation, ExtendBordersFillsAllPhases) {
+  auto ref = random_plane(32, 32, 8, 6);
+  SubPelFrame sf(32, 32, 8);
+  run_interpolation_rows(ref, 0, 2, sf);
+  extend_subpel_borders(sf);
+  for (int dy = 0; dy < 4; ++dy) {
+    for (int dx = 0; dx < 4; ++dx) {
+      EXPECT_EQ(sf.phase(dy, dx).at(-3, -3), sf.phase(dy, dx).at(0, 0));
+      EXPECT_EQ(sf.phase(dy, dx).at(34, 34), sf.phase(dy, dx).at(31, 31));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace feves

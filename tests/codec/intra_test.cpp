@@ -1,0 +1,158 @@
+#include "codec/intra.hpp"
+
+#include "codec/frame_codec.hpp"
+#include "common/rng.hpp"
+#include "video/metrics.hpp"
+#include "video/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace feves {
+namespace {
+
+PlaneU8 gradient_plane(int w, int h, int dx, int dy) {
+  PlaneU8 p(w, h, 8);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      p.at(y, x) = static_cast<u8>(std::clamp(60 + dx * x + dy * y, 0, 255));
+    }
+  }
+  p.extend_borders();
+  return p;
+}
+
+TEST(IntraPredict, Availability) {
+  EXPECT_FALSE(intra_mode_available(IntraMode::kVertical, {false, true}));
+  EXPECT_TRUE(intra_mode_available(IntraMode::kVertical, {true, false}));
+  EXPECT_FALSE(intra_mode_available(IntraMode::kHorizontal, {true, false}));
+  EXPECT_TRUE(intra_mode_available(IntraMode::kDc, {false, false}));
+  EXPECT_FALSE(intra_mode_available(IntraMode::kPlane, {true, false}));
+  EXPECT_TRUE(intra_mode_available(IntraMode::kPlane, {true, true}));
+  EXPECT_EQ(intra_neighbours(0, 0).above, false);
+  EXPECT_EQ(intra_neighbours(3, 1).left, true);
+}
+
+TEST(IntraPredict, VerticalCopiesAboveRow) {
+  auto recon = gradient_plane(48, 48, 1, 3);
+  u8 pred[256];
+  intra_predict_16x16(recon, 1, 1, IntraMode::kVertical, pred);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      EXPECT_EQ(pred[y * 16 + x], recon.at(15, 16 + x));
+    }
+  }
+}
+
+TEST(IntraPredict, HorizontalCopiesLeftColumn) {
+  auto recon = gradient_plane(48, 48, 2, 1);
+  u8 pred[256];
+  intra_predict_16x16(recon, 1, 1, IntraMode::kHorizontal, pred);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      EXPECT_EQ(pred[y * 16 + x], recon.at(16 + y, 15));
+    }
+  }
+}
+
+TEST(IntraPredict, DcIsNeighbourMean) {
+  PlaneU8 recon(48, 48, 8);
+  recon.fill(0);
+  // Above row = 100, left column = 200 -> DC = 150.
+  for (int x = 16; x < 32; ++x) recon.at(15, x) = 100;
+  for (int y = 16; y < 32; ++y) recon.at(y, 15) = 200;
+  u8 pred[256];
+  intra_predict_16x16(recon, 1, 1, IntraMode::kDc, pred);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(pred[i], 150);
+}
+
+TEST(IntraPredict, DcWithoutNeighboursIs128) {
+  PlaneU8 recon(48, 48, 8);
+  recon.fill(77);
+  u8 pred[256];
+  intra_predict_16x16(recon, 0, 0, IntraMode::kDc, pred);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(pred[i], 128);
+}
+
+TEST(IntraPredict, PlaneReproducesLinearRamp) {
+  // A true plane signal must be predicted almost exactly by Plane mode.
+  auto recon = gradient_plane(64, 64, 2, 1);
+  u8 pred[256];
+  intra_predict_16x16(recon, 1, 1, IntraMode::kPlane, pred);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      const int expect = 60 + 2 * (16 + x) + (16 + y);
+      EXPECT_NEAR(pred[y * 16 + x], expect, 2) << y << "," << x;
+    }
+  }
+}
+
+TEST(IntraPredict, SelectPicksDirectionalModeOnStripes) {
+  // Vertically striped content: the row above predicts the MB exactly, so
+  // Vertical must win the SAD decision.
+  PlaneU8 src(48, 48, 8);
+  for (int y = 0; y < 48; ++y) {
+    for (int x = 0; x < 48; ++x) {
+      src.at(y, x) = (x % 4 < 2) ? u8{40} : u8{220};
+    }
+  }
+  src.extend_borders();
+  EXPECT_EQ(select_intra_mode(src, src, 1, 1), IntraMode::kVertical);
+
+  // Horizontally striped content: Horizontal must win.
+  PlaneU8 src2(48, 48, 8);
+  for (int y = 0; y < 48; ++y) {
+    for (int x = 0; x < 48; ++x) {
+      src2.at(y, x) = (y % 4 < 2) ? u8{40} : u8{220};
+    }
+  }
+  src2.extend_borders();
+  EXPECT_EQ(select_intra_mode(src2, src2, 1, 1), IntraMode::kHorizontal);
+}
+
+TEST(IntraPredict, ChromaDcUsesAvailableEdges) {
+  PlaneU8 recon(24, 24, 4);
+  recon.fill(0);
+  for (int x = 8; x < 16; ++x) recon.at(7, x) = 60;
+  for (int y = 8; y < 16; ++y) recon.at(y, 7) = 100;
+  u8 pred[64];
+  intra_predict_chroma_dc(recon, 1, 1, pred);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(pred[i], 80);
+  intra_predict_chroma_dc(recon, 0, 0, pred);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(pred[i], 128);
+}
+
+TEST(IntraFrame, DirectionalModesBeatFlatDcOnStructuredContent) {
+  // Encode a gradient frame: intra prediction should leave tiny residuals,
+  // giving high PSNR at modest bitrate.
+  EncoderConfig cfg;
+  cfg.width = 96;
+  cfg.height = 64;
+  cfg.search_range = 8;
+  Frame420 frame(cfg.width, cfg.height);
+  for (int y = 0; y < cfg.height; ++y) {
+    for (int x = 0; x < cfg.width; ++x) {
+      frame.y.at(y, x) = static_cast<u8>(std::clamp(30 + x + y, 0, 255));
+    }
+  }
+  frame.extend_borders();
+
+  RefList refs(1);
+  std::vector<u8> bits;
+  auto pic = encode_frame_reference(cfg, frame, refs, 0, &bits);
+  EXPECT_GT(plane_psnr(pic->recon.y, frame.y), 40.0);
+  // A plane-predictable frame costs little: every residual nearly zero.
+  EXPECT_LT(bits.size(), 3000u);
+
+  int plane_mbs = 0;
+  // Re-run through the job API to inspect chosen modes.
+  EncodeJob job;
+  job.prepare(cfg, frame, {}, 0);
+  intra_frame(job);
+  for (const MbCoded& c : job.coded) {
+    if (c.intra_mode == IntraMode::kPlane) ++plane_mbs;
+  }
+  EXPECT_GT(plane_mbs, job.coded.size() / 2) << "plane mode underused";
+}
+
+}  // namespace
+}  // namespace feves

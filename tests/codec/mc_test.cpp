@@ -1,0 +1,223 @@
+#include "codec/mc.hpp"
+
+#include "codec/interpolate.hpp"
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace feves {
+namespace {
+
+TEST(SeBits, ExpGolombLengths) {
+  EXPECT_EQ(se_bits(0), 1);
+  EXPECT_EQ(se_bits(1), 3);   // maps to 1 -> code '010'
+  EXPECT_EQ(se_bits(-1), 3);  // maps to 2 -> '011'
+  EXPECT_EQ(se_bits(2), 5);
+  EXPECT_EQ(se_bits(-2), 5);
+  EXPECT_EQ(se_bits(4), 7);
+}
+
+TEST(ModeDecision, PicksCheapestModeWithZeroLambda) {
+  // One MB, one reference. Give 8x8 a decisive advantage.
+  MotionField f(1);
+  for (auto& e : f[0].entries) {
+    e.cost = 1000;
+    e.mv = Mv{0, 0};
+  }
+  for (int b = 0; b < 4; ++b) f[0].entry(PartitionMode::k8x8, b).cost = 10;
+  std::vector<MotionField> fields{f};
+
+  MbModeChoice choice;
+  run_mode_decision_rows(fields, 1, 0, 1, /*lambda=*/0.0, &choice);
+  EXPECT_EQ(choice.mode, PartitionMode::k8x8);
+}
+
+TEST(ModeDecision, LambdaPenalizesManyPartitions) {
+  // 4x4 is slightly better in raw SAD, but with 16 blocks of MV overhead a
+  // positive lambda must flip the decision to 16x16.
+  MotionField f(1);
+  for (auto& e : f[0].entries) {
+    e.cost = 10000;
+    e.mv = Mv{40, -36};  // non-trivial vectors: real rate cost
+  }
+  f[0].entry(PartitionMode::k16x16, 0).cost = 1650;
+  for (int b = 0; b < 16; ++b) f[0].entry(PartitionMode::k4x4, b).cost = 100;
+  std::vector<MotionField> fields{f};
+
+  MbModeChoice zero_lambda, high_lambda;
+  run_mode_decision_rows(fields, 1, 0, 1, 0.0, &zero_lambda);
+  run_mode_decision_rows(fields, 1, 0, 1, 20.0, &high_lambda);
+  EXPECT_EQ(zero_lambda.mode, PartitionMode::k4x4);
+  EXPECT_EQ(high_lambda.mode, PartitionMode::k16x16);
+}
+
+TEST(ModeDecision, SelectsBestReferencePerBlock) {
+  MotionField r0(1), r1(1);
+  for (auto& e : r0[0].entries) {
+    e.cost = 500;
+    e.mv = Mv{4, 0};
+  }
+  for (auto& e : r1[0].entries) {
+    e.cost = 500;
+    e.mv = Mv{8, 0};
+  }
+  // Keep the SAD hierarchy consistent (a whole-MB SAD is at least the sum
+  // of its halves) while making ref 1 decisively better for block 1 of
+  // 16x8: 16x8 total = 500 + 5 < 16x16 total = 1200.
+  r0[0].entry(PartitionMode::k16x16, 0).cost = 1200;
+  r1[0].entry(PartitionMode::k16x16, 0).cost = 1200;
+  r1[0].entry(PartitionMode::k16x8, 1).cost = 5;
+  std::vector<MotionField> fields{r0, r1};
+
+  MbModeChoice choice;
+  run_mode_decision_rows(fields, 1, 0, 1, 0.0, &choice);
+  EXPECT_EQ(choice.mode, PartitionMode::k16x8);
+  EXPECT_EQ(choice.blocks[0].ref_idx, 0);  // tie -> lower index wins
+  EXPECT_EQ(choice.blocks[1].ref_idx, 1);
+}
+
+struct McFixture {
+  static constexpr int kW = 32, kH = 32, kBorder = 24;
+  Frame420 ref_frame;
+  SubPelFrame sf;
+  Frame420 cur;
+
+  McFixture() : ref_frame(kW, kH, kBorder), sf(kW, kH, kBorder),
+                cur(kW, kH, kBorder) {
+    Rng rng(5);
+    for (int y = 0; y < kH; ++y) {
+      for (int x = 0; x < kW; ++x) {
+        ref_frame.y.at(y, x) = static_cast<u8>(rng.uniform_int(0, 255));
+      }
+    }
+    for (int y = 0; y < kH / 2; ++y) {
+      for (int x = 0; x < kW / 2; ++x) {
+        ref_frame.u.at(y, x) = static_cast<u8>(rng.uniform_int(0, 255));
+        ref_frame.v.at(y, x) = static_cast<u8>(rng.uniform_int(0, 255));
+      }
+    }
+    ref_frame.extend_borders();
+    run_interpolation_rows(ref_frame.y, 0, kH / 16, sf);
+    extend_subpel_borders(sf);
+  }
+};
+
+TEST(MotionCompensation, ZeroMvIntegerCopyGivesPredEqualRef) {
+  McFixture fx;
+  // cur = ref -> residual must be all zero with MV (0,0).
+  for (int y = 0; y < McFixture::kH; ++y) {
+    for (int x = 0; x < McFixture::kW; ++x) {
+      fx.cur.y.at(y, x) = fx.ref_frame.y.at(y, x);
+    }
+  }
+  MbModeChoice choice;
+  choice.mode = PartitionMode::k16x16;
+  choice.blocks[0] = {Mv{0, 0}, 0};
+
+  u8 pred[256];
+  i16 res[256];
+  std::vector<const SubPelFrame*> sfs{&fx.sf};
+  motion_compensate_luma_mb(fx.cur.y, sfs, choice, 0, 0, pred, res);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(res[i], 0);
+    EXPECT_EQ(pred[i],
+              fx.ref_frame.y.at(i / 16, i % 16));
+  }
+}
+
+TEST(MotionCompensation, IntegerMvShiftsPrediction) {
+  McFixture fx;
+  MbModeChoice choice;
+  choice.mode = PartitionMode::k16x16;
+  choice.blocks[0] = {Mv{8, -4}, 0};  // +2 px right, -1 px up
+
+  u8 pred[256];
+  i16 res[256];
+  std::vector<const SubPelFrame*> sfs{&fx.sf};
+  motion_compensate_luma_mb(fx.cur.y, sfs, choice, 1, 1, pred, res);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      EXPECT_EQ(pred[y * 16 + x], fx.ref_frame.y.at(16 + y - 1, 16 + x + 2));
+    }
+  }
+}
+
+TEST(MotionCompensation, SubPelMvReadsCorrectPhase) {
+  McFixture fx;
+  MbModeChoice choice;
+  choice.mode = PartitionMode::k16x16;
+  choice.blocks[0] = {Mv{6, 1}, 0};  // phase (1, 2), integer (+1, 0)
+
+  u8 pred[256];
+  i16 res[256];
+  std::vector<const SubPelFrame*> sfs{&fx.sf};
+  motion_compensate_luma_mb(fx.cur.y, sfs, choice, 0, 0, pred, res);
+  const PlaneU8& ph = fx.sf.phase(1, 2);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      EXPECT_EQ(pred[y * 16 + x], ph.at(y, x + 1));
+    }
+  }
+}
+
+TEST(MotionCompensation, PerBlockVectorsApplyToTheirRegions) {
+  McFixture fx;
+  MbModeChoice choice;
+  choice.mode = PartitionMode::k8x16;
+  choice.blocks[0] = {Mv{0, 0}, 0};
+  choice.blocks[1] = {Mv{4, 0}, 0};  // right half shifted by 1 px
+
+  u8 pred[256];
+  i16 res[256];
+  std::vector<const SubPelFrame*> sfs{&fx.sf};
+  motion_compensate_luma_mb(fx.cur.y, sfs, choice, 0, 0, pred, res);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      EXPECT_EQ(pred[y * 16 + x], fx.ref_frame.y.at(y, x));
+    }
+    for (int x = 8; x < 16; ++x) {
+      EXPECT_EQ(pred[y * 16 + x], fx.ref_frame.y.at(y, x + 1));
+    }
+  }
+}
+
+TEST(MotionCompensation, ChromaIntegerShiftFollowsLumaHalf) {
+  McFixture fx;
+  MbModeChoice choice;
+  choice.mode = PartitionMode::k16x16;
+  choice.blocks[0] = {Mv{16, 8}, 0};  // luma +4 px, +2 px -> chroma +2, +1
+
+  u8 pred[64];
+  i16 res[64];
+  std::vector<const PlaneU8*> refs_u{&fx.ref_frame.u};
+  motion_compensate_chroma_mb(fx.cur.u, refs_u, choice, 0, 0, pred, res);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      EXPECT_EQ(pred[y * 8 + x], fx.ref_frame.u.at(y + 1, x + 2));
+    }
+  }
+}
+
+TEST(MotionCompensation, ChromaFractionalIsBilinear) {
+  McFixture fx;
+  MbModeChoice choice;
+  choice.mode = PartitionMode::k16x16;
+  choice.blocks[0] = {Mv{2, 0}, 0};  // chroma xFrac=2, yFrac=0
+
+  u8 pred[64];
+  i16 res[64];
+  std::vector<const PlaneU8*> refs_u{&fx.ref_frame.u};
+  motion_compensate_chroma_mb(fx.cur.u, refs_u, choice, 0, 0, pred, res);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      const int a = fx.ref_frame.u.at(y, x);
+      const int b = fx.ref_frame.u.at(y, x + 1);
+      EXPECT_EQ(pred[y * 8 + x], (6 * 8 * a + 2 * 8 * b + 32) >> 6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace feves

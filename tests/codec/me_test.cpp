@@ -1,0 +1,160 @@
+#include "codec/me.hpp"
+
+#include "common/rng.hpp"
+#include "video/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace feves {
+namespace {
+
+/// Builds a reference plane of smooth texture and a current frame that is
+/// the reference translated by (dx, dy): FSBM must recover exactly (dx,dy)
+/// for every partition when the shift is within range.
+void make_shifted_pair(PlaneU8& ref, PlaneU8& cur, int dx, int dy, u64 seed) {
+  Rng rng(seed);
+  // Smooth random texture so the optimum is unique with high probability.
+  for (int y = 0; y < ref.height(); ++y) {
+    for (int x = 0; x < ref.width(); ++x) {
+      const double v = 128.0 + 60.0 * std::sin(0.35 * x + 0.05 * y) +
+                       40.0 * std::sin(0.07 * x * 0.9 + 0.29 * y) +
+                       rng.uniform_real(-4.0, 4.0);
+      ref.at(y, x) = static_cast<u8>(std::clamp(v, 0.0, 255.0));
+    }
+  }
+  ref.extend_borders();
+  for (int y = 0; y < cur.height(); ++y) {
+    for (int x = 0; x < cur.width(); ++x) {
+      cur.at(y, x) = ref.at(y + dy, x + dx);
+    }
+  }
+  cur.extend_borders();
+}
+
+TEST(MotionEstimation, RecoversGlobalTranslation) {
+  const int w = 64, h = 48, border = 40;
+  PlaneU8 ref(w, h, border), cur(w, h, border);
+  make_shifted_pair(ref, cur, 3, -2, 11);
+
+  MeParams params;
+  params.search_range = 8;
+  MotionField field(static_cast<std::size_t>((w / 16) * (h / 16)));
+  run_me_rows(cur, ref, w / 16, 0, h / 16, params, field.data());
+
+  for (const MbMotion& mb : field) {
+    const MotionEntry& e = mb.entry(PartitionMode::k16x16, 0);
+    EXPECT_EQ(e.mv.x, 3 * 4) << "quarter-pel units";
+    EXPECT_EQ(e.mv.y, -2 * 4);
+    EXPECT_EQ(e.cost, 0u);
+  }
+}
+
+TEST(MotionEstimation, AllPartitionsFindZeroCostOnIdenticalFrames) {
+  const int w = 48, h = 32, border = 40;
+  PlaneU8 ref(w, h, border), cur(w, h, border);
+  make_shifted_pair(ref, cur, 0, 0, 22);
+
+  MeParams params;
+  params.search_range = 4;
+  MotionField field(static_cast<std::size_t>((w / 16) * (h / 16)));
+  run_me_rows(cur, ref, w / 16, 0, h / 16, params, field.data());
+
+  for (const MbMotion& mb : field) {
+    for (const MotionEntry& e : mb.entries) {
+      EXPECT_EQ(e.cost, 0u);
+    }
+  }
+}
+
+TEST(MotionEstimation, RowRangeOnlyWritesItsRows) {
+  const int w = 32, h = 64, border = 24;
+  PlaneU8 ref(w, h, border), cur(w, h, border);
+  make_shifted_pair(ref, cur, 1, 1, 33);
+
+  MotionField field(static_cast<std::size_t>((w / 16) * (h / 16)));
+  MeParams params;
+  params.search_range = 4;
+  // Only rows [1, 3).
+  run_me_rows(cur, ref, w / 16, 1, 3, params, field.data());
+
+  const int mbw = w / 16;
+  for (int row = 0; row < h / 16; ++row) {
+    const MotionEntry& e = field[row * mbw].entry(PartitionMode::k16x16, 0);
+    if (row >= 1 && row < 3) {
+      EXPECT_NE(e.cost, kInvalidCost) << "row " << row;
+    } else {
+      EXPECT_EQ(e.cost, kInvalidCost) << "row " << row;
+    }
+  }
+}
+
+TEST(MotionEstimation, DistributedRowsMatchSingleShot) {
+  const int w = 48, h = 64, border = 30;
+  PlaneU8 ref(w, h, border), cur(w, h, border);
+  make_shifted_pair(ref, cur, -2, 3, 44);
+
+  const int mbw = w / 16, mbh = h / 16;
+  MeParams params;
+  params.search_range = 6;
+
+  MotionField whole(static_cast<std::size_t>(mbw * mbh));
+  run_me_rows(cur, ref, mbw, 0, mbh, params, whole.data());
+
+  // Split into three uneven slices, as the load balancer would.
+  MotionField split(static_cast<std::size_t>(mbw * mbh));
+  run_me_rows(cur, ref, mbw, 0, 1, params, split.data());
+  run_me_rows(cur, ref, mbw, 1, 3, params, split.data());
+  run_me_rows(cur, ref, mbw, 3, mbh, params, split.data());
+
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    for (int k = 0; k < kEntriesPerMb; ++k) {
+      EXPECT_EQ(whole[i].entries[k].mv, split[i].entries[k].mv);
+      EXPECT_EQ(whole[i].entries[k].cost, split[i].entries[k].cost);
+    }
+  }
+}
+
+TEST(MotionEstimation, RejectsInsufficientBorder) {
+  PlaneU8 ref(32, 32, 8), cur(32, 32, 8);
+  MotionField field(4);
+  MeParams params;
+  params.search_range = 8;  // needs border >= 8 + 16
+  EXPECT_THROW(run_me_rows(cur, ref, 2, 0, 2, params, field.data()), Error);
+}
+
+TEST(MotionEstimation, CostsAreMonotoneOverPartitionRefinement) {
+  // The 16x16 SAD equals the sum of its 8x8 SADs' lower bounds: best 16x16
+  // cost >= sum of best 8x8 costs (finer partitions can only do better).
+  const int w = 32, h = 32, border = 30;
+  PlaneU8 ref(w, h, border), cur(w, h, border);
+  Rng rng(55);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      ref.at(y, x) = static_cast<u8>(rng.uniform_int(0, 255));
+      cur.at(y, x) = static_cast<u8>(rng.uniform_int(0, 255));
+    }
+  }
+  ref.extend_borders();
+  cur.extend_borders();
+
+  MeParams params;
+  params.search_range = 6;
+  MotionField field(4);
+  run_me_rows(cur, ref, 2, 0, 2, params, field.data());
+
+  for (const MbMotion& mb : field) {
+    const u32 c16 = mb.entry(PartitionMode::k16x16, 0).cost;
+    u32 c8_sum = 0;
+    for (int b = 0; b < 4; ++b) c8_sum += mb.entry(PartitionMode::k8x8, b).cost;
+    u32 c4_sum = 0;
+    for (int b = 0; b < 16; ++b) c4_sum += mb.entry(PartitionMode::k4x4, b).cost;
+    EXPECT_GE(c16, c8_sum);
+    EXPECT_GE(c8_sum, c4_sum);
+  }
+}
+
+}  // namespace
+}  // namespace feves

@@ -1,0 +1,165 @@
+#include "codec/sme.hpp"
+
+#include "codec/interpolate.hpp"
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace feves {
+namespace {
+
+PlaneU8 smooth_plane(int w, int h, int border, u64 seed) {
+  PlaneU8 p(w, h, border);
+  Rng rng(seed);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double v = 128.0 + 55.0 * std::sin(0.21 * x) +
+                       45.0 * std::cos(0.17 * y) + rng.uniform_real(-2.0, 2.0);
+      p.at(y, x) = static_cast<u8>(std::clamp(v, 0.0, 255.0));
+    }
+  }
+  p.extend_borders();
+  return p;
+}
+
+struct SmeFixture {
+  static constexpr int kW = 48, kH = 32, kBorder = 24;
+  PlaneU8 ref;
+  SubPelFrame sf;
+
+  explicit SmeFixture(u64 seed)
+      : ref(smooth_plane(kW, kH, kBorder, seed)), sf(kW, kH, kBorder) {
+    run_interpolation_rows(ref, 0, kH / 16, sf);
+    extend_subpel_borders(sf);
+  }
+
+  /// Current frame sampled from a chosen quarter-pel phase of the SF so the
+  /// SME optimum is known exactly.
+  PlaneU8 cur_from_phase(int qy, int qx) const {
+    PlaneU8 cur(kW, kH, kBorder);
+    const PlaneU8& ph = sf.phase(qy & 3, qx & 3);
+    for (int y = 0; y < kH; ++y) {
+      for (int x = 0; x < kW; ++x) {
+        cur.at(y, x) = ph.at(y + (qy >> 2), x + (qx >> 2));
+      }
+    }
+    cur.extend_borders();
+    return cur;
+  }
+};
+
+MotionField zero_initialized_field(int mbs) {
+  MotionField f(static_cast<std::size_t>(mbs));
+  for (auto& mb : f) {
+    for (auto& e : mb.entries) {
+      e.mv = Mv{0, 0};
+      e.cost = kInvalidCost;
+    }
+  }
+  return f;
+}
+
+/// Sweep every quarter-pel displacement within the refinement radius: SME
+/// starting at MV (0,0) must land exactly on the planted displacement.
+class SmePhaseRecovery : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+TEST_P(SmePhaseRecovery, FindsPlantedQuarterPelShift) {
+  const auto [qy, qx] = GetParam();
+  SmeFixture fx(42);
+  PlaneU8 cur = fx.cur_from_phase(qy, qx);
+
+  const int mbw = SmeFixture::kW / 16, mbh = SmeFixture::kH / 16;
+  MotionField field = zero_initialized_field(mbw * mbh);
+  SmeParams params;
+  params.refine_range = 2;
+  run_sme_rows(cur, fx.sf, mbw, 0, mbh, params, field.data());
+
+  for (const MbMotion& mb : field) {
+    const MotionEntry& e = mb.entry(PartitionMode::k16x16, 0);
+    EXPECT_EQ(e.mv.x, qx);
+    EXPECT_EQ(e.mv.y, qy);
+    EXPECT_EQ(e.cost, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QuarterPelShifts, SmePhaseRecovery,
+    ::testing::Values(std::pair{0, 0}, std::pair{0, 1}, std::pair{1, 0},
+                      std::pair{1, 1}, std::pair{0, 2}, std::pair{2, 0},
+                      std::pair{2, 2}, std::pair{0, -1}, std::pair{-1, 0},
+                      std::pair{-2, -2}, std::pair{-1, 2}, std::pair{2, -1}));
+
+TEST(Sme, RefinementNeverIncreasesCost) {
+  SmeFixture fx(7);
+  PlaneU8 cur = smooth_plane(SmeFixture::kW, SmeFixture::kH, SmeFixture::kBorder,
+                             99);  // unrelated content
+  const int mbw = SmeFixture::kW / 16, mbh = SmeFixture::kH / 16;
+
+  // Baseline: integer-pel cost at the start position.
+  MotionField field = zero_initialized_field(mbw * mbh);
+  SmeParams zero;
+  zero.refine_range = 0;  // evaluates only the start MV
+  MotionField base = field;
+  run_sme_rows(cur, fx.sf, mbw, 0, mbh, zero, base.data());
+
+  SmeParams params;
+  params.refine_range = 2;
+  run_sme_rows(cur, fx.sf, mbw, 0, mbh, params, field.data());
+
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    for (int k = 0; k < kEntriesPerMb; ++k) {
+      EXPECT_LE(field[i].entries[k].cost, base[i].entries[k].cost);
+    }
+  }
+}
+
+TEST(Sme, DistributedRowsMatchSingleShot) {
+  SmeFixture fx(13);
+  PlaneU8 cur = fx.cur_from_phase(1, -1);
+  const int mbw = SmeFixture::kW / 16, mbh = SmeFixture::kH / 16;
+
+  MotionField whole = zero_initialized_field(mbw * mbh);
+  MotionField split = whole;
+  SmeParams params;
+  params.refine_range = 2;
+  run_sme_rows(cur, fx.sf, mbw, 0, mbh, params, whole.data());
+  run_sme_rows(cur, fx.sf, mbw, 0, 1, params, split.data());
+  run_sme_rows(cur, fx.sf, mbw, 1, mbh, params, split.data());
+
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    for (int k = 0; k < kEntriesPerMb; ++k) {
+      EXPECT_EQ(whole[i].entries[k].mv, split[i].entries[k].mv);
+      EXPECT_EQ(whole[i].entries[k].cost, split[i].entries[k].cost);
+    }
+  }
+}
+
+TEST(Sme, RespectsBaseVectorOffset) {
+  // Start vectors far from zero must be refined around themselves, not
+  // around the origin.
+  SmeFixture fx(21);
+  PlaneU8 cur = fx.cur_from_phase(4 * 2 + 1, -(4 * 1 + 1));  // (+2.25, -1.25) px
+  const int mbw = SmeFixture::kW / 16, mbh = SmeFixture::kH / 16;
+
+  MotionField field = zero_initialized_field(mbw * mbh);
+  for (auto& mb : field) {
+    for (auto& e : mb.entries) e.mv = Mv{-4, 8};  // integer (-1, +2)
+  }
+  SmeParams params;
+  params.refine_range = 2;
+  run_sme_rows(cur, fx.sf, mbw, 0, mbh, params, field.data());
+  // Planted optimum (9, -5) is outside ±2 of the base (-4, 8): SME must
+  // still return the best candidate *within its window*, whose cost is
+  // nonzero, and the MV must lie inside the window.
+  for (const MbMotion& mb : field) {
+    const MotionEntry& e = mb.entry(PartitionMode::k16x16, 0);
+    EXPECT_LE(std::abs(e.mv.x - (-4)), 2);
+    EXPECT_LE(std::abs(e.mv.y - 8), 2);
+  }
+}
+
+}  // namespace
+}  // namespace feves

@@ -1,0 +1,64 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace feves {
+namespace {
+
+TEST(EncoderConfig, DefaultsAreValid1080p) {
+  // "1080p" in MB terms is 1920x1088 (H.264 codes full macroblocks and
+  // crops), 120x68 MBs; the default config uses the coded size.
+  EncoderConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.mb_width(), 120);
+  EXPECT_EQ(cfg.mb_height(), 68);
+}
+
+TEST(EncoderConfig, RejectsNonMacroblockAlignedDimensions) {
+  EncoderConfig cfg;
+  cfg.width = 100;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.width = 1920;
+  cfg.height = 1000;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(EncoderConfig, RejectsOutOfRangeParameters) {
+  EncoderConfig cfg;
+  cfg.width = 352;
+  cfg.height = 288;
+  cfg.search_range = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.search_range = 129;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.search_range = 16;
+  cfg.num_ref_frames = 17;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.num_ref_frames = 4;
+  cfg.qp_p = 52;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.qp_p = 28;
+  cfg.partitions = PartitionSet{false, false, false, false,
+                                false, false, false};
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(EncoderConfig, SearchAreaSizeMatchesPaperConvention) {
+  EncoderConfig cfg;
+  cfg.search_range = 16;
+  EXPECT_EQ(cfg.search_area_size(), 32);  // the paper's "32x32 SA"
+  cfg.search_range = 128;
+  EXPECT_EQ(cfg.search_area_size(), 256);
+}
+
+TEST(EncoderConfig, MbRowAccounting) {
+  EncoderConfig cfg;
+  cfg.width = 352;
+  cfg.height = 288;
+  EXPECT_EQ(cfg.mb_width(), 22);
+  EXPECT_EQ(cfg.num_mb_rows(), 18);
+  EXPECT_EQ(cfg.total_mbs(), 396);
+}
+
+}  // namespace
+}  // namespace feves

@@ -1,0 +1,99 @@
+#include "common/span2d.hpp"
+#include "video/frame.hpp"
+#include "video/plane.hpp"
+
+#include <gtest/gtest.h>
+
+namespace feves {
+namespace {
+
+TEST(Span2D, BasicAddressing) {
+  std::vector<int> data(20, 0);
+  Span2D<int> s(data.data(), 4, 5, 4);
+  s(2, 3) = 42;
+  EXPECT_EQ(data[2 * 4 + 3], 42);
+  EXPECT_EQ(s.at(2, 3), 42);
+}
+
+TEST(Span2D, AtThrowsOutOfRange) {
+  std::vector<int> data(20, 0);
+  Span2D<int> s(data.data(), 4, 5, 4);
+  EXPECT_THROW(s.at(5, 0), Error);
+  EXPECT_THROW(s.at(0, 4), Error);
+  EXPECT_THROW(s.at(-1, 0), Error);
+}
+
+TEST(Span2D, SubViewSharesStorage) {
+  std::vector<int> data(100, 0);
+  Span2D<int> s(data.data(), 10, 10, 10);
+  auto sub = s.sub(2, 3, 4, 5);
+  sub(0, 0) = 7;
+  EXPECT_EQ(s(3, 2), 7);
+  EXPECT_EQ(sub.width(), 4);
+  EXPECT_EQ(sub.height(), 5);
+}
+
+TEST(Span2D, SubViewBoundsChecked) {
+  std::vector<int> data(100, 0);
+  Span2D<int> s(data.data(), 10, 10, 10);
+  EXPECT_THROW(s.sub(8, 0, 4, 4), Error);
+  EXPECT_THROW(s.sub(0, 8, 4, 4), Error);
+}
+
+TEST(Plane, StrideIsAlignedAndCoversBorder) {
+  PlaneU8 p(33, 17, 8);
+  EXPECT_GE(p.stride(), 33 + 16);
+  EXPECT_EQ(p.stride() % 64, 0);
+  EXPECT_EQ(p.width(), 33);
+  EXPECT_EQ(p.height(), 17);
+}
+
+TEST(Plane, BorderAccessWithinLimits) {
+  PlaneU8 p(16, 16, 4);
+  p.at(-4, -4) = 9;
+  p.at(19, 19) = 11;
+  EXPECT_EQ(p.at(-4, -4), 9);
+  EXPECT_EQ(p.at(19, 19), 11);
+  EXPECT_THROW(p.at(-5, 0), Error);
+  EXPECT_THROW(p.at(0, 20), Error);
+}
+
+TEST(Plane, ExtendBordersReplicatesEdges) {
+  PlaneU8 p(4, 4, 3);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      p.at(y, x) = static_cast<u8>(10 * y + x);
+    }
+  }
+  p.extend_borders();
+  // Left/right replication.
+  EXPECT_EQ(p.at(2, -1), p.at(2, 0));
+  EXPECT_EQ(p.at(2, -3), p.at(2, 0));
+  EXPECT_EQ(p.at(1, 5), p.at(1, 3));
+  // Top/bottom replication (including corners).
+  EXPECT_EQ(p.at(-2, 1), p.at(0, 1));
+  EXPECT_EQ(p.at(6, 2), p.at(3, 2));
+  EXPECT_EQ(p.at(-3, -3), p.at(0, 0));
+  EXPECT_EQ(p.at(6, 6), p.at(3, 3));
+}
+
+TEST(Frame420, GeometryAndChromaSubsampling) {
+  Frame420 f(64, 48, 16);
+  EXPECT_EQ(f.y.width(), 64);
+  EXPECT_EQ(f.u.width(), 32);
+  EXPECT_EQ(f.v.height(), 24);
+  EXPECT_EQ(f.u.border(), 8);
+}
+
+TEST(SubPelFrame, SixteenPhases) {
+  SubPelFrame sf(32, 32, 8);
+  for (int dy = 0; dy < 4; ++dy) {
+    for (int dx = 0; dx < 4; ++dx) {
+      EXPECT_EQ(sf.phase(dy, dx).width(), 32);
+    }
+  }
+  EXPECT_THROW(sf.phase(4, 0), Error);
+}
+
+}  // namespace
+}  // namespace feves

@@ -1,0 +1,80 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace feves {
+namespace {
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto fut = pool.submit([&] { counter.fetch_add(1); });
+  fut.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, SubmitPropagatesResultOrdering) {
+  ThreadPool pool(4);
+  std::vector<std::future<void>> futs;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.submit([&count] { count.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr int kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, [&](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](int) { ++calls; });
+  pool.parallel_for(7, 3, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ParallelForSingleElement) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  pool.parallel_for(41, 42, [&](int i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 41);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](int i) {
+                          if (i == 57) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForLargeSum) {
+  ThreadPool pool(4);
+  constexpr int kN = 10000;
+  std::atomic<long long> sum{0};
+  pool.parallel_for(0, kN, [&](int i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+}  // namespace
+}  // namespace feves

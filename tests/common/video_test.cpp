@@ -1,0 +1,168 @@
+#include "codec/refpic.hpp"
+#include "common/rng.hpp"
+#include "video/metrics.hpp"
+#include "video/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace feves {
+namespace {
+
+TEST(Metrics, PsnrOfIdenticalPlanesIsInfinite) {
+  PlaneU8 a(32, 32, 0), b(32, 32, 0);
+  a.fill(100);
+  b.fill(100);
+  EXPECT_TRUE(std::isinf(plane_psnr(a, b)));
+  EXPECT_DOUBLE_EQ(plane_mse(a, b), 0.0);
+}
+
+TEST(Metrics, KnownMse) {
+  PlaneU8 a(16, 16, 0), b(16, 16, 0);
+  a.fill(100);
+  b.fill(104);  // every pixel off by 4 -> MSE 16, PSNR ~36.08 dB
+  EXPECT_DOUBLE_EQ(plane_mse(a, b), 16.0);
+  EXPECT_NEAR(plane_psnr(a, b), 36.08, 0.02);
+}
+
+TEST(Metrics, SsimBoundsAndIdentity) {
+  PlaneU8 a(32, 32, 0);
+  Rng rng(5);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      a.at(y, x) = static_cast<u8>(rng.uniform_int(0, 255));
+    }
+  }
+  EXPECT_NEAR(plane_ssim(a, a), 1.0, 1e-9);
+  PlaneU8 b(32, 32, 0);
+  b.fill(128);
+  const double s = plane_ssim(a, b);
+  EXPECT_LT(s, 0.5);
+  EXPECT_GE(s, -1.0);
+}
+
+TEST(Metrics, BitExactDetectsSinglePixelChange) {
+  Frame420 a(32, 32), b(32, 32);
+  a.y.fill(7);
+  b.y.fill(7);
+  EXPECT_TRUE(frames_bit_exact(a, b));
+  b.u.at(3, 3) = 9;
+  EXPECT_FALSE(frames_bit_exact(a, b));
+}
+
+TEST(Synthetic, DeterministicAcrossInstances) {
+  SyntheticConfig sc;
+  sc.width = 64;
+  sc.height = 48;
+  sc.frames = 3;
+  SyntheticSequence s1(sc), s2(sc);
+  Frame420 f1(64, 48), f2(64, 48);
+  for (int f = 0; f < 3; ++f) {
+    ASSERT_TRUE(s1.read_frame(f, f1));
+    ASSERT_TRUE(s2.read_frame(f, f2));
+    EXPECT_TRUE(frames_bit_exact(f1, f2)) << "frame " << f;
+  }
+}
+
+TEST(Synthetic, RandomAccessMatchesSequential) {
+  SyntheticConfig sc;
+  sc.width = 64;
+  sc.height = 48;
+  sc.frames = 5;
+  SyntheticSequence seq(sc);
+  Frame420 f2a(64, 48), f2b(64, 48), tmp(64, 48);
+  ASSERT_TRUE(seq.read_frame(2, f2a));
+  ASSERT_TRUE(seq.read_frame(4, tmp));
+  ASSERT_TRUE(seq.read_frame(2, f2b));  // re-read out of order
+  EXPECT_TRUE(frames_bit_exact(f2a, f2b));
+}
+
+TEST(Synthetic, FramesActuallyMove) {
+  SyntheticConfig sc;
+  sc.width = 64;
+  sc.height = 48;
+  sc.frames = 2;
+  sc.noise_stddev = 0.0;
+  SyntheticSequence seq(sc);
+  Frame420 f0(64, 48), f1(64, 48);
+  ASSERT_TRUE(seq.read_frame(0, f0));
+  ASSERT_TRUE(seq.read_frame(1, f1));
+  EXPECT_FALSE(frames_bit_exact(f0, f1));
+  // But temporally close frames stay highly correlated (predictable).
+  EXPECT_GT(plane_psnr(f0.y, f1.y), 15.0);
+}
+
+TEST(Synthetic, EndOfSequence) {
+  SyntheticConfig sc;
+  sc.width = 32;
+  sc.height = 32;
+  sc.frames = 2;
+  SyntheticSequence seq(sc);
+  Frame420 f(32, 32);
+  EXPECT_TRUE(seq.read_frame(1, f));
+  EXPECT_FALSE(seq.read_frame(2, f));
+  EXPECT_FALSE(seq.read_frame(-1, f));
+}
+
+TEST(YuvFile, RoundTripThroughDisk) {
+  const std::string path = "/tmp/feves_yuv_test.yuv";
+  std::remove(path.c_str());
+  SyntheticConfig sc;
+  sc.width = 64;
+  sc.height = 48;
+  sc.frames = 3;
+  SyntheticSequence seq(sc);
+  Frame420 f(64, 48);
+  std::vector<Frame420> originals;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(seq.read_frame(i, f));
+    append_yuv(f, path);
+    originals.push_back(f);
+  }
+
+  YuvFileSequence file(path, 64, 48);
+  EXPECT_EQ(file.frame_count(), 3);
+  Frame420 g(64, 48);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(file.read_frame(i, g));
+    EXPECT_TRUE(frames_bit_exact(g, originals[i])) << "frame " << i;
+  }
+  EXPECT_FALSE(file.read_frame(3, g));
+  std::remove(path.c_str());
+}
+
+TEST(YuvFile, MissingFileThrows) {
+  EXPECT_THROW(YuvFileSequence("/nonexistent/foo.yuv", 64, 48), Error);
+}
+
+TEST(RefList, SlidingWindowEvictsOldest) {
+  RefList refs(2);
+  for (int i = 0; i < 3; ++i) {
+    auto pic = std::make_unique<RefPicture>(32, 32, 8);
+    pic->frame_number = i;
+    refs.push_front(std::move(pic));
+  }
+  EXPECT_EQ(refs.size(), 2);
+  EXPECT_EQ(refs.ref(0).frame_number, 2);
+  EXPECT_EQ(refs.ref(1).frame_number, 1);
+}
+
+TEST(RefList, RejectsBadCapacity) {
+  EXPECT_THROW(RefList(0), Error);
+  EXPECT_THROW(RefList(17), Error);
+}
+
+TEST(RefBorder, CoversSearchAndInterpolation) {
+  EncoderConfig cfg;
+  cfg.width = 96;
+  cfg.height = 64;
+  cfg.search_range = 12;
+  // FSBM candidate at +R-1 plus a 16-pixel block plus 6-tap margin.
+  EXPECT_GE(ref_border(cfg), cfg.search_range + 16 + 3);
+}
+
+}  // namespace
+}  // namespace feves

@@ -1,0 +1,283 @@
+#include "core/data_access.hpp"
+
+#include "common/rng.hpp"
+#include "platform/presets.hpp"
+#include "sched/load_balancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace feves {
+namespace {
+
+EncoderConfig hd_config() {
+  EncoderConfig cfg;
+  cfg.search_range = 16;
+  cfg.num_ref_frames = 2;
+  return cfg;
+}
+
+Distribution manual_dist(std::vector<int> me, std::vector<int> l,
+                         std::vector<int> s, int rstar,
+                         const EncoderConfig& cfg,
+                         const PlatformTopology& topo) {
+  Distribution d;
+  d.me = std::move(me);
+  d.intp = std::move(l);
+  d.sme = std::move(s);
+  const int n = d.num_devices();
+  d.delta_m.assign(n, 0);
+  d.delta_l.assign(n, 0);
+  d.sigma.assign(n, 0);
+  d.sigma_r.assign(n, 0);
+  d.rstar_device = rstar;
+  // Make σ "everything fits" so plans complete in-frame by default.
+  const auto l_iv = intervals_of(d.intp);
+  const auto s_iv = intervals_of(d.sme);
+  const int halo = sme_sf_halo_rows(cfg);
+  const int rows = cfg.num_mb_rows();
+  for (int i = 0; i < n; ++i) {
+    if (!topo.devices[i].is_accelerator()) continue;
+    int dl = 0;
+    for (const auto& f :
+         interval_difference(halo_extend(s_iv[i], halo, rows), l_iv[i])) {
+      dl += f.length();
+    }
+    d.delta_l[i] = dl;
+    d.delta_m[i] = interval_difference_rows(s_iv[i], intervals_of(d.me)[i]);
+    if (i != rstar) d.sigma[i] = rows - d.intp[i] - dl;
+  }
+  return d;
+}
+
+std::set<int> rows_of(const std::vector<RowInterval>& frags) {
+  std::set<int> out;
+  for (const auto& f : frags) {
+    for (int r = f.begin; r < f.end; ++r) out.insert(r);
+  }
+  return out;
+}
+
+TEST(SubtractAll, FragmentsAndClipping) {
+  auto frags = subtract_all({0, 10}, {{3, 5}, {7, 8}});
+  ASSERT_EQ(frags.size(), 3u);
+  EXPECT_EQ(frags[0].begin, 0);
+  EXPECT_EQ(frags[0].end, 3);
+  EXPECT_EQ(frags[1].begin, 5);
+  EXPECT_EQ(frags[1].end, 7);
+  EXPECT_EQ(frags[2].begin, 8);
+  EXPECT_EQ(frags[2].end, 10);
+  EXPECT_TRUE(subtract_all({2, 6}, {{0, 10}}).empty());
+  EXPECT_EQ(subtract_all({0, 4}, {}).size(), 1u);
+}
+
+TEST(DataAccess, CfCoverageForSme) {
+  // The device's CF must cover its SME slice exactly: local ME slice plus
+  // the ∆m fragments, no overlap, no gap.
+  const auto cfg = hd_config();
+  const auto topo = make_sys_hk();
+  DataAccessManagement dam(cfg, topo);
+  const auto d =
+      manual_dist({20, 48}, {50, 18}, {40, 28}, /*rstar=*/1, cfg, topo);
+  const auto plans = dam.plan_frame(d, /*rf_holder=*/0, /*num_refs=*/1);
+
+  const auto s_iv = intervals_of(d.sme);
+  const auto me_iv = intervals_of(d.me);
+  const TransferPlan& p = plans[1];
+  std::set<int> cf = rows_of(p.cf_sme);
+  for (int r = me_iv[1].begin; r < me_iv[1].end; ++r) {
+    EXPECT_TRUE(cf.insert(r).second) << "row " << r << " transferred twice";
+  }
+  for (int r = s_iv[1].begin; r < s_iv[1].end; ++r) {
+    EXPECT_TRUE(cf.count(r)) << "SME row " << r << " has no CF";
+  }
+}
+
+TEST(DataAccess, SfCoverageIncludesHalo) {
+  const auto cfg = hd_config();
+  const auto topo = make_sys_hk();
+  DataAccessManagement dam(cfg, topo);
+  const auto d = manual_dist({20, 48}, {50, 18}, {40, 28}, 1, cfg, topo);
+  const auto plans = dam.plan_frame(d, 0, 1);
+
+  const auto s_iv = intervals_of(d.sme);
+  const auto l_iv = intervals_of(d.intp);
+  const int halo = sme_sf_halo_rows(cfg);
+  const TransferPlan& p = plans[1];
+
+  std::set<int> sf = rows_of(p.sf_sme);
+  for (int r = l_iv[1].begin; r < l_iv[1].end; ++r) {
+    EXPECT_TRUE(sf.insert(r).second) << "SF row " << r << " transferred twice";
+  }
+  const auto need = halo_extend(s_iv[1], halo, cfg.num_mb_rows());
+  for (int r = need.begin; r < need.end; ++r) {
+    EXPECT_TRUE(sf.count(r)) << "needed SF row " << r << " missing";
+  }
+}
+
+TEST(DataAccess, SfCompletionPartitionsRemainder) {
+  const auto cfg = hd_config();
+  const auto topo = make_sys_nff();
+  DataAccessManagement dam(cfg, topo);
+  auto d = manual_dist({8, 30, 30}, {40, 14, 14}, {20, 24, 24}, 1, cfg, topo);
+  // Give device 2 a tight σ budget: force deferral.
+  d.sigma[2] = 5;
+  const auto plans = dam.plan_frame(d, 0, 2);
+  const TransferPlan& p = plans[2];
+
+  // On-device rows (l + ∆l) + σ + σ^r == whole frame, disjointly.
+  std::set<int> all = rows_of(p.sf_sme);
+  const auto l_iv = intervals_of(d.intp);
+  for (int r = l_iv[2].begin; r < l_iv[2].end; ++r) {
+    EXPECT_TRUE(all.insert(r).second);
+  }
+  for (const auto& frag : p.sf_complete) {
+    for (int r = frag.begin; r < frag.end; ++r) {
+      EXPECT_TRUE(all.insert(r).second) << "σ row " << r << " duplicated";
+    }
+  }
+  for (const auto& frag : p.sf_deferred) {
+    for (int r = frag.begin; r < frag.end; ++r) {
+      EXPECT_TRUE(all.insert(r).second) << "σ^r row " << r << " duplicated";
+    }
+  }
+  EXPECT_EQ(static_cast<int>(all.size()), cfg.num_mb_rows());
+  EXPECT_EQ(TransferPlan::rows_of(p.sf_complete), 5);
+
+  // The deferred fragments must surface as next frame's carry.
+  EXPECT_EQ(dam.deferred_rows()[2], TransferPlan::rows_of(p.sf_deferred));
+  const auto d2 = manual_dist({8, 30, 30}, {40, 14, 14}, {20, 24, 24}, 1,
+                              cfg, topo);
+  const auto plans2 = dam.plan_frame(d2, 1, 2);
+  EXPECT_EQ(TransferPlan::rows_of(plans2[2].sf_carry),
+            TransferPlan::rows_of(p.sf_deferred));
+}
+
+TEST(DataAccess, RstarDeviceReceivesEverything) {
+  const auto cfg = hd_config();
+  const auto topo = make_sys_hk();
+  DataAccessManagement dam(cfg, topo);
+  const auto d = manual_dist({20, 48}, {50, 18}, {40, 28}, 1, cfg, topo);
+  const auto plans = dam.plan_frame(d, 0, 1);
+  const TransferPlan& p = plans[1];
+
+  // CF: me + ∆m + mc = all rows.
+  std::set<int> cf = rows_of(p.cf_sme);
+  for (int r = p.cf_me.begin; r < p.cf_me.end; ++r) EXPECT_TRUE(cf.insert(r).second);
+  for (const auto& f : p.cf_mc) {
+    for (int r = f.begin; r < f.end; ++r) EXPECT_TRUE(cf.insert(r).second);
+  }
+  EXPECT_EQ(static_cast<int>(cf.size()), cfg.num_mb_rows());
+
+  // SF: l + ∆l + mc = all rows.
+  std::set<int> sf = rows_of(p.sf_sme);
+  const auto l_iv = intervals_of(d.intp);
+  for (int r = l_iv[1].begin; r < l_iv[1].end; ++r) EXPECT_TRUE(sf.insert(r).second);
+  for (const auto& f : p.sf_mc) {
+    for (int r = f.begin; r < f.end; ++r) EXPECT_TRUE(sf.insert(r).second);
+  }
+  EXPECT_EQ(static_cast<int>(sf.size()), cfg.num_mb_rows());
+
+  // MVs: its own SME slice plus mv_mc = all rows.
+  std::set<int> mv;
+  const auto s_iv = intervals_of(d.sme);
+  for (int r = s_iv[1].begin; r < s_iv[1].end; ++r) mv.insert(r);
+  for (const auto& f : p.mv_mc) {
+    for (int r = f.begin; r < f.end; ++r) EXPECT_TRUE(mv.insert(r).second);
+  }
+  EXPECT_EQ(static_cast<int>(mv.size()), cfg.num_mb_rows());
+
+  // The R* device defers nothing.
+  EXPECT_TRUE(p.sf_deferred.empty());
+}
+
+TEST(DataAccess, CpuDeviceNeedsNoTransfers) {
+  const auto cfg = hd_config();
+  const auto topo = make_sys_hk();
+  DataAccessManagement dam(cfg, topo);
+  const auto d = manual_dist({20, 48}, {50, 18}, {40, 28}, 1, cfg, topo);
+  const auto plans = dam.plan_frame(d, 0, 1);
+  const TransferPlan& p = plans[0];
+  EXPECT_FALSE(p.fetch_rf);
+  EXPECT_TRUE(p.cf_sme.empty());
+  EXPECT_TRUE(p.sf_sme.empty());
+  EXPECT_TRUE(p.sf_complete.empty());
+}
+
+TEST(DataAccess, RfFetchSkippedForHolder) {
+  const auto cfg = hd_config();
+  const auto topo = make_sys_nff();
+  DataAccessManagement dam(cfg, topo);
+  const auto d = manual_dist({8, 30, 30}, {40, 14, 14}, {20, 24, 24}, 1, cfg,
+                             topo);
+  const auto plans = dam.plan_frame(d, /*rf_holder=*/1, 1);
+  EXPECT_FALSE(plans[1].fetch_rf);
+  EXPECT_TRUE(plans[2].fetch_rf);
+}
+
+/// Property sweep over random distributions: coverage + no-double-transfer
+/// for every device and buffer.
+class DataAccessRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(DataAccessRandom, CoverageInvariants) {
+  Rng rng(static_cast<u64>(GetParam()) * 6151 + 3);
+  EncoderConfig cfg = hd_config();
+  cfg.search_range = 8 << rng.uniform_int(0, 2);
+  const auto topo = make_sys_nff();
+  const int rows = cfg.num_mb_rows();
+
+  auto random_split = [&] {
+    std::vector<double> cuts = {0.0, rng.uniform01(), rng.uniform01(), 1.0};
+    std::sort(cuts.begin(), cuts.end());
+    return std::vector<int>{
+        static_cast<int>(cuts[1] * rows) - 0,
+        static_cast<int>(cuts[2] * rows) - static_cast<int>(cuts[1] * rows),
+        rows - static_cast<int>(cuts[2] * rows)};
+  };
+
+  DataAccessManagement dam(cfg, topo);
+  const auto d = manual_dist(random_split(), random_split(), random_split(),
+                             1 + static_cast<int>(rng.uniform_int(0, 1)), cfg,
+                             topo);
+  const auto plans = dam.plan_frame(d, 0, 2);
+  const auto s_iv = intervals_of(d.sme);
+  const auto me_iv = intervals_of(d.me);
+  const auto l_iv = intervals_of(d.intp);
+  const int halo = sme_sf_halo_rows(cfg);
+
+  for (int i = 1; i < 3; ++i) {
+    const TransferPlan& p = plans[i];
+    // CF coverage of the SME slice, disjoint.
+    std::set<int> cf = rows_of(p.cf_sme);
+    for (int r = me_iv[i].begin; r < me_iv[i].end; ++r) {
+      EXPECT_TRUE(cf.insert(r).second);
+    }
+    for (int r = s_iv[i].begin; r < s_iv[i].end; ++r) EXPECT_TRUE(cf.count(r));
+
+    // SF coverage of halo-extended SME slice, disjoint.
+    std::set<int> sf = rows_of(p.sf_sme);
+    for (int r = l_iv[i].begin; r < l_iv[i].end; ++r) {
+      EXPECT_TRUE(sf.insert(r).second);
+    }
+    const auto need = halo_extend(s_iv[i], halo, rows);
+    for (int r = need.begin; r < need.end; ++r) EXPECT_TRUE(sf.count(r));
+
+    // Full SF accounted once across l/∆l/σ/σ^r (non-R* accelerators).
+    if (i != d.rstar_device) {
+      for (const auto& f : p.sf_complete) {
+        for (int r = f.begin; r < f.end; ++r) EXPECT_TRUE(sf.insert(r).second);
+      }
+      for (const auto& f : p.sf_deferred) {
+        for (int r = f.begin; r < f.end; ++r) EXPECT_TRUE(sf.insert(r).second);
+      }
+      EXPECT_EQ(static_cast<int>(sf.size()), rows);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDistributions, DataAccessRandom,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace feves

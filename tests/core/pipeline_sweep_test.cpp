@@ -1,0 +1,177 @@
+// Parameterized end-to-end sweep: collaborative encode + decode round trip
+// across resolutions, search areas, reference counts and deblocking on/off.
+// Each combination must (a) match the single-device reference bit-exactly
+// and (b) decode back bit-exactly — the integration surface where module
+// geometry (halos, borders, intervals) interacts with config parameters.
+#include "core/collaborative_encoder.hpp"
+
+#include "codec/bitstream.hpp"
+#include "platform/presets.hpp"
+#include "video/metrics.hpp"
+#include "video/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace feves {
+namespace {
+
+struct SweepCase {
+  int width;
+  int height;
+  int search_range;
+  int refs;
+  bool deblock;
+  int accels;
+};
+
+void PrintTo(const SweepCase& c, std::ostream* os) {
+  *os << c.width << "x" << c.height << "_r" << c.search_range << "_ref"
+      << c.refs << (c.deblock ? "_dbl" : "_nodbl") << "_a" << c.accels;
+}
+
+class PipelineSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PipelineSweep, CollaborativeMatchesReferenceAndDecodes) {
+  const SweepCase& c = GetParam();
+  EncoderConfig cfg;
+  cfg.width = c.width;
+  cfg.height = c.height;
+  cfg.search_range = c.search_range;
+  cfg.num_ref_frames = c.refs;
+  cfg.enable_deblocking = c.deblock;
+
+  SyntheticConfig sc;
+  sc.width = c.width;
+  sc.height = c.height;
+  sc.frames = c.refs + 2;  // exercise the full window ramp-up
+  sc.num_objects = 2;
+  sc.seed = 4711;
+  SyntheticSequence seq(sc);
+
+  // Reference encode.
+  RefList ref_refs(cfg.num_ref_frames);
+  std::vector<u8> ref_bits;
+  std::vector<Frame420> ref_recons;
+  Frame420 frame(c.width, c.height);
+  for (int f = 0; f < sc.frames; ++f) {
+    ASSERT_TRUE(seq.read_frame(f, frame));
+    auto pic = encode_frame_reference(cfg, frame, ref_refs, f, &ref_bits);
+    ref_recons.push_back(pic->recon);
+    ref_refs.push_front(std::move(pic));
+  }
+
+  // Collaborative encode on CPU + accelerators.
+  PlatformTopology topo;
+  topo.devices.push_back(preset_cpu_nehalem());
+  for (int i = 0; i < c.accels; ++i) {
+    topo.devices.push_back(preset_gpu_fermi());
+    topo.devices.back().name += std::to_string(i);
+  }
+  CollaborativeEncoder enc(cfg, topo);
+  std::vector<u8> bits;
+  for (int f = 0; f < sc.frames; ++f) {
+    ASSERT_TRUE(seq.read_frame(f, frame));
+    enc.encode_frame(frame, &bits);
+    ASSERT_TRUE(frames_bit_exact(enc.last_recon(), ref_recons[f]))
+        << "frame " << f;
+  }
+  ASSERT_EQ(bits, ref_bits);
+
+  // Decode round trip.
+  RefList dec_refs(cfg.num_ref_frames);
+  BitReader br(bits);
+  for (int f = 0; f < sc.frames; ++f) {
+    auto pic = decode_frame(cfg, br, dec_refs);
+    ASSERT_TRUE(frames_bit_exact(pic->recon, ref_recons[f])) << "frame " << f;
+    dec_refs.push_front(std::move(pic));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PipelineSweep,
+    ::testing::Values(
+        // Minimal frame: 4x3 MBs, fewer rows than devices is exercised too.
+        SweepCase{64, 48, 4, 1, true, 2},
+        SweepCase{64, 48, 8, 2, true, 3},
+        // Search range at and beyond one MB row (halo > 1 row).
+        SweepCase{96, 64, 16, 1, true, 2},
+        SweepCase{96, 64, 20, 2, true, 1},
+        // Deblocking off (bitstream and recon change shape).
+        SweepCase{96, 64, 8, 2, false, 2},
+        // Tall-narrow and wide-short geometry.
+        SweepCase{48, 96, 8, 1, true, 2},
+        SweepCase{160, 48, 8, 3, true, 2},
+        // Window larger than the encoded sequence start (ramp never fills).
+        SweepCase{64, 48, 4, 4, true, 2}));
+
+TEST(PipelineEdge, MoreDevicesThanMbRows) {
+  // 3 MB rows, 1 CPU + 4 accelerators: some devices get zero rows in some
+  // modules; orchestration and transfers must cope.
+  EncoderConfig cfg;
+  cfg.width = 64;
+  cfg.height = 48;
+  cfg.search_range = 4;
+  cfg.num_ref_frames = 1;
+
+  SyntheticConfig sc;
+  sc.width = 64;
+  sc.height = 48;
+  sc.frames = 3;
+  SyntheticSequence seq(sc);
+
+  RefList ref_refs(1);
+  std::vector<Frame420> ref_recons;
+  Frame420 frame(64, 48);
+  for (int f = 0; f < 3; ++f) {
+    ASSERT_TRUE(seq.read_frame(f, frame));
+    auto pic = encode_frame_reference(cfg, frame, ref_refs, f, nullptr);
+    ref_recons.push_back(pic->recon);
+    ref_refs.push_front(std::move(pic));
+  }
+
+  PlatformTopology topo;
+  topo.devices.push_back(preset_cpu_nehalem());
+  for (int i = 0; i < 4; ++i) topo.devices.push_back(preset_gpu_fermi());
+  CollaborativeEncoder enc(cfg, topo);
+  for (int f = 0; f < 3; ++f) {
+    ASSERT_TRUE(seq.read_frame(f, frame));
+    enc.encode_frame(frame, nullptr);
+    ASSERT_TRUE(frames_bit_exact(enc.last_recon(), ref_recons[f]))
+        << "frame " << f;
+  }
+}
+
+TEST(PipelineEdge, SingleAcceleratorOnlyTopology) {
+  // No CPU device at all: the lone accelerator does everything.
+  EncoderConfig cfg;
+  cfg.width = 64;
+  cfg.height = 48;
+  cfg.search_range = 4;
+  cfg.num_ref_frames = 1;
+
+  SyntheticConfig sc;
+  sc.width = 64;
+  sc.height = 48;
+  sc.frames = 2;
+  SyntheticSequence seq(sc);
+
+  RefList ref_refs(1);
+  std::vector<Frame420> ref_recons;
+  Frame420 frame(64, 48);
+  for (int f = 0; f < 2; ++f) {
+    ASSERT_TRUE(seq.read_frame(f, frame));
+    auto pic = encode_frame_reference(cfg, frame, ref_refs, f, nullptr);
+    ref_recons.push_back(pic->recon);
+    ref_refs.push_front(std::move(pic));
+  }
+
+  CollaborativeEncoder enc(cfg, make_single(preset_gpu_fermi()));
+  for (int f = 0; f < 2; ++f) {
+    ASSERT_TRUE(seq.read_frame(f, frame));
+    enc.encode_frame(frame, nullptr);
+    ASSERT_TRUE(frames_bit_exact(enc.last_recon(), ref_recons[f]));
+  }
+}
+
+}  // namespace
+}  // namespace feves

@@ -1,0 +1,104 @@
+#include "graph/dijkstra.hpp"
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace feves::graph {
+namespace {
+
+TEST(Dijkstra, LineGraph) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  const auto sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.distance[3], 6.0);
+  EXPECT_EQ(sp.path_to(3), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Dijkstra, PrefersCheaperIndirectPath) {
+  Graph g(3);
+  g.add_edge(0, 2, 10.0);
+  g.add_edge(0, 1, 3.0);
+  g.add_edge(1, 2, 4.0);
+  const auto sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.distance[2], 7.0);
+  EXPECT_EQ(sp.path_to(2), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Dijkstra, UnreachableNode) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const auto sp = dijkstra(g, 0);
+  EXPECT_EQ(sp.distance[2], kUnreachable);
+  EXPECT_TRUE(sp.path_to(2).empty());
+}
+
+TEST(Dijkstra, SourceDistanceZero) {
+  Graph g(2);
+  g.add_edge(0, 1, 5.0);
+  const auto sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.distance[0], 0.0);
+  EXPECT_EQ(sp.path_to(0), (std::vector<int>{0}));
+}
+
+TEST(Dijkstra, RejectsNegativeWeights) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), Error);
+}
+
+TEST(Dijkstra, ZeroWeightEdges) {
+  Graph g(3);
+  g.add_edge(0, 1, 0.0);
+  g.add_edge(1, 2, 0.0);
+  const auto sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.distance[2], 0.0);
+}
+
+/// Property: on random graphs, Dijkstra matches Bellman-Ford.
+class DijkstraRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(DijkstraRandom, MatchesBellmanFord) {
+  Rng rng(static_cast<u64>(GetParam()) * 104729 + 7);
+  const int n = 2 + static_cast<int>(rng.uniform_int(0, 10));
+  Graph g(n);
+  struct E {
+    int from, to;
+    double w;
+  };
+  std::vector<E> edges;
+  const int m = static_cast<int>(rng.uniform_int(1, 3 * n));
+  for (int i = 0; i < m; ++i) {
+    E e{static_cast<int>(rng.uniform_int(0, n - 1)),
+        static_cast<int>(rng.uniform_int(0, n - 1)),
+        rng.uniform_real(0.0, 10.0)};
+    g.add_edge(e.from, e.to, e.w);
+    edges.push_back(e);
+  }
+  const auto sp = dijkstra(g, 0);
+
+  std::vector<double> bf(n, kUnreachable);
+  bf[0] = 0.0;
+  for (int pass = 0; pass < n; ++pass) {
+    for (const E& e : edges) {
+      if (bf[e.from] != kUnreachable && bf[e.from] + e.w < bf[e.to]) {
+        bf[e.to] = bf[e.from] + e.w;
+      }
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    if (bf[v] == kUnreachable) {
+      EXPECT_EQ(sp.distance[v], kUnreachable);
+    } else {
+      EXPECT_NEAR(sp.distance[v], bf[v], 1e-9) << "node " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, DijkstraRandom, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace feves::graph

@@ -1,0 +1,193 @@
+#include "lp/simplex.hpp"
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace feves::lp {
+namespace {
+
+TEST(Simplex, TrivialMaximizationViaNegatedObjective) {
+  // max x0 + x1 s.t. x0 <= 3, x1 <= 4  ->  min -x0 - x1.
+  Problem p;
+  const int x0 = p.add_variable("x0", -1.0);
+  const int x1 = p.add_variable("x1", -1.0);
+  p.add_constraint({{x0, 1.0}}, Relation::kLe, 3.0);
+  p.add_constraint({{x1, 1.0}}, Relation::kLe, 4.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.values[x0], 3.0, 1e-9);
+  EXPECT_NEAR(s.values[x1], 4.0, 1e-9);
+  EXPECT_NEAR(s.objective, -7.0, 1e-9);
+}
+
+TEST(Simplex, ClassicTwoVariableLp) {
+  // min -3x - 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (Dantzig's example)
+  Problem p;
+  const int x = p.add_variable("x", -3.0);
+  const int y = p.add_variable("y", -5.0);
+  p.add_constraint({{x, 1.0}}, Relation::kLe, 4.0);
+  p.add_constraint({{y, 2.0}}, Relation::kLe, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLe, 18.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.values[x], 2.0, 1e-9);
+  EXPECT_NEAR(s.values[y], 6.0, 1e-9);
+  EXPECT_NEAR(s.objective, -36.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraintsNeedPhaseOne) {
+  // min x + 2y s.t. x + y = 10, x - y = 2  ->  x=6, y=4.
+  Problem p;
+  const int x = p.add_variable("x", 1.0);
+  const int y = p.add_variable("y", 2.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEq, 10.0);
+  p.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kEq, 2.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.values[x], 6.0, 1e-9);
+  EXPECT_NEAR(s.values[y], 4.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqualConstraints) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1  ->  x=4, y=0 (cost 8).
+  Problem p;
+  const int x = p.add_variable("x", 2.0);
+  const int y = p.add_variable("y", 3.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGe, 4.0);
+  p.add_constraint({{x, 1.0}}, Relation::kGe, 1.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 8.0, 1e-9);
+  EXPECT_NEAR(s.values[x], 4.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  Problem p;
+  const int x = p.add_variable("x", 1.0);
+  p.add_constraint({{x, 1.0}}, Relation::kLe, 1.0);
+  p.add_constraint({{x, 1.0}}, Relation::kGe, 2.0);
+  EXPECT_EQ(solve(p).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  Problem p;
+  const int x = p.add_variable("x", -1.0);  // maximize x, no upper bound
+  p.add_constraint({{x, 1.0}}, Relation::kGe, 0.0);
+  EXPECT_EQ(solve(p).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min x s.t. -x <= -5  (i.e. x >= 5).
+  Problem p;
+  const int x = p.add_variable("x", 1.0);
+  p.add_constraint({{x, -1.0}}, Relation::kLe, -5.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.values[x], 5.0, 1e-9);
+}
+
+TEST(Simplex, RepeatedVariableTermsAccumulate) {
+  // min x s.t. 0.5x + 0.5x >= 3  ->  x = 3.
+  Problem p;
+  const int x = p.add_variable("x", 1.0);
+  p.add_constraint({{x, 0.5}, {x, 0.5}}, Relation::kGe, 3.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.values[x], 3.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Beale's classic cycling example; Bland's rule must terminate.
+  Problem p;
+  const int x1 = p.add_variable("x1", -0.75);
+  const int x2 = p.add_variable("x2", 150.0);
+  const int x3 = p.add_variable("x3", -0.02);
+  const int x4 = p.add_variable("x4", 6.0);
+  p.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                   Relation::kLe, 0.0);
+  p.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                   Relation::kLe, 0.0);
+  p.add_constraint({{x3, 1.0}}, Relation::kLe, 1.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -0.05, 1e-9);
+}
+
+TEST(Simplex, MinimizeMakespanToyScheduling) {
+  // The shape the FEVES balancer produces: distribute N rows over devices
+  // with speeds k_i, minimize tau with  k_i * x_i <= tau,  sum x_i = N.
+  // Optimal: x_i proportional to 1/k_i.
+  Problem p;
+  const double k[3] = {1.0, 2.0, 4.0};
+  const int tau = p.add_variable("tau", 1.0);
+  int x[3];
+  for (int i = 0; i < 3; ++i) {
+    x[i] = p.add_variable("x" + std::to_string(i), 0.0);
+    p.add_constraint({{x[i], k[i]}, {tau, -1.0}}, Relation::kLe, 0.0);
+  }
+  p.add_constraint({{x[0], 1.0}, {x[1], 1.0}, {x[2], 1.0}}, Relation::kEq,
+                   70.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  // 1/k weights: 1, 0.5, 0.25 -> shares 40, 20, 10; tau = 40.
+  EXPECT_NEAR(s.values[tau], 40.0, 1e-6);
+  EXPECT_NEAR(s.values[x[0]], 40.0, 1e-6);
+  EXPECT_NEAR(s.values[x[1]], 20.0, 1e-6);
+  EXPECT_NEAR(s.values[x[2]], 10.0, 1e-6);
+}
+
+// Property sweep: random small LPs, compare against brute-force grid search
+// over the constraint polytope vertices approximated by dense sampling.
+class SimplexRandomLe : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomLe, MatchesDenseSamplingLowerBound) {
+  Rng rng(static_cast<u64>(GetParam()) * 7919 + 13);
+  Problem p;
+  const int n = 2;
+  int v[2];
+  double c[2];
+  for (int i = 0; i < n; ++i) {
+    c[i] = rng.uniform_real(0.2, 3.0);  // positive costs: bounded minimum
+    v[i] = p.add_variable("v" + std::to_string(i), c[i]);
+  }
+  // Random >= constraints keep the problem feasible (x large enough works).
+  double a[3][2];
+  double b[3];
+  for (int j = 0; j < 3; ++j) {
+    for (int i = 0; i < n; ++i) a[j][i] = rng.uniform_real(0.1, 2.0);
+    b[j] = rng.uniform_real(1.0, 10.0);
+    p.add_constraint({{v[0], a[j][0]}, {v[1], a[j][1]}}, Relation::kGe, b[j]);
+  }
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+
+  // The simplex objective must not exceed any feasible sampled point, and
+  // the solution itself must be feasible.
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_GE(a[j][0] * s.values[v[0]] + a[j][1] * s.values[v[1]],
+              b[j] - 1e-6);
+  }
+  for (double x0 = 0.0; x0 <= 20.0; x0 += 0.5) {
+    for (double x1 = 0.0; x1 <= 20.0; x1 += 0.5) {
+      bool feasible = true;
+      for (int j = 0; j < 3; ++j) {
+        if (a[j][0] * x0 + a[j][1] * x1 < b[j]) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) {
+        EXPECT_LE(s.objective, c[0] * x0 + c[1] * x1 + 1e-6);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, SimplexRandomLe, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace feves::lp

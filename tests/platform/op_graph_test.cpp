@@ -1,0 +1,171 @@
+#include "platform/op_graph.hpp"
+
+#include "platform/presets.hpp"
+#include "platform/perturbation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace feves {
+namespace {
+
+PlatformTopology two_device_topo(CopyEngines engines) {
+  PlatformTopology t = make_sys_nf();
+  t.devices[1].copy_engines = engines;
+  return t;
+}
+
+Op make_op(int device, OpResource res, double ms, std::vector<int> deps = {}) {
+  Op op;
+  op.device = device;
+  op.resource = res;
+  op.virtual_ms = ms;
+  op.deps = std::move(deps);
+  return op;
+}
+
+TEST(VirtualExecutor, SequentialOnOneLane) {
+  auto topo = two_device_topo(CopyEngines::kSingle);
+  OpGraph g;
+  g.add(make_op(0, OpResource::kCompute, 5.0));
+  g.add(make_op(0, OpResource::kCompute, 3.0));
+  const auto r = execute_virtual(g, topo);
+  EXPECT_DOUBLE_EQ(r.times[0].end_ms, 5.0);
+  EXPECT_DOUBLE_EQ(r.times[1].start_ms, 5.0);
+  EXPECT_DOUBLE_EQ(r.makespan_ms, 8.0);
+}
+
+TEST(VirtualExecutor, IndependentDevicesOverlap) {
+  auto topo = two_device_topo(CopyEngines::kSingle);
+  OpGraph g;
+  g.add(make_op(0, OpResource::kCompute, 5.0));
+  g.add(make_op(1, OpResource::kCompute, 7.0));
+  const auto r = execute_virtual(g, topo);
+  EXPECT_DOUBLE_EQ(r.times[0].start_ms, 0.0);
+  EXPECT_DOUBLE_EQ(r.times[1].start_ms, 0.0);
+  EXPECT_DOUBLE_EQ(r.makespan_ms, 7.0);
+}
+
+TEST(VirtualExecutor, DependenciesSerializeAcrossDevices) {
+  auto topo = two_device_topo(CopyEngines::kSingle);
+  OpGraph g;
+  const int a = g.add(make_op(0, OpResource::kCompute, 4.0));
+  g.add(make_op(1, OpResource::kCompute, 2.0, {a}));
+  const auto r = execute_virtual(g, topo);
+  EXPECT_DOUBLE_EQ(r.times[1].start_ms, 4.0);
+  EXPECT_DOUBLE_EQ(r.makespan_ms, 6.0);
+}
+
+TEST(VirtualExecutor, ComputeOverlapsTransfer) {
+  // The whole point of copy engines: a kernel and a DMA run concurrently.
+  auto topo = two_device_topo(CopyEngines::kSingle);
+  OpGraph g;
+  g.add(make_op(1, OpResource::kCompute, 10.0));
+  g.add(make_op(1, OpResource::kCopyH2D, 6.0));
+  const auto r = execute_virtual(g, topo);
+  EXPECT_DOUBLE_EQ(r.makespan_ms, 10.0);
+}
+
+TEST(VirtualExecutor, SingleCopyEngineSerializesBothDirections) {
+  auto topo = two_device_topo(CopyEngines::kSingle);
+  OpGraph g;
+  g.add(make_op(1, OpResource::kCopyH2D, 6.0));
+  g.add(make_op(1, OpResource::kCopyD2H, 4.0));
+  const auto r = execute_virtual(g, topo);
+  EXPECT_DOUBLE_EQ(r.makespan_ms, 10.0);  // serialized on one DMA unit
+}
+
+TEST(VirtualExecutor, DualCopyEngineOverlapsDirections) {
+  auto topo = two_device_topo(CopyEngines::kDual);
+  OpGraph g;
+  g.add(make_op(1, OpResource::kCopyH2D, 6.0));
+  g.add(make_op(1, OpResource::kCopyD2H, 4.0));
+  const auto r = execute_virtual(g, topo);
+  EXPECT_DOUBLE_EQ(r.makespan_ms, 6.0);  // paper Sec. III-A dual engines
+}
+
+TEST(VirtualExecutor, FifoHeadOfLineBlocking) {
+  // CUDA-stream semantics: an op queued first on a lane blocks later ops on
+  // the same lane even when the later op's deps are already met.
+  auto topo = two_device_topo(CopyEngines::kSingle);
+  OpGraph g;
+  const int slow = g.add(make_op(0, OpResource::kCompute, 10.0));
+  const int blocked =
+      g.add(make_op(1, OpResource::kCopyH2D, 1.0, {slow}));  // waits
+  const int behind = g.add(make_op(1, OpResource::kCopyH2D, 1.0));  // free
+  const auto r = execute_virtual(g, topo);
+  EXPECT_DOUBLE_EQ(r.times[blocked].start_ms, 10.0);
+  EXPECT_DOUBLE_EQ(r.times[behind].start_ms, 11.0);  // stuck behind head
+}
+
+TEST(OpGraph, RejectsForwardDependencies) {
+  // Lane queues execute in issue order, so a dependency on a not-yet-added
+  // op (the only way to build a cross-lane deadlock) is rejected at
+  // construction.
+  OpGraph g;
+  const int first = g.add(make_op(0, OpResource::kCompute, 1.0));
+  Op bad = make_op(0, OpResource::kCompute, 1.0);
+  bad.deps = {first + 5};
+  EXPECT_THROW(g.add(std::move(bad)), Error);
+}
+
+TEST(RealExecutor, RunsWorkAndHonoursDeps) {
+  auto topo = two_device_topo(CopyEngines::kSingle);
+  std::atomic<int> stage{0};
+  OpGraph g;
+  Op first = make_op(0, OpResource::kCompute, 0.0);
+  first.work = [&] {
+    int expect = 0;
+    EXPECT_TRUE(stage.compare_exchange_strong(expect, 1));
+  };
+  const int id0 = g.add(std::move(first));
+  Op second = make_op(1, OpResource::kCompute, 0.0, {id0});
+  second.work = [&] {
+    int expect = 1;
+    EXPECT_TRUE(stage.compare_exchange_strong(expect, 2));
+  };
+  g.add(std::move(second));
+  const auto r = execute_real(g, topo);
+  EXPECT_EQ(stage.load(), 2);
+  EXPECT_GE(r.times[1].start_ms, r.times[0].end_ms);
+}
+
+TEST(RealExecutor, PropagatesWorkExceptions) {
+  auto topo = two_device_topo(CopyEngines::kSingle);
+  OpGraph g;
+  Op op = make_op(0, OpResource::kCompute, 0.0);
+  op.work = [] { throw Error("kernel failed"); };
+  g.add(std::move(op));
+  EXPECT_THROW(execute_real(g, topo), Error);
+}
+
+TEST(Presets, CalibratedRelationships) {
+  // The preset family must respect the paper's quoted single-device ratios.
+  const auto cn = preset_cpu_nehalem();
+  const auto ch = preset_cpu_haswell();
+  const auto gf = preset_gpu_fermi();
+  const auto gk = preset_gpu_kepler();
+  EXPECT_NEAR(ch.tput.me_ops_per_ms / cn.tput.me_ops_per_ms, 1.7, 1e-9);
+  EXPECT_NEAR(gk.tput.me_ops_per_ms / gf.tput.me_ops_per_ms, 2.0, 1e-9);
+  EXPECT_TRUE(gf.is_accelerator());
+  EXPECT_FALSE(cn.is_accelerator());
+  EXPECT_EQ(make_sys_nff().num_accelerators(), 2);
+  EXPECT_EQ(make_sys_hk().cpu_index(), 0);
+  EXPECT_THROW(topology_by_name("SysXYZ"), Error);
+  EXPECT_EQ(all_config_names().size(), 7u);
+}
+
+TEST(Perturbation, FactorsComposeAndWindow) {
+  PerturbationSchedule sched;
+  sched.add({/*device=*/1, /*begin=*/10, /*end=*/12, /*slowdown=*/2.0});
+  sched.add({1, 11, 13, 1.5});
+  EXPECT_DOUBLE_EQ(sched.factor(1, 9), 1.0);
+  EXPECT_DOUBLE_EQ(sched.factor(1, 10), 2.0);
+  EXPECT_DOUBLE_EQ(sched.factor(1, 11), 3.0);  // overlap composes
+  EXPECT_DOUBLE_EQ(sched.factor(1, 12), 1.5);
+  EXPECT_DOUBLE_EQ(sched.factor(0, 11), 1.0);  // other device untouched
+}
+
+}  // namespace
+}  // namespace feves

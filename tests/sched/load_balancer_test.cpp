@@ -1,0 +1,275 @@
+#include "sched/load_balancer.hpp"
+
+#include "common/rng.hpp"
+#include "platform/perf_model.hpp"
+#include "platform/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace feves {
+namespace {
+
+EncoderConfig hd_config() {
+  EncoderConfig cfg;  // 1920x1088
+  cfg.search_range = 16;
+  cfg.num_ref_frames = 1;
+  return cfg;
+}
+
+/// Seeds the characterization from the analytical cost model, as one
+/// equidistant frame would.
+PerfCharacterization seeded_perf(const EncoderConfig& cfg,
+                                 const PlatformTopology& topo,
+                                 int active_refs = 1) {
+  PerfCharacterization perf(topo.num_devices());
+  for (int i = 0; i < topo.num_devices(); ++i) {
+    const DeviceSpec& dev = topo.devices[i];
+    DeviceParams p;
+    p.k_me = me_rows_ms(dev, cfg, 1, active_refs);
+    p.k_int = int_rows_ms(dev, cfg, 1);
+    p.k_sme = sme_rows_ms(dev, cfg, 1, active_refs);
+    p.t_rstar_ms = rstar_ms(dev, cfg);
+    if (dev.is_accelerator()) {
+      // Amortized per-row transfer costs (latency spread over ~20 rows).
+      auto hd = [&](double bytes) {
+        return (dev.link.latency_ms / 20.0) + bytes / dev.link.h2d_bytes_per_ms;
+      };
+      auto dh = [&](double bytes) {
+        return (dev.link.latency_ms / 20.0) + bytes / dev.link.d2h_bytes_per_ms;
+      };
+      p.k_xfer[0][0] = hd(cf_row_bytes(cfg));
+      p.k_xfer[0][1] = dh(cf_row_bytes(cfg));
+      p.k_xfer[1][0] = hd(rf_row_bytes(cfg));
+      p.k_xfer[1][1] = dh(rf_row_bytes(cfg));
+      p.k_xfer[2][0] = hd(sf_row_bytes(cfg));
+      p.k_xfer[2][1] = dh(sf_row_bytes(cfg));
+      p.k_xfer[3][0] = hd(mv_row_bytes(cfg, active_refs));
+      p.k_xfer[3][1] = dh(mv_row_bytes(cfg, active_refs));
+    }
+    perf.seed(i, p);
+  }
+  return perf;
+}
+
+int sum(const std::vector<int>& v) {
+  return std::accumulate(v.begin(), v.end(), 0);
+}
+
+TEST(RoundPreservingSum, ExactTotalsAndDeterminism) {
+  EXPECT_EQ(sum(round_preserving_sum({22.7, 22.7, 22.6}, 68)), 68);
+  EXPECT_EQ(round_preserving_sum({1.5, 1.5}, 3), (std::vector<int>{2, 1}));
+  EXPECT_EQ(round_preserving_sum({0.0, 5.0}, 5), (std::vector<int>{0, 5}));
+  EXPECT_EQ(sum(round_preserving_sum({0.2, 0.2, 0.2, 0.2, 0.2}, 1)), 1);
+  EXPECT_THROW(round_preserving_sum({10.0}, 5), Error);  // over-allocation
+}
+
+TEST(RoundPreservingSum, RandomizedConservation) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 6));
+    const int total = static_cast<int>(rng.uniform_int(n, 200));
+    std::vector<double> x(n);
+    double left = total;
+    for (int i = 0; i < n - 1; ++i) {
+      x[i] = rng.uniform_real(0.0, left / 2);
+      left -= x[i];
+    }
+    x[n - 1] = left;
+    const auto r = round_preserving_sum(x, total);
+    EXPECT_EQ(sum(r), total);
+    for (int v : r) EXPECT_GE(v, 0);
+  }
+}
+
+TEST(IntervalOps, DifferenceFragments) {
+  // SME slice [5, 15) vs ME slice [8, 12): the two Fig 5(a) fragments.
+  const auto frags = interval_difference({5, 15}, {8, 12});
+  ASSERT_EQ(frags.size(), 2u);
+  EXPECT_EQ(frags[0].begin, 5);
+  EXPECT_EQ(frags[0].end, 8);
+  EXPECT_EQ(frags[1].begin, 12);
+  EXPECT_EQ(frags[1].end, 15);
+  // Full overlap -> nothing extra to transfer.
+  EXPECT_TRUE(interval_difference({5, 10}, {0, 20}).empty());
+  // Disjoint -> whole slice is extra.
+  EXPECT_EQ(interval_difference_rows({0, 5}, {10, 20}), 5);
+}
+
+TEST(LoadBalancer, EquidistantSplitsEvenly) {
+  const auto cfg = hd_config();
+  LoadBalancer lb(cfg, make_sys_nff());
+  const auto d = lb.equidistant(1);
+  d.check_conservation(68);
+  EXPECT_EQ(d.me, (std::vector<int>{23, 23, 22}));
+  EXPECT_EQ(d.me, d.intp);
+  EXPECT_EQ(d.me, d.sme);
+  EXPECT_EQ(d.rstar_device, 1);
+}
+
+TEST(LoadBalancer, ProportionalFollowsSpeeds) {
+  const auto cfg = hd_config();
+  const auto topo = make_sys_hk();
+  LoadBalancer lb(cfg, topo);
+  const auto perf = seeded_perf(cfg, topo);
+  const auto d = lb.proportional(perf, {0, 0});
+  d.check_conservation(68);
+  // GPU_K's ME throughput is several times the Haswell's: the CPU share
+  // must land well under a third of the rows.
+  EXPECT_LT(d.me[0], 20);
+  EXPECT_GT(d.me[1], 48);
+}
+
+TEST(LoadBalancer, BalanceConservesAndBeatsEquidistant) {
+  const auto cfg = hd_config();
+  for (const char* name : {"SysNF", "SysNFF", "SysHK"}) {
+    const auto topo = topology_by_name(name);
+    LoadBalancer lb(cfg, topo);
+    const auto perf = seeded_perf(cfg, topo);
+    std::vector<int> zeros(topo.num_devices(), 0);
+    const auto d = lb.balance(perf, zeros);
+    d.check_conservation(68);
+    // The LP's own makespan estimate must beat a naive equidistant bound:
+    // equidistant puts ~N/n ME rows on the slowest device.
+    const double slow_k = perf.params(0).k_me;  // CPU is slowest in all three
+    const double equi_tau1 = (68.0 / topo.num_devices()) * slow_k;
+    EXPECT_LT(d.tau_tot_ms, equi_tau1 + 60.0) << name;
+    EXPECT_GT(d.tau_tot_ms, 0.0) << name;
+    // CPU must get less ME work than the accelerators.
+    EXPECT_LT(d.me[0], d.me[1]) << name;
+  }
+}
+
+TEST(LoadBalancer, SigmaAccountingConsistent) {
+  const auto cfg = hd_config();
+  const auto topo = make_sys_nff();
+  LoadBalancer lb(cfg, topo);
+  const auto perf = seeded_perf(cfg, topo);
+  std::vector<int> zeros(3, 0);
+  const auto d = lb.balance(perf, zeros);
+  for (int i = 0; i < 3; ++i) {
+    if (!topo.devices[i].is_accelerator() || i == d.rstar_device) {
+      EXPECT_EQ(d.sigma[i] + d.sigma_r[i], 0) << "device " << i;
+      continue;
+    }
+    // l + ∆l + σ + σ^r covers the whole SF.
+    EXPECT_EQ(d.intp[i] + d.delta_l[i] + d.sigma[i] + d.sigma_r[i], 68)
+        << "device " << i;
+  }
+}
+
+TEST(LoadBalancer, DeltaBoundsMatchIntervalGeometry) {
+  const auto cfg = hd_config();
+  const auto topo = make_sys_hk();
+  LoadBalancer lb(cfg, topo);
+  const auto perf = seeded_perf(cfg, topo);
+  const auto d = lb.balance(perf, {0, 0});
+  const auto me_iv = intervals_of(d.me);
+  const auto s_iv = intervals_of(d.sme);
+  const auto l_iv = intervals_of(d.intp);
+  const int halo = sme_sf_halo_rows(cfg);
+  for (int i = 0; i < 2; ++i) {
+    if (!topo.devices[i].is_accelerator()) continue;
+    EXPECT_EQ(d.delta_m[i], interval_difference_rows(s_iv[i], me_iv[i]));
+    int dl = 0;
+    for (const auto& f :
+         interval_difference(halo_extend(s_iv[i], halo, 68), l_iv[i])) {
+      dl += f.length();
+    }
+    EXPECT_EQ(d.delta_l[i], dl);
+  }
+}
+
+TEST(LoadBalancer, RstarSelectionPrefersFastDeviceNetOfTransfers) {
+  const auto cfg = hd_config();
+  const auto topo = make_sys_hk();
+  LoadBalancer lb(cfg, topo);
+  auto perf = seeded_perf(cfg, topo);
+  // GPU_K's R* is much faster than the CPU's: GPU-centric wins.
+  EXPECT_EQ(lb.select_rstar_device(perf), 1);
+  // Make the GPU's R* pathologically slow: CPU-centric takes over.
+  DeviceParams slow = perf.params(1);
+  slow.t_rstar_ms = 500.0;
+  perf.seed(1, slow);
+  EXPECT_EQ(lb.select_rstar_device(perf), 0);
+}
+
+TEST(LoadBalancer, AdaptsToSlowedDevice) {
+  // Fig 7's adaptation property at the LB level: slow one device's K's and
+  // its share must shrink.
+  const auto cfg = hd_config();
+  const auto topo = make_sys_hk();
+  LoadBalancer lb(cfg, topo);
+  auto perf = seeded_perf(cfg, topo);
+  const auto before = lb.balance(perf, {0, 0});
+
+  DeviceParams slowed = perf.params(1);
+  slowed.k_me *= 4.0;
+  slowed.k_sme *= 4.0;
+  slowed.k_int *= 4.0;
+  perf.seed(1, slowed);
+  const auto after = lb.balance(perf, {0, 0});
+  EXPECT_LT(after.me[1], before.me[1]);
+  EXPECT_GT(after.me[0], before.me[0]);
+}
+
+TEST(LoadBalancer, SfDeferralAblationForcesInFrameCompletion) {
+  const auto cfg = hd_config();
+  const auto topo = make_sys_nff();
+  LoadBalancerOptions opts;
+  opts.enable_sf_deferral = false;
+  LoadBalancer lb(cfg, topo, opts);
+  const auto perf = seeded_perf(cfg, topo);
+  const auto d = lb.balance(perf, {0, 0, 0});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(d.sigma_r[i], 0) << "deferral disabled but device " << i
+                               << " deferred rows";
+  }
+}
+
+TEST(LoadBalancer, BalanceRequiresCharacterization) {
+  const auto cfg = hd_config();
+  LoadBalancer lb(cfg, make_sys_nf());
+  PerfCharacterization perf(2);
+  EXPECT_THROW(lb.balance(perf, {0, 0}), Error);
+}
+
+/// Property sweep: randomized device speeds must always yield conserved,
+/// non-negative distributions whose LP estimate is feasible-looking.
+class BalanceRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(BalanceRandomized, ConservationAndSanity) {
+  Rng rng(static_cast<u64>(GetParam()) * 1299709 + 11);
+  EncoderConfig cfg = hd_config();
+  cfg.num_ref_frames = 1 + static_cast<int>(rng.uniform_int(0, 3));
+  auto topo = make_sys_nff();
+  // Randomize throughputs within a decade.
+  for (auto& dev : topo.devices) {
+    const double f = rng.uniform_real(0.2, 5.0);
+    dev.tput.me_ops_per_ms *= f;
+    dev.tput.sme_ops_per_ms *= rng.uniform_real(0.2, 5.0);
+    dev.tput.int_pix_per_ms *= rng.uniform_real(0.2, 5.0);
+  }
+  LoadBalancer lb(cfg, topo);
+  const auto perf = seeded_perf(cfg, topo, cfg.num_ref_frames);
+  std::vector<int> sr(3, 0);
+  sr[2] = static_cast<int>(rng.uniform_int(0, 30));
+  const auto d = lb.balance(perf, sr);
+  d.check_conservation(68);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GE(d.me[i], 0);
+    EXPECT_GE(d.sigma[i], 0);
+    EXPECT_GE(d.sigma_r[i], 0);
+    EXPECT_GE(d.delta_m[i], 0);
+    EXPECT_GE(d.delta_l[i], 0);
+  }
+  EXPECT_GE(d.tau_tot_ms, d.tau2_ms - 1e-9);
+  EXPECT_GE(d.tau2_ms, d.tau1_ms - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSpeeds, BalanceRandomized,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace feves
