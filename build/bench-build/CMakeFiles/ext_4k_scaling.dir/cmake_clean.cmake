@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_4k_scaling"
+  "../bench/ext_4k_scaling.pdb"
+  "CMakeFiles/ext_4k_scaling.dir/ext_4k_scaling.cpp.o"
+  "CMakeFiles/ext_4k_scaling.dir/ext_4k_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_4k_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

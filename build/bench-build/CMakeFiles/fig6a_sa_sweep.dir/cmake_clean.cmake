@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6a_sa_sweep"
+  "../bench/fig6a_sa_sweep.pdb"
+  "CMakeFiles/fig6a_sa_sweep.dir/fig6a_sa_sweep.cpp.o"
+  "CMakeFiles/fig6a_sa_sweep.dir/fig6a_sa_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_sa_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

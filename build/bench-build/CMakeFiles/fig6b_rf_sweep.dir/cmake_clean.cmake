@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6b_rf_sweep"
+  "../bench/fig6b_rf_sweep.pdb"
+  "CMakeFiles/fig6b_rf_sweep.dir/fig6b_rf_sweep.cpp.o"
+  "CMakeFiles/fig6b_rf_sweep.dir/fig6b_rf_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_rf_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7a_adaptive_trace"
+  "../bench/fig7a_adaptive_trace.pdb"
+  "CMakeFiles/fig7a_adaptive_trace.dir/fig7a_adaptive_trace.cpp.o"
+  "CMakeFiles/fig7a_adaptive_trace.dir/fig7a_adaptive_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_adaptive_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

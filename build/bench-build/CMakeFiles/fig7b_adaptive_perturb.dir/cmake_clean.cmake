@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7b_adaptive_perturb"
+  "../bench/fig7b_adaptive_perturb.pdb"
+  "CMakeFiles/fig7b_adaptive_perturb.dir/fig7b_adaptive_perturb.cpp.o"
+  "CMakeFiles/fig7b_adaptive_perturb.dir/fig7b_adaptive_perturb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_adaptive_perturb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

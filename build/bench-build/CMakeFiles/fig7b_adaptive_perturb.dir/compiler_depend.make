@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7b_adaptive_perturb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7b_adaptive_perturb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_overhead"
+  "../bench/tab_overhead.pdb"
+  "CMakeFiles/tab_overhead.dir/tab_overhead.cpp.o"
+  "CMakeFiles/tab_overhead.dir/tab_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

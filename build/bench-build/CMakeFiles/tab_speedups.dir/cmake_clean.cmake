@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_speedups"
+  "../bench/tab_speedups.pdb"
+  "CMakeFiles/tab_speedups.dir/tab_speedups.cpp.o"
+  "CMakeFiles/tab_speedups.dir/tab_speedups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_planner.dir/broadcast_planner.cpp.o"
+  "CMakeFiles/broadcast_planner.dir/broadcast_planner.cpp.o.d"
+  "broadcast_planner"
+  "broadcast_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feves_cli.dir/feves_cli.cpp.o"
+  "CMakeFiles/feves_cli.dir/feves_cli.cpp.o.d"
+  "feves_cli"
+  "feves_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feves_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/feves_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/feves_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/feves_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/feves_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/feves_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/feves_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/feves_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/feves_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveillance_encoder.dir/surveillance_encoder.cpp.o"
+  "CMakeFiles/surveillance_encoder.dir/surveillance_encoder.cpp.o.d"
+  "surveillance_encoder"
+  "surveillance_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveillance_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

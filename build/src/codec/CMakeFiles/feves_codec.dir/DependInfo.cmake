@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/cavlc.cpp" "src/codec/CMakeFiles/feves_codec.dir/cavlc.cpp.o" "gcc" "src/codec/CMakeFiles/feves_codec.dir/cavlc.cpp.o.d"
+  "/root/repo/src/codec/deblock.cpp" "src/codec/CMakeFiles/feves_codec.dir/deblock.cpp.o" "gcc" "src/codec/CMakeFiles/feves_codec.dir/deblock.cpp.o.d"
+  "/root/repo/src/codec/frame_codec.cpp" "src/codec/CMakeFiles/feves_codec.dir/frame_codec.cpp.o" "gcc" "src/codec/CMakeFiles/feves_codec.dir/frame_codec.cpp.o.d"
+  "/root/repo/src/codec/interpolate.cpp" "src/codec/CMakeFiles/feves_codec.dir/interpolate.cpp.o" "gcc" "src/codec/CMakeFiles/feves_codec.dir/interpolate.cpp.o.d"
+  "/root/repo/src/codec/intra.cpp" "src/codec/CMakeFiles/feves_codec.dir/intra.cpp.o" "gcc" "src/codec/CMakeFiles/feves_codec.dir/intra.cpp.o.d"
+  "/root/repo/src/codec/mc.cpp" "src/codec/CMakeFiles/feves_codec.dir/mc.cpp.o" "gcc" "src/codec/CMakeFiles/feves_codec.dir/mc.cpp.o.d"
+  "/root/repo/src/codec/me.cpp" "src/codec/CMakeFiles/feves_codec.dir/me.cpp.o" "gcc" "src/codec/CMakeFiles/feves_codec.dir/me.cpp.o.d"
+  "/root/repo/src/codec/sad.cpp" "src/codec/CMakeFiles/feves_codec.dir/sad.cpp.o" "gcc" "src/codec/CMakeFiles/feves_codec.dir/sad.cpp.o.d"
+  "/root/repo/src/codec/sad_simd.cpp" "src/codec/CMakeFiles/feves_codec.dir/sad_simd.cpp.o" "gcc" "src/codec/CMakeFiles/feves_codec.dir/sad_simd.cpp.o.d"
+  "/root/repo/src/codec/sme.cpp" "src/codec/CMakeFiles/feves_codec.dir/sme.cpp.o" "gcc" "src/codec/CMakeFiles/feves_codec.dir/sme.cpp.o.d"
+  "/root/repo/src/codec/transform.cpp" "src/codec/CMakeFiles/feves_codec.dir/transform.cpp.o" "gcc" "src/codec/CMakeFiles/feves_codec.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/video/CMakeFiles/feves_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/feves_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feves_codec.dir/cavlc.cpp.o"
+  "CMakeFiles/feves_codec.dir/cavlc.cpp.o.d"
+  "CMakeFiles/feves_codec.dir/deblock.cpp.o"
+  "CMakeFiles/feves_codec.dir/deblock.cpp.o.d"
+  "CMakeFiles/feves_codec.dir/frame_codec.cpp.o"
+  "CMakeFiles/feves_codec.dir/frame_codec.cpp.o.d"
+  "CMakeFiles/feves_codec.dir/interpolate.cpp.o"
+  "CMakeFiles/feves_codec.dir/interpolate.cpp.o.d"
+  "CMakeFiles/feves_codec.dir/intra.cpp.o"
+  "CMakeFiles/feves_codec.dir/intra.cpp.o.d"
+  "CMakeFiles/feves_codec.dir/mc.cpp.o"
+  "CMakeFiles/feves_codec.dir/mc.cpp.o.d"
+  "CMakeFiles/feves_codec.dir/me.cpp.o"
+  "CMakeFiles/feves_codec.dir/me.cpp.o.d"
+  "CMakeFiles/feves_codec.dir/sad.cpp.o"
+  "CMakeFiles/feves_codec.dir/sad.cpp.o.d"
+  "CMakeFiles/feves_codec.dir/sad_simd.cpp.o"
+  "CMakeFiles/feves_codec.dir/sad_simd.cpp.o.d"
+  "CMakeFiles/feves_codec.dir/sme.cpp.o"
+  "CMakeFiles/feves_codec.dir/sme.cpp.o.d"
+  "CMakeFiles/feves_codec.dir/transform.cpp.o"
+  "CMakeFiles/feves_codec.dir/transform.cpp.o.d"
+  "libfeves_codec.a"
+  "libfeves_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feves_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

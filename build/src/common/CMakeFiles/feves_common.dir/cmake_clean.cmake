@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feves_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/feves_common.dir/thread_pool.cpp.o.d"
+  "libfeves_common.a"
+  "libfeves_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feves_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfeves_common.a"
+)

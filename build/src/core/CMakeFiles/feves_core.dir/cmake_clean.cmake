@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feves_core.dir/coding_manager.cpp.o"
+  "CMakeFiles/feves_core.dir/coding_manager.cpp.o.d"
+  "CMakeFiles/feves_core.dir/collaborative_encoder.cpp.o"
+  "CMakeFiles/feves_core.dir/collaborative_encoder.cpp.o.d"
+  "CMakeFiles/feves_core.dir/data_access.cpp.o"
+  "CMakeFiles/feves_core.dir/data_access.cpp.o.d"
+  "CMakeFiles/feves_core.dir/framework.cpp.o"
+  "CMakeFiles/feves_core.dir/framework.cpp.o.d"
+  "CMakeFiles/feves_core.dir/real_backend.cpp.o"
+  "CMakeFiles/feves_core.dir/real_backend.cpp.o.d"
+  "libfeves_core.a"
+  "libfeves_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feves_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feves_graph.dir/dijkstra.cpp.o"
+  "CMakeFiles/feves_graph.dir/dijkstra.cpp.o.d"
+  "libfeves_graph.a"
+  "libfeves_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feves_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

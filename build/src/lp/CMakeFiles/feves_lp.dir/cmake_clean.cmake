@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feves_lp.dir/simplex.cpp.o"
+  "CMakeFiles/feves_lp.dir/simplex.cpp.o.d"
+  "libfeves_lp.a"
+  "libfeves_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feves_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feves_platform.dir/op_graph.cpp.o"
+  "CMakeFiles/feves_platform.dir/op_graph.cpp.o.d"
+  "CMakeFiles/feves_platform.dir/presets.cpp.o"
+  "CMakeFiles/feves_platform.dir/presets.cpp.o.d"
+  "libfeves_platform.a"
+  "libfeves_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feves_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/load_balancer.cpp" "src/sched/CMakeFiles/feves_sched.dir/load_balancer.cpp.o" "gcc" "src/sched/CMakeFiles/feves_sched.dir/load_balancer.cpp.o.d"
+  "/root/repo/src/sched/perf_char.cpp" "src/sched/CMakeFiles/feves_sched.dir/perf_char.cpp.o" "gcc" "src/sched/CMakeFiles/feves_sched.dir/perf_char.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/feves_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/feves_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/feves_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/feves_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feves_sched.dir/load_balancer.cpp.o"
+  "CMakeFiles/feves_sched.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/feves_sched.dir/perf_char.cpp.o"
+  "CMakeFiles/feves_sched.dir/perf_char.cpp.o.d"
+  "libfeves_sched.a"
+  "libfeves_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feves_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

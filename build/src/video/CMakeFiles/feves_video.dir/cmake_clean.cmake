@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feves_video.dir/metrics.cpp.o"
+  "CMakeFiles/feves_video.dir/metrics.cpp.o.d"
+  "CMakeFiles/feves_video.dir/sequence.cpp.o"
+  "CMakeFiles/feves_video.dir/sequence.cpp.o.d"
+  "libfeves_video.a"
+  "libfeves_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feves_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/codec/bitstream_fuzz_test.cpp" "tests/CMakeFiles/test_codec.dir/codec/bitstream_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_codec.dir/codec/bitstream_fuzz_test.cpp.o.d"
+  "/root/repo/tests/codec/chroma_deblock_test.cpp" "tests/CMakeFiles/test_codec.dir/codec/chroma_deblock_test.cpp.o" "gcc" "tests/CMakeFiles/test_codec.dir/codec/chroma_deblock_test.cpp.o.d"
+  "/root/repo/tests/codec/deblock_test.cpp" "tests/CMakeFiles/test_codec.dir/codec/deblock_test.cpp.o" "gcc" "tests/CMakeFiles/test_codec.dir/codec/deblock_test.cpp.o.d"
+  "/root/repo/tests/codec/entropy_test.cpp" "tests/CMakeFiles/test_codec.dir/codec/entropy_test.cpp.o" "gcc" "tests/CMakeFiles/test_codec.dir/codec/entropy_test.cpp.o.d"
+  "/root/repo/tests/codec/frame_codec_test.cpp" "tests/CMakeFiles/test_codec.dir/codec/frame_codec_test.cpp.o" "gcc" "tests/CMakeFiles/test_codec.dir/codec/frame_codec_test.cpp.o.d"
+  "/root/repo/tests/codec/interpolate_test.cpp" "tests/CMakeFiles/test_codec.dir/codec/interpolate_test.cpp.o" "gcc" "tests/CMakeFiles/test_codec.dir/codec/interpolate_test.cpp.o.d"
+  "/root/repo/tests/codec/intra_test.cpp" "tests/CMakeFiles/test_codec.dir/codec/intra_test.cpp.o" "gcc" "tests/CMakeFiles/test_codec.dir/codec/intra_test.cpp.o.d"
+  "/root/repo/tests/codec/mc_test.cpp" "tests/CMakeFiles/test_codec.dir/codec/mc_test.cpp.o" "gcc" "tests/CMakeFiles/test_codec.dir/codec/mc_test.cpp.o.d"
+  "/root/repo/tests/codec/me_test.cpp" "tests/CMakeFiles/test_codec.dir/codec/me_test.cpp.o" "gcc" "tests/CMakeFiles/test_codec.dir/codec/me_test.cpp.o.d"
+  "/root/repo/tests/codec/sad_test.cpp" "tests/CMakeFiles/test_codec.dir/codec/sad_test.cpp.o" "gcc" "tests/CMakeFiles/test_codec.dir/codec/sad_test.cpp.o.d"
+  "/root/repo/tests/codec/sme_test.cpp" "tests/CMakeFiles/test_codec.dir/codec/sme_test.cpp.o" "gcc" "tests/CMakeFiles/test_codec.dir/codec/sme_test.cpp.o.d"
+  "/root/repo/tests/codec/transform_test.cpp" "tests/CMakeFiles/test_codec.dir/codec/transform_test.cpp.o" "gcc" "tests/CMakeFiles/test_codec.dir/codec/transform_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/feves_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/feves_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/feves_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/feves_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/feves_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/feves_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/feves_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/feves_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

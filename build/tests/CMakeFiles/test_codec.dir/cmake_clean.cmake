@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codec.dir/codec/bitstream_fuzz_test.cpp.o"
+  "CMakeFiles/test_codec.dir/codec/bitstream_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_codec.dir/codec/chroma_deblock_test.cpp.o"
+  "CMakeFiles/test_codec.dir/codec/chroma_deblock_test.cpp.o.d"
+  "CMakeFiles/test_codec.dir/codec/deblock_test.cpp.o"
+  "CMakeFiles/test_codec.dir/codec/deblock_test.cpp.o.d"
+  "CMakeFiles/test_codec.dir/codec/entropy_test.cpp.o"
+  "CMakeFiles/test_codec.dir/codec/entropy_test.cpp.o.d"
+  "CMakeFiles/test_codec.dir/codec/frame_codec_test.cpp.o"
+  "CMakeFiles/test_codec.dir/codec/frame_codec_test.cpp.o.d"
+  "CMakeFiles/test_codec.dir/codec/interpolate_test.cpp.o"
+  "CMakeFiles/test_codec.dir/codec/interpolate_test.cpp.o.d"
+  "CMakeFiles/test_codec.dir/codec/intra_test.cpp.o"
+  "CMakeFiles/test_codec.dir/codec/intra_test.cpp.o.d"
+  "CMakeFiles/test_codec.dir/codec/mc_test.cpp.o"
+  "CMakeFiles/test_codec.dir/codec/mc_test.cpp.o.d"
+  "CMakeFiles/test_codec.dir/codec/me_test.cpp.o"
+  "CMakeFiles/test_codec.dir/codec/me_test.cpp.o.d"
+  "CMakeFiles/test_codec.dir/codec/sad_test.cpp.o"
+  "CMakeFiles/test_codec.dir/codec/sad_test.cpp.o.d"
+  "CMakeFiles/test_codec.dir/codec/sme_test.cpp.o"
+  "CMakeFiles/test_codec.dir/codec/sme_test.cpp.o.d"
+  "CMakeFiles/test_codec.dir/codec/transform_test.cpp.o"
+  "CMakeFiles/test_codec.dir/codec/transform_test.cpp.o.d"
+  "test_codec"
+  "test_codec.pdb"
+  "test_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

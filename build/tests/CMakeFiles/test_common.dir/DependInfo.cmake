@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/config_test.cpp" "tests/CMakeFiles/test_common.dir/common/config_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/config_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/span_plane_test.cpp" "tests/CMakeFiles/test_common.dir/common/span_plane_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/span_plane_test.cpp.o.d"
+  "/root/repo/tests/common/thread_pool_test.cpp" "tests/CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/common/video_test.cpp" "tests/CMakeFiles/test_common.dir/common/video_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/video_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/feves_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/feves_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/feves_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/feves_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/feves_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/feves_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/feves_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/feves_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

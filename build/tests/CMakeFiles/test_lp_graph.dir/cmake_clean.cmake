@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp_graph.dir/graph/dijkstra_test.cpp.o"
+  "CMakeFiles/test_lp_graph.dir/graph/dijkstra_test.cpp.o.d"
+  "CMakeFiles/test_lp_graph.dir/lp/simplex_test.cpp.o"
+  "CMakeFiles/test_lp_graph.dir/lp/simplex_test.cpp.o.d"
+  "test_lp_graph"
+  "test_lp_graph.pdb"
+  "test_lp_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
