@@ -1,0 +1,96 @@
+// Extension bench (beyond the paper's figures): graceful degradation under
+// device faults. The paper's Fig 7 perturbations only slow a device down;
+// here devices FAIL — a permanent loss of one GPU and, later, a transient
+// loss of the other — and the framework must quarantine the offender,
+// re-solve the LP over the survivors within the same frame, and re-admit a
+// device that comes back. The quality bar: steady-state throughput after a
+// permanent loss must come within 10% of a from-scratch run on the reduced
+// topology (probe frames included, amortized by the quarantine backoff).
+#include "bench/bench_util.hpp"
+
+#include "platform/fault.hpp"
+
+int main() {
+  using namespace feves;
+  using namespace feves::bench;
+
+  print_header(
+      "EXT — fault injection & graceful degradation, SysNFF, 32x32 SA, 1 RF",
+      "GPU#2 (device 2) lost for good at frame 30; GPU#1 (device 1) drops\n"
+      "out for frames 90..100 and returns. Expect: re-balance within the\n"
+      "faulted frame, degraded steady state within 10% of SysNF, and full\n"
+      "re-admission of the recovered device");
+
+  constexpr int kFrames = 140;
+  FaultSchedule faults;
+  faults.add({/*device=*/2, /*begin=*/30, kFaultForever,
+              FaultKind::kDeviceLoss});
+  faults.add({/*device=*/1, /*begin=*/90, /*end=*/100,
+              FaultKind::kDeviceLoss});
+
+  VirtualFramework fw(paper_config(32, 1), make_sys_nff(), {}, {}, faults);
+  std::vector<FrameStats> stats;
+  for (int f = 1; f <= kFrames; ++f) stats.push_back(fw.encode_frame());
+
+  std::printf("%-6s %9s %5s %5s %5s %5s  %s\n", "frame", "ms", "retry",
+              "quar", "readm", "ndev", "rows me[0]/me[1]/me[2]");
+  for (int f = 0; f < kFrames; ++f) {
+    const auto& s = stats[f];
+    const bool interesting = s.retries > 0 || s.devices_readmitted > 0 ||
+                             f < 3 || (f % 10) == 9;
+    if (!interesting) continue;
+    std::printf("%-6d %9.2f %5d %5d %5d %5d  %d/%d/%d\n", s.frame_number,
+                s.total_ms, s.retries, s.devices_quarantined,
+                s.devices_readmitted, s.active_devices, s.dist.me[0],
+                s.dist.me[1], s.dist.me[2]);
+  }
+
+  auto avg_ms = [&](int lo, int hi) {
+    double t = 0.0;
+    for (int f = lo; f < hi; ++f) t += stats[f].total_ms;
+    return t / (hi - lo);
+  };
+
+  std::printf("\nShape checks:\n");
+  // (1) The faulted frame re-balances in place: retries recorded, lost
+  // device stripped of rows, and the next frame is already clean.
+  const auto& hit = stats[29];  // frame 30
+  std::printf("  - loss absorbed at frame 30 (retries %d, me[2] %d rows,"
+              " frame 31 retries %d): %s\n",
+              hit.retries, hit.dist.me[2], stats[30].retries,
+              (hit.retries >= 1 && hit.dist.me[2] == 0 &&
+               stats[30].retries == 0)
+                  ? "PASS"
+                  : "FAIL");
+  // (2) Degraded steady state vs a from-scratch SysNF run.
+  VirtualFramework reduced(paper_config(32, 1), make_sys_nf());
+  const double reduced_fps = reduced.steady_state_fps(30, 8);
+  const double degraded_fps = 1000.0 / avg_ms(60, 85);
+  std::printf("  - degraded fps %.2f vs SysNF-from-scratch %.2f (within 10%%):"
+              " %s\n",
+              degraded_fps, reduced_fps,
+              (degraded_fps > 0.90 * reduced_fps &&
+               degraded_fps < 1.10 * reduced_fps)
+                  ? "PASS"
+                  : "FAIL");
+  // (3) The transiently lost GPU#1 is re-admitted and carries load again.
+  const auto& tail = stats[kFrames - 1];
+  int readmissions = 0;
+  for (const auto& s : stats) readmissions += s.devices_readmitted;
+  std::printf("  - GPU#1 re-admitted (readmissions %d, tail me[1] %d rows,"
+              " %d active devices): %s\n",
+              readmissions, tail.dist.me[1], tail.active_devices,
+              (readmissions >= 1 && tail.dist.me[1] > 0 &&
+               tail.active_devices == 2)
+                  ? "PASS"
+                  : "FAIL");
+  // (4) Recovery restores the two-device (CPU + GPU#1) throughput level of
+  // the pre-transient window.
+  const double before = avg_ms(75, 85);
+  const double after = avg_ms(125, 140);
+  std::printf("  - post-recovery %.2f ms vs pre-transient %.2f ms (within"
+              " 10%%): %s\n",
+              after, before,
+              std::abs(after - before) < 0.10 * before ? "PASS" : "FAIL");
+  return 0;
+}

@@ -8,16 +8,19 @@ namespace feves {
 CollaborativeEncoder::CollaborativeEncoder(const EncoderConfig& cfg,
                                            const PlatformTopology& topo,
                                            FrameworkOptions opts,
-                                           SimdTier tier)
+                                           SimdTier tier, FaultSchedule faults)
     : cfg_(cfg),
       topo_(topo),
       opts_(opts),
       tier_(tier),
+      faults_(std::move(faults)),
       balancer_(cfg, topo, opts.lb),
       dam_(cfg, topo, opts.enable_data_reuse),
       perf_(topo.num_devices(), opts.ewma_alpha),
+      health_(topo.num_devices(), opts.health),
       refs_(cfg.num_ref_frames),
-      mirrors_(static_cast<std::size_t>(topo.num_devices())) {
+      mirrors_(static_cast<std::size_t>(topo.num_devices())),
+      mirror_stale_(static_cast<std::size_t>(topo.num_devices()), false) {
   cfg_.validate();
   topo_.validate();
   rf_holder_ = topo_.cpu_index() >= 0 ? topo_.cpu_index() : 0;
@@ -45,64 +48,132 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
     const int active_refs = refs_.size();
     stats.active_refs = active_refs;
 
-    Timer sched_timer;
-    Distribution dist;
-    const std::vector<int> sigma_r_prev = dam_.deferred_rows();
-    auto rstar_of = [&] {
-      return opts_.force_rstar_device >= 0
-                 ? opts_.force_rstar_device
-                 : balancer_.select_rstar_device(perf_);
-    };
-    if (!perf_.initialized()) {
-      dist = balancer_.equidistant(rstar_of());
-    } else {
-      switch (opts_.policy) {
-        case SchedulingPolicy::kAdaptiveLp:
-          dist = balancer_.balance(perf_, sigma_r_prev,
-                                   opts_.force_rstar_device);
-          break;
-        case SchedulingPolicy::kProportional:
-          dist = balancer_.proportional(perf_, sigma_r_prev,
-                                        opts_.force_rstar_device);
-          break;
-        case SchedulingPolicy::kEquidistant:
-          dist = balancer_.equidistant(rstar_of());
-          break;
+    ExecuteOptions exec_opts;
+    exec_opts.faults = faults_.plan(frame, topo_.num_devices());
+    exec_opts.watchdog_ms = opts_.watchdog_ms;
+    exec_opts.hang_sleep_ms = opts_.hang_sleep_ms;
+
+    // Recovery loop: a failed attempt never contributes pixels — the frame
+    // is re-prepared, stale mirrors are restaged whole, and the LP
+    // re-balances over the surviving devices, so the reconstruction stays
+    // bit-exact with the reference encoder no matter which devices fault.
+    for (int attempt = 0;; ++attempt) {
+      FEVES_CHECK_MSG(attempt <= opts_.max_frame_retries,
+                      "frame " << frame << ": no clean attempt within "
+                               << opts_.max_frame_retries << " retries");
+      FEVES_CHECK_MSG(health_.num_schedulable() > 0,
+                      "frame " << frame << ": every device is quarantined");
+      const std::vector<bool> active = health_.active_mask();
+
+      if (attempt > 0) {
+        // The failed attempt may have partially written MVs, SF planes or
+        // the reconstruction; rebuild the job from the untouched inputs.
+        std::vector<RefPicture*> reborrowed;
+        for (int i = 0; i < refs_.size(); ++i) {
+          reborrowed.push_back(&refs_.ref(i));
+        }
+        job.prepare(cfg_, cur, std::move(reborrowed), frame);
       }
-    }
-    const std::vector<TransferPlan> plans =
-        dam_.plan_frame(dist, rf_holder_, active_refs);
-    stats.scheduling_ms = sched_timer.elapsed_ms();
-    stats.dist = dist;
 
-    for (int i = 0; i < topo_.num_devices(); ++i) {
-      if (topo_.devices[i].is_accelerator()) {
-        begin_frame_mirror(mirrors_[i], cfg_, active_refs,
-                           refs_.ref(0).recon.y);
-      }
-    }
-
-    RealBackend backend(job, mirrors_, topo_, tier_, dist.sme);
-    FrameOpIds ids;
-    const OpGraph graph = build_frame_graph(topo_, dist, plans, backend, &ids);
-    const ExecutionResult result = execute_real(graph, topo_);
-    attribute_frame_times(cfg_, topo_, dist, ids, result, &perf_);
-    rf_holder_ = dist.rstar_device;
-
-    stats.total_ms = result.makespan_ms;
-    for (int i = 0; i < topo_.num_devices(); ++i) {
-      const auto& d = ids.dev[i];
-      for (int id : {d.me, d.intp, d.mv_out, d.sf_out}) {
-        if (id >= 0) {
-          stats.tau1_ms = std::max(stats.tau1_ms, result.times[id].end_ms);
+      Timer sched_timer;
+      Distribution dist;
+      const std::vector<int> sigma_r_prev = dam_.deferred_rows();
+      const int force_rstar = (opts_.force_rstar_device >= 0 &&
+                               health_.schedulable(opts_.force_rstar_device))
+                                  ? opts_.force_rstar_device
+                                  : -1;
+      auto rstar_of = [&] {
+        return force_rstar >= 0
+                   ? force_rstar
+                   : balancer_.select_rstar_device(perf_, &active);
+      };
+      if (!perf_.initialized(&active)) {
+        dist = balancer_.equidistant(rstar_of(), &active);
+      } else {
+        switch (opts_.policy) {
+          case SchedulingPolicy::kAdaptiveLp:
+            dist = balancer_.balance(perf_, sigma_r_prev, force_rstar,
+                                     &active);
+            break;
+          case SchedulingPolicy::kProportional:
+            dist = balancer_.proportional(perf_, sigma_r_prev, force_rstar,
+                                          &active);
+            break;
+          case SchedulingPolicy::kEquidistant:
+            dist = balancer_.equidistant(rstar_of(), &active);
+            break;
         }
       }
-      for (int id : {d.sme, d.sme_mv_out}) {
-        if (id >= 0) {
-          stats.tau2_ms = std::max(stats.tau2_ms, result.times[id].end_ms);
+      const int rf_holder = health_.schedulable(rf_holder_) ? rf_holder_ : -1;
+      const std::vector<TransferPlan> plans =
+          dam_.plan_frame(dist, rf_holder, active_refs, &active);
+      stats.scheduling_ms += sched_timer.elapsed_ms();
+
+      for (int i = 0; i < topo_.num_devices(); ++i) {
+        if (!topo_.devices[i].is_accelerator()) continue;
+        if (!active[i]) {
+          // Sitting this frame out breaks the one-begin-per-frame contract.
+          mirror_stale_[i] = true;
+          continue;
+        }
+        if (mirror_stale_[i]) {
+          restage_mirror(mirrors_[i], cfg_, active_refs, refs_);
+          mirror_stale_[i] = false;
+        } else {
+          begin_frame_mirror(mirrors_[i], cfg_, active_refs,
+                             refs_.ref(0).recon.y);
         }
       }
+
+      RealBackend backend(job, mirrors_, topo_, tier_, dist.sme);
+      FrameOpIds ids;
+      const OpGraph graph =
+          build_frame_graph(topo_, dist, plans, backend, &ids);
+      const ExecutionResult result = execute_real(graph, topo_, exec_opts);
+      stats.total_ms += result.makespan_ms;
+
+      if (!result.ok()) {
+        ++stats.retries;
+        for (int d : result.failed_devices()) {
+          if (health_.record_failure(d)) {
+            perf_.evict(d);
+            dam_.evict(d);
+            ++stats.devices_quarantined;
+          }
+        }
+        // Cancelled/unfinished ops leave mirrors and the deferred-SF
+        // bookkeeping out of sync; restage everything and re-plan from an
+        // all-resident state.
+        for (int i = 0; i < topo_.num_devices(); ++i) {
+          if (topo_.devices[i].is_accelerator()) mirror_stale_[i] = true;
+        }
+        dam_.reset();
+        continue;
+      }
+
+      attribute_frame_times(cfg_, topo_, dist, ids, result, &perf_);
+      rf_holder_ = dist.rstar_device;
+      stats.dist = dist;
+      for (int i = 0; i < topo_.num_devices(); ++i) {
+        if (active[i]) {
+          health_.record_success(i);
+          ++stats.active_devices;
+        }
+        const auto& d = ids.dev[i];
+        for (int id : {d.me, d.intp, d.mv_out, d.sf_out}) {
+          if (id >= 0) {
+            stats.tau1_ms = std::max(stats.tau1_ms, result.times[id].end_ms);
+          }
+        }
+        for (int id : {d.sme, d.sme_mv_out}) {
+          if (id >= 0) {
+            stats.tau2_ms = std::max(stats.tau2_ms, result.times[id].end_ms);
+          }
+        }
+      }
+      break;
     }
+    stats.devices_readmitted = static_cast<int>(health_.end_frame().size());
   }
 
   if (bitstream_out != nullptr) {

@@ -17,7 +17,8 @@ class CollaborativeEncoder {
  public:
   CollaborativeEncoder(const EncoderConfig& cfg, const PlatformTopology& topo,
                        FrameworkOptions opts = {},
-                       SimdTier tier = SimdTier::kAuto);
+                       SimdTier tier = SimdTier::kAuto,
+                       FaultSchedule faults = {});
 
   /// Encodes the next frame (the first call encodes the bootstrap I frame
   /// on the host; subsequent calls run the collaborative inter loop).
@@ -32,17 +33,23 @@ class CollaborativeEncoder {
 
   int frames_encoded() const { return next_frame_; }
   const PerfCharacterization& characterization() const { return perf_; }
+  const DeviceHealthMonitor& health() const { return health_; }
 
  private:
   EncoderConfig cfg_;
   PlatformTopology topo_;
   FrameworkOptions opts_;
   SimdTier tier_;
+  FaultSchedule faults_;
   LoadBalancer balancer_;
   DataAccessManagement dam_;
   PerfCharacterization perf_;
+  DeviceHealthMonitor health_;
   RefList refs_;
   std::vector<DeviceMirror> mirrors_;
+  /// Mirrors whose incremental per-frame contract is broken (device sat out
+  /// a frame, or an attempt failed mid-flight) — restaged whole before use.
+  std::vector<bool> mirror_stale_;
   int next_frame_ = 0;
   int rf_holder_ = 0;
 };

@@ -50,10 +50,12 @@ std::vector<int> DataAccessManagement::deferred_rows() const {
 }
 
 std::vector<TransferPlan> DataAccessManagement::plan_frame(
-    const Distribution& dist, int rf_holder, int num_refs) {
+    const Distribution& dist, int rf_holder, int num_refs,
+    const std::vector<bool>* active) {
   const int n = topo_.num_devices();
   const int rows = cfg_.num_mb_rows();
   FEVES_CHECK(dist.num_devices() == n);
+  FEVES_CHECK(active == nullptr || static_cast<int>(active->size()) == n);
   dist.check_conservation(rows);
 
   const auto me_iv = intervals_of(dist.me);
@@ -65,6 +67,12 @@ std::vector<TransferPlan> DataAccessManagement::plan_frame(
   std::vector<TransferPlan> plans(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     TransferPlan& p = plans[i];
+    if (active != nullptr && !(*active)[i]) {
+      FEVES_CHECK_MSG(dist.me[i] == 0 && dist.intp[i] == 0 && dist.sme[i] == 0,
+                      "inactive device " << i << " was assigned rows");
+      deferred_[i].clear();  // unreachable: nothing can be carried over
+      continue;
+    }
     if (!topo_.devices[i].is_accelerator()) {
       deferred_[i].clear();  // host always holds everything
       continue;

@@ -60,10 +60,20 @@ class DataAccessManagement {
 
   /// Computes every device's transfer plan for one frame and advances the
   /// deferred-SF state. `rf_holder` is the device that produced the newest
-  /// RF (it skips the RF fetch). `num_refs` is the current reference count
-  /// (the carry transfer only exists once an older SF exists).
-  std::vector<TransferPlan> plan_frame(const Distribution& dist,
-                                       int rf_holder, int num_refs);
+  /// RF (it skips the RF fetch; -1 = no device holds it, everyone fetches).
+  /// `num_refs` is the current reference count (the carry transfer only
+  /// exists once an older SF exists). Devices with `active` false get an
+  /// empty plan and their deferred state dropped — a quarantined device is
+  /// not addressable, and on re-admission its mirror is restaged whole.
+  std::vector<TransferPlan> plan_frame(
+      const Distribution& dist, int rf_holder, int num_refs,
+      const std::vector<bool>* active = nullptr);
+
+  /// Drops a device's deferred-SF state (quarantine eviction).
+  void evict(int device) {
+    FEVES_CHECK(device >= 0 && device < static_cast<int>(deferred_.size()));
+    deferred_[static_cast<std::size_t>(device)].clear();
+  }
 
   /// Deferred fragments carried into the next frame (σ^{r-1} per device).
   const std::vector<RowInterval>& deferred(int device) const {

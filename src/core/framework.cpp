@@ -10,14 +10,17 @@ namespace feves {
 VirtualFramework::VirtualFramework(const EncoderConfig& cfg,
                                    const PlatformTopology& topo,
                                    FrameworkOptions opts,
-                                   PerturbationSchedule perturbations)
+                                   PerturbationSchedule perturbations,
+                                   FaultSchedule faults)
     : cfg_(cfg),
       topo_(topo),
       opts_(opts),
       perturbations_(std::move(perturbations)),
+      faults_(std::move(faults)),
       balancer_(cfg, topo, opts.lb),
       dam_(cfg, topo, opts.enable_data_reuse),
-      perf_(topo.num_devices(), opts.ewma_alpha) {
+      perf_(topo.num_devices(), opts.ewma_alpha),
+      health_(topo.num_devices(), opts.health) {
   cfg_.validate();
   topo_.validate();
   // The I frame (frame 0) bootstraps the first RF; in the simulated
@@ -29,63 +32,110 @@ FrameStats VirtualFramework::encode_frame() {
   const int frame = next_frame_++;
   const int active_refs = std::min(frame, cfg_.num_ref_frames);
 
-  // ---- Load balancing (Algorithm 1 lines 3 / 8) -------------------------
-  Timer sched_timer;
-  Distribution dist;
-  const std::vector<int> sigma_r_prev = dam_.deferred_rows();
-  auto rstar_of = [&] {
-    return opts_.force_rstar_device >= 0 ? opts_.force_rstar_device
-                                         : balancer_.select_rstar_device(perf_);
-  };
-  if (!perf_.initialized()) {
-    dist = balancer_.equidistant(rstar_of());
-  } else {
-    switch (opts_.policy) {
-      case SchedulingPolicy::kAdaptiveLp:
-        dist = balancer_.balance(perf_, sigma_r_prev, opts_.force_rstar_device);
-        break;
-      case SchedulingPolicy::kProportional:
-        dist = balancer_.proportional(perf_, sigma_r_prev,
-                                      opts_.force_rstar_device);
-        break;
-      case SchedulingPolicy::kEquidistant:
-        dist = balancer_.equidistant(rstar_of());
-        break;
-    }
-  }
-  const std::vector<TransferPlan> plans =
-      dam_.plan_frame(dist, rf_holder_, active_refs);
-  const double scheduling_ms = sched_timer.elapsed_ms();
-
-  // ---- Orchestration + execution (lines 4 / 9) --------------------------
-  std::vector<double> slowdown(static_cast<std::size_t>(topo_.num_devices()));
-  for (int i = 0; i < topo_.num_devices(); ++i) {
-    slowdown[i] = perturbations_.factor(i, frame);
-  }
-  VirtualBackend backend(cfg_, topo_, active_refs, slowdown);
-  FrameOpIds ids;
-  const OpGraph graph = build_frame_graph(topo_, dist, plans, backend, &ids);
-  const ExecutionResult result = execute_virtual(graph, topo_);
-
-  // ---- Characterization update (lines 5-6 / 10) -------------------------
-  attribute_frame_times(cfg_, topo_, dist, ids, result, &perf_);
-  rf_holder_ = dist.rstar_device;
-
   FrameStats stats;
   stats.frame_number = frame;
   stats.active_refs = active_refs;
-  stats.total_ms = result.makespan_ms;
-  stats.scheduling_ms = scheduling_ms;
-  stats.dist = dist;
-  for (int i = 0; i < topo_.num_devices(); ++i) {
-    const auto& d = ids.dev[i];
-    for (int id : {d.me, d.intp, d.mv_out, d.sf_out}) {
-      if (id >= 0) stats.tau1_ms = std::max(stats.tau1_ms, result.times[id].end_ms);
+
+  ExecuteOptions exec_opts;
+  exec_opts.faults = faults_.plan(frame, topo_.num_devices());
+  exec_opts.watchdog_ms = opts_.watchdog_ms;
+  exec_opts.hang_sleep_ms = opts_.hang_sleep_ms;
+
+  // Recovery loop: a failed attempt quarantines the faulty devices' streaks,
+  // re-balances over the survivors and re-simulates the SAME frame. Forward
+  // progress is guaranteed because every failed attempt advances at least one
+  // device toward quarantine (the fault plan is deterministic per frame).
+  for (int attempt = 0;; ++attempt) {
+    FEVES_CHECK_MSG(attempt <= opts_.max_frame_retries,
+                    "frame " << frame << ": no clean attempt within "
+                             << opts_.max_frame_retries << " retries");
+    FEVES_CHECK_MSG(health_.num_schedulable() > 0,
+                    "frame " << frame << ": every device is quarantined");
+    const std::vector<bool> active = health_.active_mask();
+
+    // ---- Load balancing (Algorithm 1 lines 3 / 8) -----------------------
+    Timer sched_timer;
+    Distribution dist;
+    const std::vector<int> sigma_r_prev = dam_.deferred_rows();
+    // A pinned R* on a quarantined device falls back to automatic selection.
+    const int force_rstar = (opts_.force_rstar_device >= 0 &&
+                             health_.schedulable(opts_.force_rstar_device))
+                                ? opts_.force_rstar_device
+                                : -1;
+    auto rstar_of = [&] {
+      return force_rstar >= 0 ? force_rstar
+                              : balancer_.select_rstar_device(perf_, &active);
+    };
+    if (!perf_.initialized(&active)) {
+      // Initialization (Algorithm 1 line 3) — re-entered whenever a
+      // probation device returns with its characterization evicted.
+      dist = balancer_.equidistant(rstar_of(), &active);
+    } else {
+      switch (opts_.policy) {
+        case SchedulingPolicy::kAdaptiveLp:
+          dist = balancer_.balance(perf_, sigma_r_prev, force_rstar, &active);
+          break;
+        case SchedulingPolicy::kProportional:
+          dist = balancer_.proportional(perf_, sigma_r_prev, force_rstar,
+                                        &active);
+          break;
+        case SchedulingPolicy::kEquidistant:
+          dist = balancer_.equidistant(rstar_of(), &active);
+          break;
+      }
     }
-    for (int id : {d.sme, d.sme_mv_out}) {
-      if (id >= 0) stats.tau2_ms = std::max(stats.tau2_ms, result.times[id].end_ms);
+    // A quarantined RF holder is unreachable: every accelerator re-fetches.
+    const int rf_holder = health_.schedulable(rf_holder_) ? rf_holder_ : -1;
+    const std::vector<TransferPlan> plans =
+        dam_.plan_frame(dist, rf_holder, active_refs, &active);
+    stats.scheduling_ms += sched_timer.elapsed_ms();
+
+    // ---- Orchestration + execution (lines 4 / 9) ------------------------
+    std::vector<double> slowdown(
+        static_cast<std::size_t>(topo_.num_devices()));
+    for (int i = 0; i < topo_.num_devices(); ++i) {
+      slowdown[i] = perturbations_.factor(i, frame);
     }
+    VirtualBackend backend(cfg_, topo_, active_refs, slowdown);
+    FrameOpIds ids;
+    const OpGraph graph = build_frame_graph(topo_, dist, plans, backend, &ids);
+    const ExecutionResult result = execute_virtual(graph, topo_, exec_opts);
+    stats.total_ms += result.makespan_ms;  // failed attempts burn time too
+
+    if (!result.ok()) {
+      ++stats.retries;
+      for (int d : result.failed_devices()) {
+        if (health_.record_failure(d)) {
+          perf_.evict(d);
+          dam_.evict(d);
+          ++stats.devices_quarantined;
+        }
+      }
+      continue;
+    }
+
+    // ---- Characterization update (lines 5-6 / 10) -----------------------
+    attribute_frame_times(cfg_, topo_, dist, ids, result, &perf_);
+    rf_holder_ = dist.rstar_device;
+    stats.dist = dist;
+    for (int i = 0; i < topo_.num_devices(); ++i) {
+      if (active[i]) {
+        health_.record_success(i);
+        ++stats.active_devices;
+      }
+      const auto& d = ids.dev[i];
+      for (int id : {d.me, d.intp, d.mv_out, d.sf_out}) {
+        if (id >= 0)
+          stats.tau1_ms = std::max(stats.tau1_ms, result.times[id].end_ms);
+      }
+      for (int id : {d.sme, d.sme_mv_out}) {
+        if (id >= 0)
+          stats.tau2_ms = std::max(stats.tau2_ms, result.times[id].end_ms);
+      }
+    }
+    break;
   }
+  stats.devices_readmitted = static_cast<int>(health_.end_frame().size());
   return stats;
 }
 

@@ -14,6 +14,8 @@
 
 #include "core/coding_manager.hpp"
 #include "core/data_access.hpp"
+#include "core/health.hpp"
+#include "platform/fault.hpp"
 #include "platform/perturbation.hpp"
 #include "sched/load_balancer.hpp"
 
@@ -42,8 +44,20 @@ struct FrameworkOptions {
   bool enable_data_reuse = true;
   /// Pin the R* block to a device (-1 = automatic Dijkstra selection).
   /// Pinning the CPU gives the paper's CPU-centric operation; pinning an
-  /// accelerator the GPU-centric one.
+  /// accelerator the GPU-centric one. A pin on a quarantined device is
+  /// suspended (automatic selection over survivors) until re-admission.
   int force_rstar_device = -1;
+  /// Quarantine / probation policy for device faults.
+  HealthOptions health;
+  /// Per-op watchdog deadline handed to the executors (0 = disabled).
+  /// Required (> 0) when the fault schedule injects hangs.
+  double watchdog_ms = 0.0;
+  /// Real mode: how long an injected hang sleeps (must exceed watchdog_ms).
+  double hang_sleep_ms = 20.0;
+  /// Failed execution attempts tolerated per frame before giving up. Each
+  /// attempt quarantines at least the faulty device's failure streak, so a
+  /// handful suffices even for simultaneous multi-device faults.
+  int max_frame_retries = 8;
 };
 
 /// Everything measured about one encoded inter-frame.
@@ -51,10 +65,16 @@ struct FrameStats {
   int frame_number = 0;    ///< 1-based inter-frame index
   int active_refs = 1;     ///< reference-window size in effect
   double total_ms = 0.0;   ///< τtot: inter-loop time of this frame
+                           ///< (includes any failed attempts' wall time)
   double tau1_ms = 0.0;    ///< measured τ1 (ME/INT + gathers done)
   double tau2_ms = 0.0;    ///< measured τ2 (SME done everywhere)
   double scheduling_ms = 0.0;  ///< LB + data-access planning wall time
   Distribution dist;       ///< the distribution that produced the frame
+  // Fault-recovery accounting:
+  int retries = 0;               ///< failed execution attempts before success
+  int devices_quarantined = 0;   ///< devices newly quarantined this frame
+  int devices_readmitted = 0;    ///< devices entering probation after it
+  int active_devices = 0;        ///< devices the successful attempt ran on
   double fps() const { return total_ms > 0 ? 1000.0 / total_ms : 0.0; }
 };
 
@@ -62,7 +82,8 @@ class VirtualFramework {
  public:
   VirtualFramework(const EncoderConfig& cfg, const PlatformTopology& topo,
                    FrameworkOptions opts = {},
-                   PerturbationSchedule perturbations = {});
+                   PerturbationSchedule perturbations = {},
+                   FaultSchedule faults = {});
 
   /// Simulates the next inter-frame; returns its stats.
   FrameStats encode_frame();
@@ -76,6 +97,7 @@ class VirtualFramework {
   double steady_state_fps(int frames = 30, int warmup = 8);
 
   const PerfCharacterization& characterization() const { return perf_; }
+  const DeviceHealthMonitor& health() const { return health_; }
   int frames_encoded() const { return next_frame_ - 1; }
 
  private:
@@ -83,9 +105,11 @@ class VirtualFramework {
   PlatformTopology topo_;
   FrameworkOptions opts_;
   PerturbationSchedule perturbations_;
+  FaultSchedule faults_;
   LoadBalancer balancer_;
   DataAccessManagement dam_;
   PerfCharacterization perf_;
+  DeviceHealthMonitor health_;
   int next_frame_ = 1;   ///< next inter-frame number (frame 0 is the I frame)
   int rf_holder_ = 0;    ///< device that produced the newest RF
 };

@@ -1,0 +1,103 @@
+#include "core/health.hpp"
+
+#include <algorithm>
+
+namespace feves {
+
+const char* to_string(DeviceHealth h) {
+  switch (h) {
+    case DeviceHealth::kActive:
+      return "active";
+    case DeviceHealth::kProbation:
+      return "probation";
+    case DeviceHealth::kQuarantined:
+      return "quarantined";
+  }
+  return "?";
+}
+
+DeviceHealthMonitor::DeviceHealthMonitor(int num_devices, HealthOptions opts)
+    : opts_(opts), dev_(static_cast<std::size_t>(num_devices)) {
+  FEVES_CHECK(num_devices >= 1);
+  FEVES_CHECK(opts_.failure_threshold >= 1);
+  FEVES_CHECK(opts_.quarantine_frames >= 1);
+  FEVES_CHECK(opts_.probation_clean_frames >= 1);
+  FEVES_CHECK(opts_.quarantine_backoff >= 1.0);
+  FEVES_CHECK(opts_.max_quarantine_frames >= opts_.quarantine_frames);
+}
+
+std::vector<bool> DeviceHealthMonitor::active_mask() const {
+  std::vector<bool> mask(dev_.size());
+  for (std::size_t i = 0; i < dev_.size(); ++i) {
+    mask[i] = dev_[i].state != DeviceHealth::kQuarantined;
+  }
+  return mask;
+}
+
+int DeviceHealthMonitor::num_schedulable() const {
+  int n = 0;
+  for (const DeviceState& d : dev_) {
+    n += d.state != DeviceHealth::kQuarantined ? 1 : 0;
+  }
+  return n;
+}
+
+void DeviceHealthMonitor::quarantine(DeviceState* d) {
+  // Backoff: each re-quarantine lengthens the window, so probing a device
+  // that never comes back costs geometrically fewer frames over time.
+  const int grown =
+      d->current_window == 0
+          ? opts_.quarantine_frames
+          : static_cast<int>(d->current_window * opts_.quarantine_backoff);
+  d->current_window = std::min(std::max(grown, opts_.quarantine_frames),
+                               opts_.max_quarantine_frames);
+  d->state = DeviceHealth::kQuarantined;
+  d->quarantine_left = d->current_window;
+  d->consecutive_failures = 0;
+  d->probation_clean = 0;
+}
+
+bool DeviceHealthMonitor::record_failure(int device) {
+  FEVES_CHECK(device >= 0 && device < num_devices());
+  DeviceState& d = dev_[device];
+  if (d.state == DeviceHealth::kQuarantined) return false;
+  if (d.state == DeviceHealth::kProbation) {
+    // The probe failed: straight back to (longer) quarantine.
+    quarantine(&d);
+    return true;
+  }
+  if (++d.consecutive_failures >= opts_.failure_threshold) {
+    quarantine(&d);
+    return true;
+  }
+  return false;
+}
+
+void DeviceHealthMonitor::record_success(int device) {
+  FEVES_CHECK(device >= 0 && device < num_devices());
+  DeviceState& d = dev_[device];
+  d.consecutive_failures = 0;
+  if (d.state == DeviceHealth::kProbation) {
+    if (++d.probation_clean >= opts_.probation_clean_frames) {
+      d.state = DeviceHealth::kActive;
+      d.probation_clean = 0;
+      d.current_window = 0;  // full health: backoff resets
+    }
+  }
+}
+
+std::vector<int> DeviceHealthMonitor::end_frame() {
+  std::vector<int> readmitted;
+  for (std::size_t i = 0; i < dev_.size(); ++i) {
+    DeviceState& d = dev_[i];
+    if (d.state != DeviceHealth::kQuarantined) continue;
+    if (--d.quarantine_left <= 0) {
+      d.state = DeviceHealth::kProbation;
+      d.probation_clean = 0;
+      readmitted.push_back(static_cast<int>(i));
+    }
+  }
+  return readmitted;
+}
+
+}  // namespace feves

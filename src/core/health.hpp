@@ -1,0 +1,81 @@
+// Device health tracking for graceful degradation. The framework reports
+// per-device frame outcomes; the monitor decides who stays schedulable:
+//
+//   kActive --(failure_threshold consecutive failures)--> kQuarantined
+//   kQuarantined --(quarantine window elapses)--> kProbation
+//   kProbation --(probation_clean_frames clean frames)--> kActive
+//   kProbation --(any failure)--> kQuarantined (window grows by backoff)
+//
+// Quarantined devices are excluded from the LP's active set; probation
+// devices are schedulable again, so the next frame both probes the device
+// and re-characterizes it (Algorithm 1's initialization semantics). The
+// exponential backoff bounds the amortized cost of probing a permanently
+// lost device: probe frames become geometrically rarer.
+#pragma once
+
+#include "common/check.hpp"
+
+#include <vector>
+
+namespace feves {
+
+struct HealthOptions {
+  int failure_threshold = 2;       ///< consecutive failures to quarantine
+  int quarantine_frames = 3;       ///< initial frames a device sits out
+  int probation_clean_frames = 2;  ///< clean frames until fully re-admitted
+  double quarantine_backoff = 2.0; ///< window growth per re-quarantine
+  int max_quarantine_frames = 64;  ///< backoff ceiling
+};
+
+enum class DeviceHealth { kActive, kProbation, kQuarantined };
+
+const char* to_string(DeviceHealth h);
+
+class DeviceHealthMonitor {
+ public:
+  explicit DeviceHealthMonitor(int num_devices, HealthOptions opts = {});
+
+  int num_devices() const { return static_cast<int>(dev_.size()); }
+  DeviceHealth state(int device) const { return at(device).state; }
+
+  /// Active and probation devices are schedulable.
+  bool schedulable(int device) const {
+    return at(device).state != DeviceHealth::kQuarantined;
+  }
+  std::vector<bool> active_mask() const;
+  int num_schedulable() const;
+
+  /// Records a failed frame attempt on `device`. Returns true when this
+  /// failure pushed the device into quarantine (the caller should evict
+  /// its scheduler state and re-plan without it).
+  bool record_failure(int device);
+
+  /// Records a clean frame on `device` (clears the failure streak; advances
+  /// probation toward full re-admission).
+  void record_success(int device);
+
+  /// Advances quarantine timers by one encoded frame. Returns the devices
+  /// promoted to probation — schedulable again starting next frame.
+  std::vector<int> end_frame();
+
+ private:
+  struct DeviceState {
+    DeviceHealth state = DeviceHealth::kActive;
+    int consecutive_failures = 0;
+    int quarantine_left = 0;   ///< frames until probation
+    int current_window = 0;    ///< this quarantine's length (for backoff)
+    int probation_clean = 0;   ///< clean frames accumulated in probation
+  };
+
+  const DeviceState& at(int device) const {
+    FEVES_CHECK(device >= 0 && device < num_devices());
+    return dev_[device];
+  }
+
+  void quarantine(DeviceState* d);
+
+  HealthOptions opts_;
+  std::vector<DeviceState> dev_;
+};
+
+}  // namespace feves

@@ -1,6 +1,7 @@
 #include "core/real_backend.hpp"
 
 #include "codec/interpolate.hpp"
+#include "sched/distribution.hpp"
 
 #include <cstring>
 #include <mutex>
@@ -66,6 +67,35 @@ void begin_frame_mirror(DeviceMirror& mirror, const EncoderConfig& cfg,
   mirror.refs.push_front(std::move(fresh));
   while (static_cast<int>(mirror.refs.size()) > active_refs) {
     mirror.refs.pop_back();
+  }
+
+  mirror.fields.assign(static_cast<std::size_t>(active_refs),
+                       MotionField(static_cast<std::size_t>(cfg.total_mbs())));
+}
+
+void restage_mirror(DeviceMirror& mirror, const EncoderConfig& cfg,
+                    int active_refs, const RefList& refs) {
+  FEVES_CHECK(refs.size() >= active_refs);
+  const int border = ref_border(cfg);
+  if (mirror.cf_y.width() != cfg.width) {
+    mirror.cf_y = PlaneU8(cfg.width, cfg.height, border);
+  }
+  mirror.cf_y.fill(DeviceMirror::kPoison);
+
+  mirror.refs.clear();
+  for (int r = 0; r < active_refs; ++r) {
+    auto rm = std::make_unique<DeviceMirror::RefMirror>(cfg.width, cfg.height,
+                                                        border);
+    copy_full_plane(refs.ref(r).recon.y, rm->recon_y);
+    if (r == 0) {
+      // The newest reference's SF is interpolated during this frame.
+      for (auto& plane : rm->sf.phases) plane.fill(DeviceMirror::kPoison);
+    } else {
+      for (int ph = 0; ph < kSubPel * kSubPel; ++ph) {
+        copy_full_plane(refs.ref(r).sf.phases[ph], rm->sf.phases[ph]);
+      }
+    }
+    mirror.refs.push_back(std::move(rm));
   }
 
   mirror.fields.assign(static_cast<std::size_t>(active_refs),
@@ -144,11 +174,18 @@ OpPayload RealBackend::op_sme(int device, RowInterval rows) {
             DeviceMirror& m = mirrors_[device];
             SmeParams params;
             params.refine_range = job_.cfg->subpel_refine_range;
+            // SF completion (σ) and MC prefetch stream on the copy lane
+            // concurrently with this kernel, writing payload rows outside
+            // the staged SME halo — so only extend a vertical border this
+            // slice can actually reach. When a border is reachable, its
+            // source edge row lies inside the halo window staged by the
+            // dep-ordered SF_sme transfer and is stable to read.
+            const int halo = sme_sf_halo_rows(*job_.cfg);
+            const bool top = rows.begin < halo;
+            const bool bottom = rows.end > job_.cfg->num_mb_rows() - halo;
             for (std::size_t r = 0; r < job_.refs.size(); ++r) {
-              // Vertical borders replicate whatever the edge rows hold; the
-              // halo guarantees edge rows are valid whenever they matter.
               for (auto& plane : m.refs[r]->sf.phases) {
-                plane.extend_vertical_borders();
+                plane.extend_vertical_borders(top, bottom);
               }
               run_sme_rows(m.cf_y, m.refs[r]->sf, job_.cfg->mb_width(),
                            rows.begin, rows.end, params, m.fields[r].data());

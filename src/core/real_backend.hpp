@@ -82,4 +82,15 @@ class RealBackend final : public FrameBackend {
 void begin_frame_mirror(DeviceMirror& mirror, const EncoderConfig& cfg,
                         int active_refs, const PlaneU8& newest_recon_y);
 
+/// Rebuilds `mirror` from scratch out of the canonical reference list —
+/// the recovery path. Used when the incremental begin_frame_mirror contract
+/// (exactly one call per encoded frame) is broken: after a failed execution
+/// attempt left the mirror partially written, or when a quarantined device
+/// re-enters probation having missed frames. Every reference reconstruction
+/// is staged; older references also get their (already assembled, borders
+/// included) SF planes, the newest reference's SF — produced this frame —
+/// and the CF are poisoned just like in the incremental path.
+void restage_mirror(DeviceMirror& mirror, const EncoderConfig& cfg,
+                    int active_refs, const RefList& refs);
+
 }  // namespace feves

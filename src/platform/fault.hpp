@@ -1,0 +1,81 @@
+// Deterministic device-fault injection — the robustness counterpart of
+// PerturbationSchedule. Where a perturbation only stretches durations, a
+// fault makes ops FAIL: a kernel raising an error, a DMA transfer failing,
+// a device dropping off the bus entirely, or a kernel hanging past the
+// executor's watchdog deadline. The same schedule drives both executors so
+// virtual-mode degradation benches and real-mode bit-exactness tests see
+// identical per-op outcomes, and repeated runs are exactly reproducible.
+#pragma once
+
+#include "common/check.hpp"
+#include "platform/op_graph.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace feves {
+
+/// Frame window end meaning "never recovers" (permanent device loss).
+inline constexpr int kFaultForever = std::numeric_limits<int>::max();
+
+enum class FaultKind {
+  kKernelTransient,    ///< compute ops on the device error in the window
+  kTransferTransient,  ///< copy-engine ops on the device error in the window
+  kDeviceLoss,         ///< every op on the device errors in the window
+  kHang,               ///< compute ops never complete; the watchdog fires
+};
+
+struct FaultEvent {
+  int device = 0;
+  int frame_begin = 0;           ///< first affected frame (inclusive)
+  int frame_end = kFaultForever; ///< last affected frame (exclusive)
+  FaultKind kind = FaultKind::kKernelTransient;
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  void add(const FaultEvent& e) {
+    FEVES_CHECK(e.device >= 0);
+    FEVES_CHECK(e.frame_begin <= e.frame_end);
+    events_.push_back(e);
+  }
+
+  bool empty() const { return events_.empty(); }
+
+  /// Snapshot of the faults active on `frame`, in the per-device form the
+  /// executors consume. Pure function of (schedule, frame): repeated calls
+  /// and repeated runs produce identical plans.
+  FaultPlan plan(int frame, int num_devices) const {
+    FaultPlan p;
+    if (events_.empty()) return p;
+    p.dev.assign(static_cast<std::size_t>(num_devices),
+                 FaultPlan::DeviceFaults{});
+    for (const FaultEvent& e : events_) {
+      if (e.device >= num_devices) continue;
+      if (frame < e.frame_begin || frame >= e.frame_end) continue;
+      auto& d = p.dev[e.device];
+      switch (e.kind) {
+        case FaultKind::kKernelTransient:
+          d.kernel_error = true;
+          break;
+        case FaultKind::kTransferTransient:
+          d.transfer_error = true;
+          break;
+        case FaultKind::kDeviceLoss:
+          d.lost = true;
+          break;
+        case FaultKind::kHang:
+          d.hang = true;
+          break;
+      }
+    }
+    return p;
+  }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace feves

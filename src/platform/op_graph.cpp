@@ -3,8 +3,10 @@
 #include "common/timer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 namespace feves {
@@ -42,19 +44,104 @@ std::vector<std::vector<int>> build_lanes(const OpGraph& graph,
   return lanes;
 }
 
+/// Hangs are only meaningful with a watchdog to end them; fail loudly when
+/// a schedule injects one into an executor that could never detect it.
+void validate_fault_options(const ExecuteOptions& opts, bool real_mode) {
+  bool any_hang = false;
+  for (const auto& d : opts.faults.dev) any_hang |= d.hang;
+  if (!any_hang) return;
+  FEVES_CHECK_MSG(opts.watchdog_ms > 0.0,
+                  "hang fault injected but the watchdog is disabled");
+  if (real_mode) {
+    FEVES_CHECK_MSG(opts.hang_sleep_ms > opts.watchdog_ms,
+                    "injected hang must sleep past the watchdog deadline");
+  }
+}
+
+/// Builds the ordered failure list from per-op terminal states.
+void collect_failures(const OpGraph& graph,
+                      const std::vector<std::string>& messages,
+                      ExecutionResult* result) {
+  for (int i = 0; i < graph.size(); ++i) {
+    const OpStatus s = result->status[i];
+    if (s != OpStatus::kFailed && s != OpStatus::kTimedOut) continue;
+    const Op& op = graph.ops()[i];
+    result->failures.push_back(
+        {i, op.label, op.device, op.resource, s, messages[i]});
+  }
+}
+
+void finish_makespan(ExecutionResult* result) {
+  for (std::size_t i = 0; i < result->times.size(); ++i) {
+    if (result->status[i] == OpStatus::kCancelled) continue;
+    result->makespan_ms = std::max(result->makespan_ms, result->times[i].end_ms);
+  }
+}
+
 }  // namespace
 
+const char* to_string(OpStatus status) {
+  switch (status) {
+    case OpStatus::kOk:
+      return "ok";
+    case OpStatus::kFailed:
+      return "failed";
+    case OpStatus::kTimedOut:
+      return "timed-out";
+    case OpStatus::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+const char* resource_name(OpResource res) {
+  switch (res) {
+    case OpResource::kCompute:
+      return "compute";
+    case OpResource::kCopyH2D:
+      return "copyH2D";
+    case OpResource::kCopyD2H:
+      return "copyD2H";
+  }
+  return "?";
+}
+
+std::vector<int> ExecutionResult::failed_devices() const {
+  std::vector<int> out;
+  for (const OpFailure& f : failures) out.push_back(f.device);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void ExecutionResult::throw_if_failed() const {
+  if (failures.empty()) return;
+  std::ostringstream os;
+  os << failures.size() << " op(s) failed:";
+  for (const OpFailure& f : failures) {
+    os << " [op '" << f.label << "' on device " << f.device << " ("
+       << resource_name(f.resource) << " lane): " << to_string(f.status);
+    if (!f.message.empty()) os << " — " << f.message;
+    os << ']';
+  }
+  throw Error(os.str());
+}
+
 ExecutionResult execute_virtual(const OpGraph& graph,
-                                const PlatformTopology& topo) {
+                                const PlatformTopology& topo,
+                                const ExecuteOptions& opts) {
   topo.validate();
+  validate_fault_options(opts, /*real_mode=*/false);
   ExecutionResult result;
   result.times.assign(graph.size(), OpTimes{});
+  result.status.assign(graph.size(), OpStatus::kOk);
   if (graph.empty()) return result;
 
   auto lanes = build_lanes(graph, topo);
   std::vector<std::size_t> head(lanes.size(), 0);
   std::vector<double> lane_free(lanes.size(), 0.0);
-  std::vector<bool> done(graph.size(), false);
+  std::vector<bool> settled(graph.size(), false);
+  std::vector<std::string> messages(graph.size());
 
   int remaining = graph.size();
   while (remaining > 0) {
@@ -64,19 +151,47 @@ ExecutionResult execute_virtual(const OpGraph& graph,
         const int id = lanes[lane][head[lane]];
         const Op& op = graph.ops()[id];
         double ready = lane_free[lane];
-        bool deps_done = true;
+        bool deps_settled = true;
+        bool deps_ok = true;
         for (int d : op.deps) {
-          if (!done[d]) {
-            deps_done = false;
+          if (!settled[d]) {
+            deps_settled = false;
             break;
           }
+          deps_ok &= result.status[d] == OpStatus::kOk;
           ready = std::max(ready, result.times[d].end_ms);
         }
-        if (!deps_done) break;  // FIFO: later ops in this lane must wait
-        result.times[id].start_ms = ready;
-        result.times[id].end_ms = ready + op.virtual_ms;
-        lane_free[lane] = result.times[id].end_ms;
-        done[id] = true;
+        if (!deps_settled) break;  // FIFO: later ops in this lane must wait
+
+        if (!deps_ok) {
+          // A dependency did not complete: never run, consume no lane time.
+          result.status[id] = OpStatus::kCancelled;
+          result.times[id] = OpTimes{};
+        } else {
+          const FaultPlan::Action action =
+              opts.faults.action(op.device, op.resource);
+          if (action == FaultPlan::Action::kError) {
+            result.status[id] = OpStatus::kFailed;
+            result.times[id] = {ready, ready};
+            messages[id] = "injected fault";
+            lane_free[lane] = ready;
+          } else if (action == FaultPlan::Action::kHang) {
+            // Modelled as an op that never completes; the watchdog ends it.
+            result.status[id] = OpStatus::kTimedOut;
+            result.times[id] = {ready, ready + opts.watchdog_ms};
+            messages[id] = "injected hang; watchdog fired";
+            lane_free[lane] = result.times[id].end_ms;
+          } else if (opts.watchdog_ms > 0.0 && op.virtual_ms > opts.watchdog_ms) {
+            result.status[id] = OpStatus::kTimedOut;
+            result.times[id] = {ready, ready + opts.watchdog_ms};
+            messages[id] = "exceeded watchdog deadline";
+            lane_free[lane] = result.times[id].end_ms;
+          } else {
+            result.times[id] = {ready, ready + op.virtual_ms};
+            lane_free[lane] = result.times[id].end_ms;
+          }
+        }
+        settled[id] = true;
         ++head[lane];
         --remaining;
         progressed = true;
@@ -86,58 +201,94 @@ ExecutionResult execute_virtual(const OpGraph& graph,
                     "op graph deadlocked: circular dependency across lanes");
   }
 
-  for (const OpTimes& t : result.times) {
-    result.makespan_ms = std::max(result.makespan_ms, t.end_ms);
-  }
+  collect_failures(graph, messages, &result);
+  finish_makespan(&result);
   return result;
 }
 
 ExecutionResult execute_real(const OpGraph& graph,
-                             const PlatformTopology& topo) {
+                             const PlatformTopology& topo,
+                             const ExecuteOptions& opts) {
   topo.validate();
+  validate_fault_options(opts, /*real_mode=*/true);
   ExecutionResult result;
   result.times.assign(graph.size(), OpTimes{});
+  result.status.assign(graph.size(), OpStatus::kOk);
   if (graph.empty()) return result;
 
   auto lanes = build_lanes(graph, topo);
-  std::vector<bool> done(graph.size(), false);
+  std::vector<bool> settled(graph.size(), false);
+  std::vector<std::string> messages(graph.size());
   std::mutex mutex;
   std::condition_variable cv;
-  std::exception_ptr first_error;
-  bool aborted = false;
 
   Timer clock;
   auto lane_worker = [&](const std::vector<int>& queue) {
     for (int id : queue) {
       const Op& op = graph.ops()[id];
+      bool deps_ok = true;
       {
         std::unique_lock lock(mutex);
         cv.wait(lock, [&] {
-          if (aborted) return true;
           for (int d : op.deps) {
-            if (!done[d]) return false;
+            if (!settled[d]) return false;
           }
           return true;
         });
-        if (aborted) return;
-      }
-      const double t0 = clock.elapsed_ms();
-      if (op.work) {
-        try {
-          op.work();
-        } catch (...) {
-          std::lock_guard lock(mutex);
-          if (!first_error) first_error = std::current_exception();
-          aborted = true;
+        for (int d : op.deps) {
+          deps_ok &= result.status[d] == OpStatus::kOk;
+        }
+        if (!deps_ok) {
+          // A dependency did not complete: cancel instead of running on
+          // poisoned inputs, and keep draining this lane.
+          result.status[id] = OpStatus::kCancelled;
+          settled[id] = true;
           cv.notify_all();
-          return;
+          continue;
+        }
+      }
+
+      const FaultPlan::Action action =
+          opts.faults.action(op.device, op.resource);
+      const double t0 = clock.elapsed_ms();
+      OpStatus status = OpStatus::kOk;
+      std::string message;
+      if (action == FaultPlan::Action::kError) {
+        status = OpStatus::kFailed;
+        message = "injected fault";
+      } else if (action == FaultPlan::Action::kHang) {
+        // The hung op holds its lane past the watchdog deadline, then the
+        // executor declares it dead; its (never produced) outputs stay
+        // unusable, so dependents are cancelled.
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(opts.hang_sleep_ms));
+        status = OpStatus::kTimedOut;
+        message = "injected hang exceeded watchdog deadline";
+      } else {
+        if (op.work) {
+          try {
+            op.work();
+          } catch (const std::exception& e) {
+            status = OpStatus::kFailed;
+            message = e.what();
+          } catch (...) {
+            status = OpStatus::kFailed;
+            message = "unknown exception";
+          }
         }
       }
       const double t1 = clock.elapsed_ms();
+      if (status == OpStatus::kOk && opts.watchdog_ms > 0.0 &&
+          t1 - t0 > opts.watchdog_ms) {
+        status = OpStatus::kTimedOut;
+        message = "exceeded watchdog deadline";
+      }
       {
         std::lock_guard lock(mutex);
         result.times[id] = {t0, t1};
-        done[id] = true;
+        result.status[id] = status;
+        messages[id] = std::move(message);
+        settled[id] = true;
       }
       cv.notify_all();
     }
@@ -148,11 +299,9 @@ ExecutionResult execute_real(const OpGraph& graph,
     if (!queue.empty()) workers.emplace_back(lane_worker, std::cref(queue));
   }
   for (auto& w : workers) w.join();
-  if (first_error) std::rethrow_exception(first_error);
 
-  for (const OpTimes& t : result.times) {
-    result.makespan_ms = std::max(result.makespan_ms, t.end_ms);
-  }
+  collect_failures(graph, messages, &result);
+  finish_makespan(&result);
   return result;
 }
 

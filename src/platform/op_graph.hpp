@@ -62,20 +62,114 @@ struct OpTimes {
   double end_ms = 0.0;
 };
 
+/// Terminal state of one op after execution.
+enum class OpStatus {
+  kOk = 0,     ///< ran to completion
+  kFailed,     ///< its work threw, or a fault was injected
+  kTimedOut,   ///< exceeded the per-op watchdog deadline (or injected hang)
+  kCancelled,  ///< never ran: a (transitive) dependency did not complete
+};
+
+const char* to_string(OpStatus status);
+const char* resource_name(OpResource res);
+
+/// One failed or timed-out op, with enough attribution to pick the device
+/// to quarantine and to produce an actionable error message.
+struct OpFailure {
+  int op = -1;
+  std::string label;
+  int device = 0;
+  OpResource resource = OpResource::kCompute;
+  OpStatus status = OpStatus::kFailed;
+  std::string message;  ///< exception text / injected-fault description
+};
+
 struct ExecutionResult {
-  std::vector<OpTimes> times;  ///< per op id
-  double makespan_ms = 0.0;    ///< max end time (the frame's tau_tot)
+  std::vector<OpTimes> times;    ///< per op id ({0,0} for cancelled ops)
+  std::vector<OpStatus> status;  ///< per op id
+  std::vector<OpFailure> failures;  ///< kFailed/kTimedOut ops, by op id
+  double makespan_ms = 0.0;  ///< max end time over attempted ops (tau_tot)
+
+  bool ok() const {
+    for (OpStatus s : status) {
+      if (s != OpStatus::kOk) return false;
+    }
+    return true;
+  }
+
+  /// Devices owning at least one kFailed/kTimedOut op (cancellations are
+  /// collateral, not evidence against their device). Sorted, unique.
+  std::vector<int> failed_devices() const;
+
+  /// Throws Error summarizing every failure with op label, device and
+  /// resource lane. No-op when ok().
+  void throw_if_failed() const;
+};
+
+/// Per-device fault actions for one frame (built by FaultSchedule::plan).
+/// Default-constructed: no faults.
+struct FaultPlan {
+  struct DeviceFaults {
+    bool kernel_error = false;
+    bool transfer_error = false;
+    bool lost = false;
+    bool hang = false;
+  };
+  std::vector<DeviceFaults> dev;  ///< empty = fault-free
+
+  enum class Action { kNone, kError, kHang };
+
+  Action action(int device, OpResource res) const {
+    if (device < 0 || device >= static_cast<int>(dev.size())) {
+      return Action::kNone;
+    }
+    const DeviceFaults& f = dev[device];
+    if (f.lost) return Action::kError;
+    if (res == OpResource::kCompute) {
+      if (f.hang) return Action::kHang;
+      if (f.kernel_error) return Action::kError;
+    } else if (f.transfer_error) {
+      return Action::kError;
+    }
+    return Action::kNone;
+  }
+
+  bool any() const {
+    for (const DeviceFaults& f : dev) {
+      if (f.kernel_error || f.transfer_error || f.lost || f.hang) return true;
+    }
+    return false;
+  }
+};
+
+struct ExecuteOptions {
+  FaultPlan faults;  ///< injected faults for this execution
+  /// Per-op deadline; 0 disables. Virtual mode: an op modelled (or hung)
+  /// past the deadline is marked kTimedOut at start + watchdog. Real mode:
+  /// the check is post-hoc — an op whose wall time exceeds the deadline is
+  /// marked kTimedOut and its results are treated as unusable (dependents
+  /// cancelled), matching a system that already moved on when the op
+  /// finally returned. Injecting kHang requires watchdog_ms > 0.
+  double watchdog_ms = 0.0;
+  /// Real mode: how long an injected hang sleeps before the executor
+  /// declares it timed out. Must exceed watchdog_ms.
+  double hang_sleep_ms = 20.0;
 };
 
 /// Discrete-event execution against the devices' cost/link models. Fully
-/// deterministic. Throws on a graph whose FIFO queues deadlock.
+/// deterministic. Throws on a graph whose FIFO queues deadlock. Failed or
+/// timed-out ops cancel their transitive dependents; independent ops still
+/// execute, and the partial result is returned (never thrown).
 ExecutionResult execute_virtual(const OpGraph& graph,
-                                const PlatformTopology& topo);
+                                const PlatformTopology& topo,
+                                const ExecuteOptions& opts = {});
 
 /// Threaded execution running each op's `work` closure, measuring wall
 /// time. Resource FIFO order and dependencies are honoured exactly as in
-/// virtual mode.
+/// virtual mode, and fault/cancellation semantics mirror execute_virtual:
+/// the same injected fault yields the same per-op statuses in both modes.
 ExecutionResult execute_real(const OpGraph& graph,
-                             const PlatformTopology& topo);
+                             const PlatformTopology& topo,
+                             const ExecuteOptions& opts = {});
 
 }  // namespace feves

@@ -53,12 +53,30 @@ LoadBalancer::LoadBalancer(const EncoderConfig& cfg,
   topo_.validate();
 }
 
-Distribution LoadBalancer::equidistant(int rstar_device) const {
+int LoadBalancer::count_active(const std::vector<bool>* active) const {
+  if (active == nullptr) return topo_.num_devices();
+  FEVES_CHECK(static_cast<int>(active->size()) == topo_.num_devices());
+  int n = 0;
+  for (bool a : *active) n += a ? 1 : 0;
+  FEVES_CHECK_MSG(n >= 1, "no active devices left to balance over");
+  return n;
+}
+
+Distribution LoadBalancer::equidistant(int rstar_device,
+                                       const std::vector<bool>* active) const {
   const int n = topo_.num_devices();
   const int rows = cfg_.num_mb_rows();
+  const int n_active = count_active(active);
   Distribution d;
   d.rstar_device = rstar_device;
-  std::vector<double> equal(n, static_cast<double>(rows) / n);
+  FEVES_CHECK_MSG(device_active(active, rstar_device),
+                  "R* device " << rstar_device << " is not active");
+  std::vector<double> equal(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    if (device_active(active, i)) {
+      equal[i] = static_cast<double>(rows) / n_active;
+    }
+  }
   d.me = round_preserving_sum(equal, rows);
   d.intp = d.me;
   d.sme = d.me;
@@ -68,6 +86,7 @@ Distribution LoadBalancer::equidistant(int rstar_device) const {
   d.sigma_r.assign(n, 0);
   // Equidistant mode transfers the full SF completion within the frame.
   for (int i = 0; i < n; ++i) {
+    if (!device_active(active, i)) continue;
     if (topo_.devices[i].is_accelerator() && i != rstar_device) {
       d.sigma[i] = rows - d.intp[i];
     }
@@ -78,6 +97,7 @@ Distribution LoadBalancer::equidistant(int rstar_device) const {
   auto l_iv = intervals_of(d.intp);
   auto s_iv = intervals_of(d.sme);
   for (int i = 0; i < n; ++i) {
+    if (!device_active(active, i)) continue;
     if (!topo_.devices[i].is_accelerator()) continue;
     d.delta_m[i] = interval_difference_rows(s_iv[i], me_iv[i]);
     d.delta_l[i] = interval_difference_rows(s_iv[i], l_iv[i]);
@@ -86,20 +106,48 @@ Distribution LoadBalancer::equidistant(int rstar_device) const {
   return d;
 }
 
-int LoadBalancer::select_rstar_device(const PerfCharacterization& perf) const {
+int LoadBalancer::select_rstar_device(const PerfCharacterization& perf,
+                                      const std::vector<bool>* active) const {
   const int n = topo_.num_devices();
-  // Before characterization, default to the first accelerator (GPU-centric,
-  // the paper's common case), falling back to the CPU.
+  count_active(active);  // validates mask size and non-emptiness
+  // Before characterization, default to the first active accelerator
+  // (GPU-centric, the paper's common case), falling back to the first
+  // active device.
   bool any_rstar = false;
   for (int i = 0; i < n; ++i) {
-    if (perf.params(i).t_rstar_ms > 0) any_rstar = true;
+    if (device_active(active, i) && perf.params(i).t_rstar_ms > 0) {
+      any_rstar = true;
+    }
   }
   if (!any_rstar) {
     for (int i = 0; i < n; ++i) {
-      if (topo_.devices[i].is_accelerator()) return i;
+      if (device_active(active, i) && topo_.devices[i].is_accelerator()) {
+        return i;
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      if (device_active(active, i)) return i;
     }
     return 0;
   }
+
+  // A device that is active and compute-characterized but carries no R*
+  // measurement (its parameters were evicted during quarantine) must not be
+  // locked out of R* hosting forever: estimate its R* time from a measured
+  // device's, scaled by relative ME speed. If the estimate wins the shortest
+  // path the device hosts R* once and earns a real measurement, so an
+  // optimistic guess self-corrects after a single frame.
+  auto estimate_rstar = [&](const DeviceParams& p) {
+    double best = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (!device_active(active, j)) continue;
+      const DeviceParams& q = perf.params(j);
+      if (q.t_rstar_ms <= 0 || q.k_me <= 0 || p.k_me <= 0) continue;
+      const double est = q.t_rstar_ms * p.k_me / q.k_me;
+      if (best == 0.0 || est < best) best = est;
+    }
+    return best;
+  };
 
   // Graph: source(0) -> device node (1+i) -> sink (1+n). The in-edge
   // carries the data staging cost (missing SF/CF/MV for MC on an
@@ -109,8 +157,11 @@ int LoadBalancer::select_rstar_device(const PerfCharacterization& perf) const {
   graph::Graph g(n + 2);
   const int sink = n + 1;
   for (int i = 0; i < n; ++i) {
+    if (!device_active(active, i)) continue;  // quarantined: not a candidate
     const DeviceParams& p = perf.params(i);
-    if (p.t_rstar_ms <= 0) continue;  // never measured: not a candidate
+    double t_rstar = p.t_rstar_ms;
+    if (t_rstar <= 0) t_rstar = estimate_rstar(p);
+    if (t_rstar <= 0) continue;  // no measurement and no basis to estimate
     double stage_in = 0.0;
     double ship_out = 0.0;
     if (topo_.devices[i].is_accelerator()) {
@@ -121,11 +172,18 @@ int LoadBalancer::select_rstar_device(const PerfCharacterization& perf) const {
       ship_out = rows * kx(p, BufferKind::kRf, Direction::kDeviceToHost);
     }
     g.add_edge(0, 1 + i, stage_in);
-    g.add_edge(1 + i, sink, p.t_rstar_ms + ship_out);
+    g.add_edge(1 + i, sink, t_rstar + ship_out);
   }
   const auto sp = graph::dijkstra(g, 0);
   if (sp.distance[sink] == graph::kUnreachable) {
-    return topo_.num_accelerators() > 0 ? 1 : 0;
+    for (int i = 0; i < n; ++i) {
+      if (device_active(active, i) && topo_.devices[i].is_accelerator()) {
+        return i;
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      if (device_active(active, i)) return i;
+    }
   }
   const auto path = sp.path_to(sink);
   FEVES_CHECK(path.size() == 3);
@@ -134,28 +192,32 @@ int LoadBalancer::select_rstar_device(const PerfCharacterization& perf) const {
 
 Distribution LoadBalancer::proportional(const PerfCharacterization& perf,
                                         const std::vector<int>& sigma_r_prev,
-                                        int force_rstar) const {
-  FEVES_CHECK(perf.initialized());
+                                        int force_rstar,
+                                        const std::vector<bool>* active) const {
+  FEVES_CHECK(perf.initialized(active));
   const int n = topo_.num_devices();
   const int rows = cfg_.num_mb_rows();
+  count_active(active);
 
   auto split_by = [&](auto speed_of) {
     std::vector<double> share(n);
     double total = 0.0;
     for (int i = 0; i < n; ++i) {
-      const double k = speed_of(perf.params(i));
+      const double k = device_active(active, i) ? speed_of(perf.params(i)) : 0;
       share[i] = k > 0 ? 1.0 / k : 0.0;
       total += share[i];
     }
-    FEVES_CHECK_MSG(total > 0, "no device has a known speed");
+    FEVES_CHECK_MSG(total > 0, "no active device has a known speed");
     for (double& s : share) s = s / total * rows;
     return round_preserving_sum(share, rows);
   };
 
   Distribution d;
   d.rstar_device =
-      force_rstar >= 0 ? force_rstar : select_rstar_device(perf);
+      force_rstar >= 0 ? force_rstar : select_rstar_device(perf, active);
   FEVES_CHECK(d.rstar_device < n);
+  FEVES_CHECK_MSG(device_active(active, d.rstar_device),
+                  "R* device " << d.rstar_device << " is not active");
   d.me = split_by([](const DeviceParams& p) { return p.k_me; });
   d.intp = split_by([](const DeviceParams& p) { return p.k_int; });
   d.sme = split_by([](const DeviceParams& p) { return p.k_sme; });
@@ -164,28 +226,32 @@ Distribution LoadBalancer::proportional(const PerfCharacterization& perf,
   d.sigma.assign(n, 0);
   d.sigma_r.assign(n, 0);
   (void)sigma_r_prev;
-  finalize_bounds(&d, perf);
+  finalize_bounds(&d, perf, active);
   d.check_conservation(rows);
   return d;
 }
 
 Distribution LoadBalancer::balance(const PerfCharacterization& perf,
                                    const std::vector<int>& sigma_r_prev,
-                                   int force_rstar) const {
-  FEVES_CHECK_MSG(perf.initialized(),
+                                   int force_rstar,
+                                   const std::vector<bool>* active) const {
+  FEVES_CHECK_MSG(perf.initialized(active),
                   "balance() before performance characterization");
   const int n = topo_.num_devices();
   const int rows = cfg_.num_mb_rows();
   FEVES_CHECK(static_cast<int>(sigma_r_prev.size()) == n);
+  count_active(active);
 
   const int rstar =
-      force_rstar >= 0 ? force_rstar : select_rstar_device(perf);
+      force_rstar >= 0 ? force_rstar : select_rstar_device(perf, active);
   FEVES_CHECK(rstar < n);
+  FEVES_CHECK_MSG(device_active(active, rstar),
+                  "R* device " << rstar << " is not active");
 
   // Warm start for the ∆ fix-point: proportional distribution.
-  Distribution current = proportional(perf, sigma_r_prev, rstar);
+  Distribution current = proportional(perf, sigma_r_prev, rstar, active);
   current.rstar_device = rstar;
-  finalize_bounds(&current, perf);
+  finalize_bounds(&current, perf, active);
 
   for (int iter = 0; iter < opts_.max_delta_iterations; ++iter) {
     lp::Problem lp;
@@ -218,6 +284,14 @@ Distribution LoadBalancer::balance(const PerfCharacterization& perf,
 
     const double N = rows;
     for (int i = 0; i < n; ++i) {
+      if (!device_active(active, i)) {
+        // Quarantined: pinned to zero rows in every module, no resource
+        // constraints — the LP re-balances the whole frame over survivors.
+        lp.add_constraint({{v_m[i], 1.0}}, lp::Relation::kEq, 0.0);
+        lp.add_constraint({{v_l[i], 1.0}}, lp::Relation::kEq, 0.0);
+        lp.add_constraint({{v_s[i], 1.0}}, lp::Relation::kEq, 0.0);
+        continue;
+      }
       const DeviceParams& p = perf.params(i);
       const DeviceSpec& dev = topo_.devices[i];
       const double dm = current.delta_m[i];
@@ -344,7 +418,7 @@ Distribution LoadBalancer::balance(const PerfCharacterization& perf,
     next.tau1_ms = sol.values[v_tau1];
     next.tau2_ms = sol.values[v_tau2];
     next.tau_tot_ms = sol.values[v_tautot];
-    finalize_bounds(&next, perf);
+    finalize_bounds(&next, perf, active);
 
     const bool converged = next.delta_m == current.delta_m &&
                            next.delta_l == current.delta_l &&
@@ -358,7 +432,8 @@ Distribution LoadBalancer::balance(const PerfCharacterization& perf,
 }
 
 void LoadBalancer::finalize_bounds(Distribution* dist,
-                                   const PerfCharacterization& perf) const {
+                                   const PerfCharacterization& perf,
+                                   const std::vector<bool>* active) const {
   const int n = topo_.num_devices();
   const int rows = cfg_.num_mb_rows();
   dist->delta_m.assign(n, 0);
@@ -371,6 +446,7 @@ void LoadBalancer::finalize_bounds(Distribution* dist,
   const auto s_iv = intervals_of(dist->sme);
 
   for (int i = 0; i < n; ++i) {
+    if (!device_active(active, i)) continue;
     if (!topo_.devices[i].is_accelerator()) continue;
     // (16) MS_BOUNDS: SME rows whose CF/MVs were produced elsewhere.
     dist->delta_m[i] = interval_difference_rows(s_iv[i], me_iv[i]);

@@ -42,36 +42,50 @@ class LoadBalancer {
   LoadBalancer(const EncoderConfig& cfg, const PlatformTopology& topo,
                LoadBalancerOptions opts = {});
 
-  /// Equidistant split of every module across all devices (Algorithm 1,
-  /// line 3 — the initialization frame, and the related-work multi-GPU
-  /// baseline).
-  Distribution equidistant(int rstar_device) const;
+  /// Every entry point takes an optional active-device mask (nullptr = all
+  /// active): quarantined devices get zero rows in every module, are
+  /// excluded from the LP and from R* candidacy, and the remaining load is
+  /// re-balanced over the survivors — the graceful-degradation hook.
+
+  /// Equidistant split of every module across the active devices
+  /// (Algorithm 1, line 3 — the initialization frame, and the related-work
+  /// multi-GPU baseline).
+  Distribution equidistant(int rstar_device,
+                           const std::vector<bool>* active = nullptr) const;
 
   /// Per-module speed-proportional split (the synchronous per-module
   /// balancing of the authors' earlier work [9], used as a baseline).
   /// `force_rstar` >= 0 pins the R* device instead of selecting it.
   Distribution proportional(const PerfCharacterization& perf,
                             const std::vector<int>& sigma_r_prev,
-                            int force_rstar = -1) const;
+                            int force_rstar = -1,
+                            const std::vector<bool>* active = nullptr) const;
 
   /// Algorithm 2: LP-based distribution. `sigma_r_prev` carries the SF rows
   /// deferred from the previous frame (σ^{r-1}); pass zeros for the first
-  /// balanced frame. Requires perf.initialized(). `force_rstar` >= 0 pins
-  /// the R* device (CPU-centric vs GPU-centric operation, Sec. III-B).
+  /// balanced frame. Requires perf.initialized(active). `force_rstar` >= 0
+  /// pins the R* device (CPU-centric vs GPU-centric operation, Sec. III-B).
   Distribution balance(const PerfCharacterization& perf,
                        const std::vector<int>& sigma_r_prev,
-                       int force_rstar = -1) const;
+                       int force_rstar = -1,
+                       const std::vector<bool>* active = nullptr) const;
 
   /// R* device selection: cheapest transfer-in + compute + transfer-out
   /// path, found with Dijkstra over the device graph (Sec. III-B, [9]).
-  int select_rstar_device(const PerfCharacterization& perf) const;
+  int select_rstar_device(const PerfCharacterization& perf,
+                          const std::vector<bool>* active = nullptr) const;
 
   const PlatformTopology& topology() const { return topo_; }
 
  private:
+  bool device_active(const std::vector<bool>* active, int i) const {
+    return active == nullptr || (*active)[i];
+  }
+  int count_active(const std::vector<bool>* active) const;
+
   /// Recomputes ∆m/∆l/σ/σ^r from the integer distributions.
-  void finalize_bounds(Distribution* dist,
-                       const PerfCharacterization& perf) const;
+  void finalize_bounds(Distribution* dist, const PerfCharacterization& perf,
+                       const std::vector<bool>* active) const;
 
   EncoderConfig cfg_;
   PlatformTopology topo_;

@@ -54,12 +54,25 @@ class PerfCharacterization {
   }
 
   /// True once every device has compute parameters (i.e. the equidistant
-  /// initialization frame has been processed everywhere).
-  bool initialized() const {
-    for (const auto& p : params_) {
-      if (!p.compute_known()) return false;
+  /// initialization frame has been processed everywhere). With an active
+  /// mask, only schedulable devices are required — quarantined devices
+  /// (whose entries were evicted) must not block balancing for survivors.
+  bool initialized(const std::vector<bool>* active = nullptr) const {
+    FEVES_CHECK(active == nullptr ||
+                static_cast<int>(active->size()) == num_devices());
+    for (int i = 0; i < num_devices(); ++i) {
+      if (active != nullptr && !(*active)[i]) continue;
+      if (!params_[i].compute_known()) return false;
     }
     return true;
+  }
+
+  /// Drops a device's characterization (quarantine eviction): after
+  /// re-admission it must be re-characterized from a fresh initialization
+  /// frame, not balanced from stale pre-fault measurements.
+  void evict(int device) {
+    FEVES_CHECK(device >= 0 && device < num_devices());
+    params_[device] = DeviceParams{};
   }
 
   /// Directly seeds parameters (tests / warm restarts).

@@ -80,14 +80,20 @@ class Plane {
   }
 
   /// Replicates the first/last rows (with their horizontal borders) into the
-  /// vertical border.
-  void extend_vertical_borders() {
+  /// vertical border. Callers whose access pattern can only reach one edge
+  /// may skip the other — reading an edge row that a concurrent transfer is
+  /// still filling is a data race, so only touch rows the caller owns.
+  void extend_vertical_borders(bool top = true, bool bottom = true) {
     if (border_ == 0 || width_ == 0 || height_ == 0) return;
     const std::size_t full = static_cast<std::size_t>(width_ + 2 * border_);
     for (int b = 1; b <= border_; ++b) {
-      std::memcpy(row(-b) - border_, row(0) - border_, full * sizeof(T));
-      std::memcpy(row(height_ - 1 + b) - border_, row(height_ - 1) - border_,
-                  full * sizeof(T));
+      if (top) {
+        std::memcpy(row(-b) - border_, row(0) - border_, full * sizeof(T));
+      }
+      if (bottom) {
+        std::memcpy(row(height_ - 1 + b) - border_, row(height_ - 1) - border_,
+                    full * sizeof(T));
+      }
     }
   }
 

@@ -1,0 +1,137 @@
+// DeviceHealthMonitor state machine: quarantine on consecutive failures,
+// probation after the window elapses, re-admission after clean frames, and
+// exponential backoff for devices that keep failing their probes.
+#include "core/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace feves {
+namespace {
+
+HealthOptions fast_opts() {
+  HealthOptions o;
+  o.failure_threshold = 2;
+  o.quarantine_frames = 3;
+  o.probation_clean_frames = 2;
+  o.quarantine_backoff = 2.0;
+  o.max_quarantine_frames = 8;
+  return o;
+}
+
+TEST(DeviceHealthMonitor, StartsFullyActive) {
+  DeviceHealthMonitor m(3, fast_opts());
+  EXPECT_EQ(m.num_schedulable(), 3);
+  EXPECT_EQ(m.active_mask(), std::vector<bool>({true, true, true}));
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(m.state(i), DeviceHealth::kActive);
+}
+
+TEST(DeviceHealthMonitor, SuccessResetsTheFailureStreak) {
+  DeviceHealthMonitor m(1, fast_opts());
+  EXPECT_FALSE(m.record_failure(0));  // streak 1 < threshold 2
+  m.record_success(0);                // streak cleared
+  EXPECT_FALSE(m.record_failure(0));  // streak back to 1
+  EXPECT_EQ(m.state(0), DeviceHealth::kActive);
+  EXPECT_TRUE(m.record_failure(0));   // streak 2: quarantined
+  EXPECT_EQ(m.state(0), DeviceHealth::kQuarantined);
+  EXPECT_FALSE(m.schedulable(0));
+}
+
+TEST(DeviceHealthMonitor, QuarantineWindowLeadsToProbation) {
+  DeviceHealthMonitor m(2, fast_opts());
+  m.record_failure(1);
+  EXPECT_TRUE(m.record_failure(1));
+  EXPECT_EQ(m.num_schedulable(), 1);
+
+  EXPECT_TRUE(m.end_frame().empty());  // 2 frames left
+  EXPECT_TRUE(m.end_frame().empty());  // 1 frame left
+  const auto promoted = m.end_frame();
+  ASSERT_EQ(promoted, std::vector<int>{1});
+  EXPECT_EQ(m.state(1), DeviceHealth::kProbation);
+  EXPECT_TRUE(m.schedulable(1));  // probing: gets load again
+}
+
+TEST(DeviceHealthMonitor, CleanProbationFramesReadmit) {
+  DeviceHealthMonitor m(1, fast_opts());
+  m.record_failure(0);
+  m.record_failure(0);
+  for (int i = 0; i < 3; ++i) m.end_frame();
+  ASSERT_EQ(m.state(0), DeviceHealth::kProbation);
+  m.record_success(0);
+  EXPECT_EQ(m.state(0), DeviceHealth::kProbation);  // 1 of 2 clean frames
+  m.record_success(0);
+  EXPECT_EQ(m.state(0), DeviceHealth::kActive);     // fully re-admitted
+}
+
+/// Drives the monitor until device 0 reaches probation, returning how many
+/// end_frame ticks the quarantine lasted.
+int quarantine_length(DeviceHealthMonitor& m) {
+  int ticks = 0;
+  while (m.state(0) == DeviceHealth::kQuarantined) {
+    m.end_frame();
+    ++ticks;
+    EXPECT_LT(ticks, 100);
+  }
+  return ticks;
+}
+
+TEST(DeviceHealthMonitor, ProbationFailureRequarantinesWithBackoff) {
+  DeviceHealthMonitor m(1, fast_opts());
+  m.record_failure(0);
+  m.record_failure(0);
+  EXPECT_EQ(quarantine_length(m), 3);  // initial window
+
+  // One failed probe suffices — no threshold in probation — and the window
+  // doubles.
+  EXPECT_TRUE(m.record_failure(0));
+  EXPECT_EQ(m.state(0), DeviceHealth::kQuarantined);
+  EXPECT_EQ(quarantine_length(m), 6);
+
+  // Next failure hits the ceiling (2 * 6 = 12 > max 8).
+  EXPECT_TRUE(m.record_failure(0));
+  EXPECT_EQ(quarantine_length(m), 8);
+  EXPECT_TRUE(m.record_failure(0));
+  EXPECT_EQ(quarantine_length(m), 8);  // capped, not growing further
+}
+
+TEST(DeviceHealthMonitor, FullRecoveryResetsTheBackoff) {
+  DeviceHealthMonitor m(1, fast_opts());
+  m.record_failure(0);
+  m.record_failure(0);
+  quarantine_length(m);
+  m.record_failure(0);              // failed probe: window now 6
+  quarantine_length(m);
+  m.record_success(0);
+  m.record_success(0);              // re-admitted
+  ASSERT_EQ(m.state(0), DeviceHealth::kActive);
+
+  // A fresh fault starts from the initial window again.
+  m.record_failure(0);
+  m.record_failure(0);
+  EXPECT_EQ(quarantine_length(m), 3);
+}
+
+TEST(DeviceHealthMonitor, FailuresWhileQuarantinedAreIgnored) {
+  DeviceHealthMonitor m(1, fast_opts());
+  m.record_failure(0);
+  m.record_failure(0);
+  ASSERT_EQ(m.state(0), DeviceHealth::kQuarantined);
+  EXPECT_FALSE(m.record_failure(0));  // no double-quarantine
+  EXPECT_EQ(quarantine_length(m), 3); // window unchanged
+}
+
+TEST(DeviceHealthMonitor, EndFrameTouchesOnlyQuarantinedDevices) {
+  DeviceHealthMonitor m(3, fast_opts());
+  m.record_failure(2);
+  m.record_failure(2);
+  for (int f = 0; f < 3; ++f) {
+    for (int d : m.end_frame()) EXPECT_EQ(d, 2);
+  }
+  EXPECT_EQ(m.state(0), DeviceHealth::kActive);
+  EXPECT_EQ(m.state(1), DeviceHealth::kActive);
+  EXPECT_EQ(m.state(2), DeviceHealth::kProbation);
+}
+
+}  // namespace
+}  // namespace feves

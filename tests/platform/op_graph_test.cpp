@@ -131,13 +131,34 @@ TEST(RealExecutor, RunsWorkAndHonoursDeps) {
   EXPECT_GE(r.times[1].start_ms, r.times[0].end_ms);
 }
 
-TEST(RealExecutor, PropagatesWorkExceptions) {
+TEST(RealExecutor, CapturesWorkExceptionsWithAttribution) {
+  // A throwing work closure no longer tears down the frame: the executor
+  // returns a partial result attributing the failure to the op's label,
+  // device and resource lane.
   auto topo = two_device_topo(CopyEngines::kSingle);
   OpGraph g;
-  Op op = make_op(0, OpResource::kCompute, 0.0);
-  op.work = [] { throw Error("kernel failed"); };
+  Op op = make_op(1, OpResource::kCopyH2D, 0.0);
+  op.label = "SF_in";
+  op.work = [] { throw Error("dma fault"); };
   g.add(std::move(op));
-  EXPECT_THROW(execute_real(g, topo), Error);
+  const auto r = execute_real(g, topo);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_EQ(r.status[0], OpStatus::kFailed);
+  EXPECT_EQ(r.failures[0].label, "SF_in");
+  EXPECT_EQ(r.failures[0].device, 1);
+  EXPECT_EQ(r.failures[0].resource, OpResource::kCopyH2D);
+  EXPECT_NE(r.failures[0].message.find("dma fault"), std::string::npos);
+  EXPECT_EQ(r.failed_devices(), std::vector<int>{1});
+  try {
+    r.throw_if_failed();
+    FAIL() << "throw_if_failed did not throw";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("SF_in"), std::string::npos);
+    EXPECT_NE(msg.find("device 1"), std::string::npos);
+    EXPECT_NE(msg.find(resource_name(OpResource::kCopyH2D)), std::string::npos);
+  }
 }
 
 TEST(Presets, CalibratedRelationships) {

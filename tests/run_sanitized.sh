@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Builds the suite under a sanitizer and runs the concurrency-critical tests:
+# the op-graph executors, the thread pool, and the fault-injection/recovery
+# paths (whose retry loop exercises executor teardown under failure).
+#
+# Usage: tests/run_sanitized.sh [address|thread|undefined]   (default: thread)
+set -euo pipefail
+
+SAN="${1:-thread}"
+case "$SAN" in
+  address|thread|undefined) ;;
+  *) echo "usage: $0 [address|thread|undefined]" >&2; exit 2 ;;
+esac
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-$SAN"
+
+cmake -B "$BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFEVES_SANITIZE="$SAN" \
+  -DFEVES_BUILD_BENCH=OFF \
+  -DFEVES_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD" -j "$(nproc)" --target test_platform test_common test_core
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
+
+# Executors + fault machinery, the thread pool, and the end-to-end recovery
+# loops (real mode spawns one thread per lane every attempt).
+"$BUILD/tests/test_platform" --gtest_filter='*Executor*:*Fault*:*Schedule*:OpGraph.*'
+"$BUILD/tests/test_common" --gtest_filter='ThreadPool*'
+"$BUILD/tests/test_core" --gtest_filter='FaultRecovery*:DeviceHealthMonitor.*'
+
+echo "run_sanitized.sh: all $SAN-sanitized tests passed"
