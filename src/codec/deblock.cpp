@@ -31,6 +31,12 @@ constexpr u8 kTc0[52][3] = {
     {4, 6, 9},  {5, 7, 10}, {6, 8, 11}, {6, 8, 13}, {7, 10, 14}, {8, 11, 16},
     {9, 12, 18}, {10, 13, 20}, {11, 15, 23}, {13, 17, 25}};
 
+/// The table only covers bS 1..3; bS 4 takes the strong-filter path where
+/// tc0 is never consulted — return 0 instead of reading past the row.
+int tc0_of(int index_a, int bs) {
+  return bs < 4 ? kTc0[index_a][bs - 1] : 0;
+}
+
 inline u8 clip255(int v) { return static_cast<u8>(std::clamp(v, 0, 255)); }
 
 /// Filters one line of samples across an edge. `p` points at p0 and the
@@ -155,7 +161,7 @@ void run_deblock_frame(PlaneU8& luma, int mb_width, int mb_height,
               boundary_strength(blocks[by * bw + (bx - 1)], blocks[by * bw + bx]);
           if (bs == 0) continue;
           filter_line(luma.row(py) + px, 1, bs, alpha, beta,
-                      kTc0[index_a][bs - 1]);
+                      tc0_of(index_a, bs));
         }
       }
       // Horizontal edges (filtering vertically across rows
@@ -171,7 +177,7 @@ void run_deblock_frame(PlaneU8& luma, int mb_width, int mb_height,
                                            blocks[by * bw + bx]);
           if (bs == 0) continue;
           filter_line(luma.row(py) + px, luma.stride(), bs, alpha, beta,
-                      kTc0[index_a][bs - 1]);
+                      tc0_of(index_a, bs));
         }
       }
     }
@@ -207,7 +213,7 @@ void run_deblock_chroma(PlaneU8& chroma, int mb_width, int mb_height,
                                            blocks[lby * bw + lbx]);
           if (bs == 0) continue;
           filter_chroma_line(chroma.row(cy) + cx, 1, bs, alpha, beta,
-                             kTc0[index_a][bs - 1]);
+                             tc0_of(index_a, bs));
         }
       }
       // Horizontal chroma edges at y = 8*mb_y + {0, 4}.
@@ -222,7 +228,7 @@ void run_deblock_chroma(PlaneU8& chroma, int mb_width, int mb_height,
                                            blocks[lby * bw + lbx]);
           if (bs == 0) continue;
           filter_chroma_line(chroma.row(cy) + cx, chroma.stride(), bs, alpha,
-                             beta, kTc0[index_a][bs - 1]);
+                             beta, tc0_of(index_a, bs));
         }
       }
     }

@@ -48,6 +48,7 @@ void ThreadPool::parallel_for(int begin, int end,
   std::atomic<int> next{begin};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
+  int first_error_chunk = end;  // chunk start of the stored error
   std::mutex error_mutex;
 
   auto drain = [&] {
@@ -59,20 +60,35 @@ void ThreadPool::parallel_for(int begin, int end,
         for (int i = lo; i < hi; ++i) fn(i);
       } catch (...) {
         std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        // Deterministic winner: the lowest-indexed chunk that threw,
+        // not whichever worker reaches this lock first.
+        if (lo < first_error_chunk) {
+          first_error_chunk = lo;
+          first_error = std::current_exception();
+        }
         failed.store(true, std::memory_order_relaxed);
         break;
       }
     }
   };
 
+  // Every helper that was submitted MUST be waited for before this frame
+  // unwinds — the drains reference `next`/`fn`/`error_mutex` on this stack.
+  // That includes the path where submit() itself throws partway through.
   std::vector<std::future<void>> futs;
   futs.reserve(parts - 1);
-  for (int p = 1; p < parts; ++p) futs.push_back(submit(drain));
-  drain();  // The caller participates instead of blocking idle.
+  std::exception_ptr submit_error;
+  try {
+    for (int p = 1; p < parts; ++p) futs.push_back(submit(drain));
+  } catch (...) {
+    submit_error = std::current_exception();
+    failed.store(true, std::memory_order_relaxed);  // stop in-flight drains
+  }
+  if (!submit_error) drain();  // The caller participates instead of idling.
   for (auto& f : futs) f.wait();
 
   if (first_error) std::rethrow_exception(first_error);
+  if (submit_error) std::rethrow_exception(submit_error);
 }
 
 void ThreadPool::worker_loop() {

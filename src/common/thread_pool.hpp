@@ -31,6 +31,9 @@ class ThreadPool {
   /// thread; returns when every index has been processed. Indices are
   /// chunked contiguously so MB rows processed by one worker stay adjacent
   /// in memory (same locality the paper's row-sliced kernels rely on).
+  /// If fn throws, remaining chunks are abandoned, every in-flight worker
+  /// is joined before unwinding, and the error from the lowest-indexed
+  /// throwing chunk is rethrown (deterministic across runs).
   void parallel_for(int begin, int end, const std::function<void(int)>& fn);
 
  private:

@@ -71,6 +71,7 @@ inline Direction direction_of(XferPurpose p) {
 
 struct OpPayload {
   double virtual_ms = 0.0;
+  double bytes = 0.0;          ///< transfer payload size (trace metadata)
   std::function<void()> work;  ///< empty in virtual mode
 };
 

@@ -19,18 +19,21 @@ int add_xfer(OpGraph& g, FrameBackend& backend, int device, XferPurpose p,
                     ? OpResource::kCopyH2D
                     : OpResource::kCopyD2H;
   op.virtual_ms = payload.virtual_ms;
+  op.rows = rows;
+  op.bytes = payload.bytes;
   op.work = std::move(payload.work);
   op.deps = std::move(deps);
   return g.add(std::move(op));
 }
 
 int add_kernel(OpGraph& g, OpPayload&& payload, int device,
-               std::vector<int> deps, const char* label) {
+               std::vector<int> deps, const char* label, int rows = 0) {
   Op op;
   op.label = label + std::string("@d") + std::to_string(device);
   op.device = device;
   op.resource = OpResource::kCompute;
   op.virtual_ms = payload.virtual_ms;
+  op.rows = rows;
   op.work = std::move(payload.work);
   op.deps = std::move(deps);
   return g.add(std::move(op));
@@ -88,13 +91,13 @@ OpGraph build_frame_graph(const PlatformTopology& topo,
       push_if(&deps, d.cf_me);
       push_if(&deps, d.rf_in);
       d.me = add_kernel(g, backend.op_me(i, me_iv[i]), i, std::move(deps),
-                        "ME");
+                        "ME", me_iv[i].length());
     }
     if (!l_iv[i].empty()) {
       std::vector<int> deps;
       push_if(&deps, d.rf_in);
       d.intp = add_kernel(g, backend.op_int(i, l_iv[i]), i, std::move(deps),
-                          "INT");
+                          "INT", l_iv[i].length());
     }
 
     if (accel && collaborative) {
@@ -156,7 +159,7 @@ OpGraph build_frame_graph(const PlatformTopology& topo,
         for (int dep : mv_ready) push_if(&deps, dep);
       }
       d.sme = add_kernel(g, backend.op_sme(i, s_iv[i]), i, std::move(deps),
-                         "SME");
+                         "SME", s_iv[i].length());
     }
 
     if (accel && collaborative && i != rstar && !plan.sme_mv_out.empty()) {
@@ -203,7 +206,7 @@ OpGraph build_frame_graph(const PlatformTopology& topo,
     }
 
     d.rstar = add_kernel(g, backend.op_rstar(rstar), rstar,
-                         std::move(rstar_deps), "Rstar");
+                         std::move(rstar_deps), "Rstar", total_rows);
 
     if (accel && collaborative) {
       std::vector<int> deps{d.rstar};

@@ -52,6 +52,11 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
     exec_opts.faults = faults_.plan(frame, topo_.num_devices());
     exec_opts.watchdog_ms = opts_.watchdog_ms;
     exec_opts.hang_sleep_ms = opts_.hang_sleep_ms;
+    obs::TraceSession* trace = opts_.trace;
+    if (trace != nullptr) {
+      exec_opts.tracer = &trace->tracer;
+      exec_opts.trace_frame = frame;
+    }
 
     // Recovery loop: a failed attempt never contributes pixels — the frame
     // is re-prepared, stale mirrors are restaged whole, and the LP
@@ -87,13 +92,14 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
                    ? force_rstar
                    : balancer_.select_rstar_device(perf_, &active);
       };
+      BalanceStats lb_stats;
       if (!perf_.initialized(&active)) {
         dist = balancer_.equidistant(rstar_of(), &active);
       } else {
         switch (opts_.policy) {
           case SchedulingPolicy::kAdaptiveLp:
             dist = balancer_.balance(perf_, sigma_r_prev, force_rstar,
-                                     &active);
+                                     &active, &lb_stats);
             break;
           case SchedulingPolicy::kProportional:
             dist = balancer_.proportional(perf_, sigma_r_prev, force_rstar,
@@ -107,7 +113,21 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
       const int rf_holder = health_.schedulable(rf_holder_) ? rf_holder_ : -1;
       const std::vector<TransferPlan> plans =
           dam_.plan_frame(dist, rf_holder, active_refs, &active);
-      stats.scheduling_ms += sched_timer.elapsed_ms();
+      const double sched_ms = sched_timer.elapsed_ms();
+      stats.scheduling_ms += sched_ms;
+      stats.telemetry.lp_solves += lb_stats.lp_solves;
+      stats.telemetry.lp_iterations += lb_stats.lp_iterations;
+      stats.telemetry.lp_fallbacks += lb_stats.lp_fallbacks;
+      stats.telemetry.lp_solve_ms += lb_stats.lp_solve_ms;
+      stats.telemetry.delta_iterations += lb_stats.delta_iterations;
+      if (trace != nullptr) {
+        if (lb_stats.lp_solves > 0) {
+          trace->add_host_event(frame, "lp_solve", obs::EventKind::kLpSolve,
+                                lb_stats.lp_solve_ms);
+        }
+        trace->add_host_event(frame, "sched", obs::EventKind::kSched,
+                              std::max(0.0, sched_ms - lb_stats.lp_solve_ms));
+      }
 
       for (int i = 0; i < topo_.num_devices(); ++i) {
         if (!topo_.devices[i].is_accelerator()) continue;
@@ -131,6 +151,7 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
           build_frame_graph(topo_, dist, plans, backend, &ids);
       const ExecutionResult result = execute_real(graph, topo_, exec_opts);
       stats.total_ms += result.makespan_ms;
+      if (trace != nullptr) trace->fold_execution();
 
       if (!result.ok()) {
         ++stats.retries;
@@ -151,6 +172,13 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
         continue;
       }
 
+      // Telemetry snapshots the K parameters the scheduler consumed, so it
+      // must fill before this frame's measurements fold in.
+      fill_device_telemetry(topo_, dist, ids, result, perf_, &stats.telemetry);
+      stats.telemetry.predicted_tau1_ms = dist.tau1_ms;
+      stats.telemetry.predicted_tau2_ms = dist.tau2_ms;
+      stats.telemetry.predicted_tau_tot_ms = dist.tau_tot_ms;
+      stats.telemetry.measured_tau_tot_ms = result.makespan_ms;
       attribute_frame_times(cfg_, topo_, dist, ids, result, &perf_);
       rf_holder_ = dist.rstar_device;
       stats.dist = dist;
@@ -171,6 +199,8 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
           }
         }
       }
+      stats.telemetry.measured_tau1_ms = stats.tau1_ms;
+      stats.telemetry.measured_tau2_ms = stats.tau2_ms;
       break;
     }
     stats.devices_readmitted = static_cast<int>(health_.end_frame().size());

@@ -40,6 +40,11 @@ FrameStats VirtualFramework::encode_frame() {
   exec_opts.faults = faults_.plan(frame, topo_.num_devices());
   exec_opts.watchdog_ms = opts_.watchdog_ms;
   exec_opts.hang_sleep_ms = opts_.hang_sleep_ms;
+  obs::TraceSession* trace = opts_.trace;
+  if (trace != nullptr) {
+    exec_opts.tracer = &trace->tracer;
+    exec_opts.trace_frame = frame;
+  }
 
   // Recovery loop: a failed attempt quarantines the faulty devices' streaks,
   // re-balances over the survivors and re-simulates the SAME frame. Forward
@@ -66,6 +71,7 @@ FrameStats VirtualFramework::encode_frame() {
       return force_rstar >= 0 ? force_rstar
                               : balancer_.select_rstar_device(perf_, &active);
     };
+    BalanceStats lb_stats;
     if (!perf_.initialized(&active)) {
       // Initialization (Algorithm 1 line 3) — re-entered whenever a
       // probation device returns with its characterization evicted.
@@ -73,7 +79,8 @@ FrameStats VirtualFramework::encode_frame() {
     } else {
       switch (opts_.policy) {
         case SchedulingPolicy::kAdaptiveLp:
-          dist = balancer_.balance(perf_, sigma_r_prev, force_rstar, &active);
+          dist = balancer_.balance(perf_, sigma_r_prev, force_rstar, &active,
+                                   &lb_stats);
           break;
         case SchedulingPolicy::kProportional:
           dist = balancer_.proportional(perf_, sigma_r_prev, force_rstar,
@@ -88,7 +95,21 @@ FrameStats VirtualFramework::encode_frame() {
     const int rf_holder = health_.schedulable(rf_holder_) ? rf_holder_ : -1;
     const std::vector<TransferPlan> plans =
         dam_.plan_frame(dist, rf_holder, active_refs, &active);
-    stats.scheduling_ms += sched_timer.elapsed_ms();
+    const double sched_ms = sched_timer.elapsed_ms();
+    stats.scheduling_ms += sched_ms;
+    stats.telemetry.lp_solves += lb_stats.lp_solves;
+    stats.telemetry.lp_iterations += lb_stats.lp_iterations;
+    stats.telemetry.lp_fallbacks += lb_stats.lp_fallbacks;
+    stats.telemetry.lp_solve_ms += lb_stats.lp_solve_ms;
+    stats.telemetry.delta_iterations += lb_stats.delta_iterations;
+    if (trace != nullptr) {
+      if (lb_stats.lp_solves > 0) {
+        trace->add_host_event(frame, "lp_solve", obs::EventKind::kLpSolve,
+                              lb_stats.lp_solve_ms);
+      }
+      trace->add_host_event(frame, "sched", obs::EventKind::kSched,
+                            std::max(0.0, sched_ms - lb_stats.lp_solve_ms));
+    }
 
     // ---- Orchestration + execution (lines 4 / 9) ------------------------
     std::vector<double> slowdown(
@@ -101,6 +122,7 @@ FrameStats VirtualFramework::encode_frame() {
     const OpGraph graph = build_frame_graph(topo_, dist, plans, backend, &ids);
     const ExecutionResult result = execute_virtual(graph, topo_, exec_opts);
     stats.total_ms += result.makespan_ms;  // failed attempts burn time too
+    if (trace != nullptr) trace->fold_execution();
 
     if (!result.ok()) {
       ++stats.retries;
@@ -115,6 +137,13 @@ FrameStats VirtualFramework::encode_frame() {
     }
 
     // ---- Characterization update (lines 5-6 / 10) -----------------------
+    // Telemetry snapshots the K parameters the scheduler consumed, so it
+    // must fill before this frame's measurements fold in.
+    fill_device_telemetry(topo_, dist, ids, result, perf_, &stats.telemetry);
+    stats.telemetry.predicted_tau1_ms = dist.tau1_ms;
+    stats.telemetry.predicted_tau2_ms = dist.tau2_ms;
+    stats.telemetry.predicted_tau_tot_ms = dist.tau_tot_ms;
+    stats.telemetry.measured_tau_tot_ms = result.makespan_ms;
     attribute_frame_times(cfg_, topo_, dist, ids, result, &perf_);
     rf_holder_ = dist.rstar_device;
     stats.dist = dist;
@@ -133,6 +162,8 @@ FrameStats VirtualFramework::encode_frame() {
           stats.tau2_ms = std::max(stats.tau2_ms, result.times[id].end_ms);
       }
     }
+    stats.telemetry.measured_tau1_ms = stats.tau1_ms;
+    stats.telemetry.measured_tau2_ms = stats.tau2_ms;
     break;
   }
   stats.devices_readmitted = static_cast<int>(health_.end_frame().size());
@@ -147,25 +178,31 @@ void attribute_frame_times(const EncoderConfig& cfg,
   auto dur = [&](int id) {
     return result.times[id].end_ms - result.times[id].start_ms;
   };
+  // Only cleanly completed ops are measurements. A timed-out op's span is
+  // truncated at the watchdog deadline and a cancelled op's is zero; folding
+  // either would poison the K parameters every later LP consumes (one hung
+  // frame would make a device look infinitely fast / slow for frames after
+  // its fault cleared).
+  auto ok = [&](int id) { return id >= 0 && result.status[id] == OpStatus::kOk; };
   const auto me_iv = intervals_of(dist.me);
   const auto l_iv = intervals_of(dist.intp);
   const auto s_iv = intervals_of(dist.sme);
 
   for (int i = 0; i < topo.num_devices(); ++i) {
     const auto& d = ids.dev[i];
-    if (d.me >= 0) {
+    if (ok(d.me)) {
       perf->observe_compute(i, ComputeModule::kMe, me_iv[i].length(),
                             dur(d.me));
     }
-    if (d.intp >= 0) {
+    if (ok(d.intp)) {
       perf->observe_compute(i, ComputeModule::kInt, l_iv[i].length(),
                             dur(d.intp));
     }
-    if (d.sme >= 0) {
+    if (ok(d.sme)) {
       perf->observe_compute(i, ComputeModule::kSme, s_iv[i].length(),
                             dur(d.sme));
     }
-    if (d.rstar >= 0) perf->observe_rstar(i, dur(d.rstar));
+    if (ok(d.rstar)) perf->observe_rstar(i, dur(d.rstar));
 
     struct XferSlot {
       int id;
@@ -191,10 +228,34 @@ void attribute_frame_times(const EncoderConfig& cfg,
         {d.mv_mc, XferPurpose::kMvMc, rows_total - s_iv[i].length()},
     };
     for (const XferSlot& s : slots) {
-      if (s.id < 0 || s.rows <= 0) continue;
+      if (!ok(s.id) || s.rows <= 0) continue;
       perf->observe_transfer(i, buffer_of(s.purpose), direction_of(s.purpose),
                              s.rows, dur(s.id));
     }
+  }
+}
+
+void fill_device_telemetry(const PlatformTopology& topo,
+                           const Distribution& dist, const FrameOpIds& ids,
+                           const ExecutionResult& result,
+                           const PerfCharacterization& perf,
+                           obs::SchedTelemetry* telemetry) {
+  auto measured = [&](int id) {
+    if (id < 0 || result.status[id] != OpStatus::kOk) return 0.0;
+    return result.times[id].end_ms - result.times[id].start_ms;
+  };
+  const auto me_iv = intervals_of(dist.me);
+  const auto l_iv = intervals_of(dist.intp);
+  const auto s_iv = intervals_of(dist.sme);
+  telemetry->dev.assign(static_cast<std::size_t>(topo.num_devices()),
+                        obs::DeviceTelemetry{});
+  for (int i = 0; i < topo.num_devices(); ++i) {
+    const auto& d = ids.dev[i];
+    const DeviceParams& p = perf.params(i);
+    obs::DeviceTelemetry& t = telemetry->dev[i];
+    t.me = {me_iv[i].length() * p.k_me, measured(d.me)};
+    t.interp = {l_iv[i].length() * p.k_int, measured(d.intp)};
+    t.sme = {s_iv[i].length() * p.k_sme, measured(d.sme)};
   }
 }
 

@@ -15,6 +15,8 @@
 #include "core/coding_manager.hpp"
 #include "core/data_access.hpp"
 #include "core/health.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "platform/fault.hpp"
 #include "platform/perturbation.hpp"
 #include "sched/load_balancer.hpp"
@@ -58,6 +60,11 @@ struct FrameworkOptions {
   /// attempt quarantines at least the faulty device's failure streak, so a
   /// handful suffices even for simultaneous multi-device faults.
   int max_frame_retries = 8;
+  /// Observability: when non-null, every op the executors run plus the
+  /// host-side scheduling phases are emitted into this session's tracer and
+  /// folded into its sink frame by frame (Chrome trace export). The session
+  /// must outlive the framework. Null = zero tracing overhead.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// Everything measured about one encoded inter-frame.
@@ -75,6 +82,8 @@ struct FrameStats {
   int devices_quarantined = 0;   ///< devices newly quarantined this frame
   int devices_readmitted = 0;    ///< devices entering probation after it
   int active_devices = 0;        ///< devices the successful attempt ran on
+  /// Scheduler telemetry: LP effort and predicted-vs-measured times.
+  obs::SchedTelemetry telemetry;
   double fps() const { return total_ms > 0 ? 1000.0 / total_ms : 0.0; }
 };
 
@@ -116,10 +125,24 @@ class VirtualFramework {
 
 /// Folds one frame's measured per-op times into the characterization
 /// (Algorithm 1 lines 5-6/10; shared by the virtual and real frameworks).
+/// Only ops that completed cleanly are folded: failed, timed-out and
+/// cancelled ops carry truncated or zero durations that would poison the
+/// K parameters every later LP consumes.
 void attribute_frame_times(const EncoderConfig& cfg,
                            const PlatformTopology& topo,
                            const Distribution& dist, const FrameOpIds& ids,
                            const ExecutionResult& result,
                            PerfCharacterization* perf);
+
+/// Fills `telemetry->dev` with predicted-vs-measured per-module times:
+/// predicted = assigned rows × the K parameter the scheduler consumed
+/// (call BEFORE attribute_frame_times folds this frame's measurements),
+/// measured = the op's span in the execution result. Shared by both
+/// frameworks.
+void fill_device_telemetry(const PlatformTopology& topo,
+                           const Distribution& dist, const FrameOpIds& ids,
+                           const ExecutionResult& result,
+                           const PerfCharacterization& perf,
+                           obs::SchedTelemetry* telemetry);
 
 }  // namespace feves

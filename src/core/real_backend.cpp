@@ -1,6 +1,7 @@
 #include "core/real_backend.hpp"
 
 #include "codec/interpolate.hpp"
+#include "platform/perf_model.hpp"
 #include "sched/distribution.hpp"
 
 #include <cstring>
@@ -123,9 +124,9 @@ void RealBackend::ensure_sf_assembled() {
 
 OpPayload RealBackend::op_me(int device, RowInterval rows) {
   if (!is_accel(device)) {
-    return {0.0, [this, rows] { me_rows(job_, rows.begin, rows.end, tier_); }};
+    return {0.0, 0.0, [this, rows] { me_rows(job_, rows.begin, rows.end, tier_); }};
   }
-  return {0.0, [this, device, rows] {
+  return {0.0, 0.0, [this, device, rows] {
             DeviceMirror& m = mirrors_[device];
             MeParams params;
             params.search_range = job_.cfg->search_range;
@@ -139,9 +140,9 @@ OpPayload RealBackend::op_me(int device, RowInterval rows) {
 
 OpPayload RealBackend::op_int(int device, RowInterval rows) {
   if (!is_accel(device)) {
-    return {0.0, [this, rows] { int_rows(job_, rows.begin, rows.end); }};
+    return {0.0, 0.0, [this, rows] { int_rows(job_, rows.begin, rows.end); }};
   }
-  return {0.0, [this, device, rows] {
+  return {0.0, 0.0, [this, device, rows] {
             DeviceMirror& m = mirrors_[device];
             run_interpolation_rows(m.refs[0]->recon_y, rows.begin, rows.end,
                                    m.refs[0]->sf);
@@ -165,12 +166,12 @@ OpPayload RealBackend::op_int(int device, RowInterval rows) {
 
 OpPayload RealBackend::op_sme(int device, RowInterval rows) {
   if (!is_accel(device)) {
-    return {0.0, [this, rows] {
+    return {0.0, 0.0, [this, rows] {
               ensure_sf_assembled();
               sme_rows(job_, rows.begin, rows.end);
             }};
   }
-  return {0.0, [this, device, rows] {
+  return {0.0, 0.0, [this, device, rows] {
             DeviceMirror& m = mirrors_[device];
             SmeParams params;
             params.refine_range = job_.cfg->subpel_refine_range;
@@ -194,7 +195,7 @@ OpPayload RealBackend::op_sme(int device, RowInterval rows) {
 }
 
 OpPayload RealBackend::op_rstar(int device) {
-  return {0.0, [this, device] {
+  return {0.0, 0.0, [this, device] {
             if (is_accel(device)) {
               // The R* host's own SME rows live in its mirror; publish them
               // into the canonical fields (a device-local no-cost step — in
@@ -212,7 +213,25 @@ OpPayload RealBackend::op_xfer(int device, XferPurpose purpose,
                                const std::vector<RowInterval>& fragments) {
   FEVES_CHECK(is_accel(device));
   auto frags = fragments;
-  return {0.0, [this, device, purpose, frags] {
+  int rows = 0;
+  for (const RowInterval& f : frags) rows += f.length();
+  double row_bytes = 0.0;
+  switch (buffer_of(purpose)) {
+    case BufferKind::kCf:
+      row_bytes = cf_row_bytes(*job_.cfg);
+      break;
+    case BufferKind::kRf:
+      row_bytes = rf_row_bytes(*job_.cfg);
+      break;
+    case BufferKind::kSf:
+      row_bytes = sf_row_bytes(*job_.cfg);
+      break;
+    case BufferKind::kMv:
+      row_bytes =
+          mv_row_bytes(*job_.cfg, static_cast<int>(job_.refs.size()));
+      break;
+  }
+  return {0.0, rows * row_bytes, [this, device, purpose, frags] {
             DeviceMirror& m = mirrors_[device];
             switch (purpose) {
               case XferPurpose::kRfIn:

@@ -72,7 +72,7 @@ class VirtualBackend final : public FrameBackend {
     const double ms = direction_of(purpose) == Direction::kHostToDevice
                           ? dev.link.h2d_ms(bytes)
                           : dev.link.d2h_ms(bytes);
-    return {ms, {}};
+    return {ms, bytes, {}};
   }
 
  private:

@@ -10,6 +10,12 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
+/// Consecutive degenerate pivots (min-ratio ≈ 0, objective unchanged)
+/// tolerated under Dantzig's rule before switching to Bland's rule. Cycles
+/// are made entirely of degenerate pivots, so a long streak is the signal;
+/// the first non-degenerate pivot switches back.
+constexpr int kStallThreshold = 12;
+
 /// Dense simplex tableau. Column layout: [decision | slack/surplus |
 /// artificial], final column is the RHS. One row per constraint plus the
 /// objective row kept separately as reduced costs.
@@ -53,37 +59,65 @@ struct Tableau {
     basis[prow] = pcol;
   }
 
-  /// Runs simplex iterations until optimal/unbounded/limit. Bland's rule.
+  int iterations = 0;          // pivots across all iterate() calls
+  bool bland_fallback = false;  // stall fallback engaged at least once
+
+  /// Runs simplex iterations until optimal/unbounded/limit. Dantzig's rule
+  /// (most negative reduced cost) by default; after kStallThreshold
+  /// consecutive degenerate pivots, falls back to Bland's rule, which is
+  /// guaranteed to escape any cycle. The first pivot that actually moves
+  /// the solution switches back to Dantzig.
   SolveStatus iterate(int max_iters) {
+    int degenerate_streak = 0;
     for (int iter = 0; iter < max_iters; ++iter) {
-      // Entering: lowest-index unblocked column with negative reduced cost
-      // (Bland's rule).
+      const bool bland = degenerate_streak >= kStallThreshold;
+      if (bland) bland_fallback = true;
+
+      // Entering column.
       int pcol = -1;
+      double most_negative = -kEps;
       for (int j = 0; j < cols; ++j) {
         if (!blocked.empty() && blocked[j]) continue;
-        if (cost[j] < -kEps) {
+        if (cost[j] >= -kEps) continue;
+        if (bland) {  // lowest eligible index
           pcol = j;
           break;
+        }
+        if (cost[j] < most_negative) {  // most negative, ties by lowest index
+          most_negative = cost[j];
+          pcol = j;
         }
       }
       if (pcol < 0) return SolveStatus::kOptimal;
 
-      // Leaving: min ratio, ties by lowest basis variable index (Bland).
-      int prow = -1;
-      double best_ratio = std::numeric_limits<double>::infinity();
+      // Leaving row: exact minimum ratio first, then break ties among the
+      // rows achieving it by lowest basis variable index (Bland). Two
+      // passes so the tie tolerance never compounds: a one-pass
+      // `ratio < best + eps` update can creep the accepted ratio upward
+      // across rows and pick a row strictly above the true minimum.
+      double min_ratio = std::numeric_limits<double>::infinity();
       for (int i = 0; i < rows; ++i) {
         if (a[i][pcol] > kEps) {
-          const double ratio = rhs[i] / a[i][pcol];
-          if (ratio < best_ratio - kEps ||
-              (ratio < best_ratio + kEps &&
-               (prow < 0 || basis[i] < basis[prow]))) {
-            best_ratio = ratio;
-            prow = i;
-          }
+          min_ratio = std::min(min_ratio, rhs[i] / a[i][pcol]);
         }
       }
-      if (prow < 0) return SolveStatus::kUnbounded;
+      if (min_ratio == std::numeric_limits<double>::infinity()) {
+        return SolveStatus::kUnbounded;
+      }
+      int prow = -1;
+      for (int i = 0; i < rows; ++i) {
+        if (a[i][pcol] > kEps && rhs[i] / a[i][pcol] <= min_ratio + kEps &&
+            (prow < 0 || basis[i] < basis[prow])) {
+          prow = i;
+        }
+      }
       pivot(prow, pcol);
+      ++iterations;
+      if (min_ratio <= kEps) {
+        ++degenerate_streak;
+      } else {
+        degenerate_streak = 0;
+      }
     }
     return SolveStatus::kIterationLimit;
   }
@@ -187,9 +221,15 @@ Solution solve(const Problem& p) {
       }
     }
     const SolveStatus s1 = t.iterate(max_iters);
-    if (s1 == SolveStatus::kIterationLimit) return {SolveStatus::kIterationLimit, 0.0, {}};
+    if (s1 == SolveStatus::kIterationLimit) {
+      return {SolveStatus::kIterationLimit, 0.0, {}, t.iterations,
+              t.bland_fallback};
+    }
     const double phase1_obj = -t.cost_rhs;
-    if (phase1_obj > 1e-6) return {SolveStatus::kInfeasible, 0.0, {}};
+    if (phase1_obj > 1e-6) {
+      return {SolveStatus::kInfeasible, 0.0, {}, t.iterations,
+              t.bland_fallback};
+    }
     // Drive remaining artificial variables out of the basis where possible.
     for (int i = 0; i < m; ++i) {
       if (t.basis[i] >= n + num_slack) {
@@ -225,10 +265,14 @@ Solution solve(const Problem& p) {
   }
 
   const SolveStatus s2 = t.iterate(max_iters);
-  if (s2 != SolveStatus::kOptimal) return {s2, 0.0, {}};
+  if (s2 != SolveStatus::kOptimal) {
+    return {s2, 0.0, {}, t.iterations, t.bland_fallback};
+  }
 
   Solution sol;
   sol.status = SolveStatus::kOptimal;
+  sol.iterations = t.iterations;
+  sol.bland_fallback = t.bland_fallback;
   sol.values.assign(n, 0.0);
   for (int i = 0; i < m; ++i) {
     if (t.basis[i] < n) sol.values[t.basis[i]] = t.rhs[i];

@@ -2,9 +2,12 @@
 // FEVES load balancer (Algorithm 2 of the paper). Built from scratch: the
 // problems are tiny (tens of variables/constraints: three distribution
 // vectors over a handful of devices, plus the synchronization-point times),
-// so a dense tableau with Bland's anti-cycling rule is both simple and fast
-// — the paper reports the whole scheduling step under 2 ms, and this solver
-// is well inside that.
+// so a dense tableau is both simple and fast — the paper reports the whole
+// scheduling step under 2 ms, and this solver is well inside that. Pivoting
+// uses Dantzig's rule (most negative reduced cost) and drops to Bland's
+// anti-cycling rule after a run of consecutive degenerate pivots, so
+// degenerate LPs terminate without paying Bland's slow convergence on the
+// common path.
 //
 // Canonical form handled:   minimize  c'x
 //                           subject to  a_i'x {<=,=,>=} b_i,   x >= 0.
@@ -60,6 +63,8 @@ struct Solution {
   SolveStatus status = SolveStatus::kInfeasible;
   double objective = 0.0;
   std::vector<double> values;  ///< one entry per decision variable
+  int iterations = 0;          ///< pivot count across both phases
+  bool bland_fallback = false;  ///< anti-cycling fallback engaged at least once
 
   bool optimal() const { return status == SolveStatus::kOptimal; }
 };

@@ -1,0 +1,66 @@
+// Per-frame scheduler telemetry: what the load balancer PREDICTED (the LP's
+// τ values and the per-module times implied by the K parameters it consumed)
+// versus what the executor MEASURED. The misprediction error is the quantity
+// Algorithm 1's on-the-fly re-characterization exists to keep small — making
+// it observable turns "the LP converged" from an assumption into a metric.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace feves::obs {
+
+/// Predicted-vs-measured pair for one module on one device (milliseconds).
+/// predicted = rows × the K parameter the LP consumed; measured = the op's
+/// span in the successful attempt. 0 where the module was not assigned.
+struct ModuleTimes {
+  double predicted_ms = 0.0;
+  double measured_ms = 0.0;
+
+  /// |error| relative to the measurement (0 when either side is unknown).
+  double error() const {
+    if (predicted_ms <= 0.0 || measured_ms <= 0.0) return 0.0;
+    return std::abs(measured_ms - predicted_ms) / measured_ms;
+  }
+};
+
+struct DeviceTelemetry {
+  ModuleTimes me, interp, sme;
+};
+
+/// Everything measured about one frame's scheduling decision.
+struct SchedTelemetry {
+  // LP solver effort (summed over the ∆ fix-point and any retry attempts).
+  int lp_solves = 0;          ///< lp::solve calls
+  int lp_iterations = 0;      ///< simplex pivots across those solves
+  int lp_fallbacks = 0;       ///< anti-cycling Bland's-rule activations
+  double lp_solve_ms = 0.0;   ///< wall time inside lp::solve
+  int delta_iterations = 0;   ///< MS/LS_BOUNDS fix-point rounds
+
+  // The LP's synchronization-point predictions (0 under non-LP policies)
+  // against the successful attempt's measurements.
+  double predicted_tau1_ms = 0.0, measured_tau1_ms = 0.0;
+  double predicted_tau2_ms = 0.0, measured_tau2_ms = 0.0;
+  double predicted_tau_tot_ms = 0.0, measured_tau_tot_ms = 0.0;
+
+  std::vector<DeviceTelemetry> dev;  ///< per-device module breakdown
+
+  /// Relative τtot misprediction — the headline number feeding FrameStats.
+  double misprediction() const {
+    if (predicted_tau_tot_ms <= 0.0 || measured_tau_tot_ms <= 0.0) return 0.0;
+    return std::abs(measured_tau_tot_ms - predicted_tau_tot_ms) /
+           measured_tau_tot_ms;
+  }
+
+  /// Worst per-module relative error over every device (prediction quality
+  /// of the K parameters themselves, before LP slack absorbs anything).
+  double worst_module_error() const {
+    double worst = 0.0;
+    for (const DeviceTelemetry& d : dev) {
+      worst = std::max({worst, d.me.error(), d.interp.error(), d.sme.error()});
+    }
+    return worst;
+  }
+};
+
+}  // namespace feves::obs

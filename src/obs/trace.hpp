@@ -1,0 +1,222 @@
+// Orchestration tracing: every op the executors run (kernels, DMA
+// transfers), every LP solve and every scheduling phase can emit a
+// TraceEvent into a per-producer lock-free ring buffer. A TraceSink
+// collects completed frames and serializes them to Chrome trace-event JSON
+// (chrome://tracing / Perfetto), one track per device×lane, so the
+// compute/PCIe overlap of the paper's Figs. 4-5 is visually checkable.
+//
+// Cost contract: tracing is compiled in but runtime-gated. With no tracer
+// attached the hot path pays one pointer test; with a tracer attached but
+// disabled, one relaxed atomic load and a branch. Enabled emission is one
+// bounded copy into an SPSC ring — never a lock, never an allocation.
+#pragma once
+
+#include "common/check.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace feves::obs {
+
+enum class EventKind : unsigned char {
+  kKernel,    ///< compute op (ME/INT/SME/R*)
+  kTransfer,  ///< DMA transfer on a copy engine
+  kLpSolve,   ///< one lp::solve call inside the load balancer
+  kSched,     ///< host-side scheduling/planning phase
+  kMark,      ///< frame boundary / annotation
+};
+
+/// Terminal state of a traced op — mirrors OpStatus (obs sits below the
+/// platform layer in the link order, so it cannot include op_graph.hpp).
+enum class EventStatus : unsigned char { kOk, kFailed, kTimedOut, kCancelled };
+
+const char* to_string(EventKind kind);
+const char* to_string(EventStatus status);
+
+/// Serial execution lanes per device, matching the executors' FIFO queues.
+/// Single-copy-engine devices fold D2H into the H2D lane (one DMA unit).
+inline constexpr int kLaneCompute = 0;
+inline constexpr int kLaneCopyH2D = 1;
+inline constexpr int kLaneCopyD2H = 2;
+inline constexpr int kLaneHost = 3;  ///< orchestration (LP, planning, marks)
+
+/// One traced interval. Fixed-size (no heap) so ring emission is a memcpy.
+struct TraceEvent {
+  static constexpr int kNameCapacity = 23;
+
+  char name[kNameCapacity + 1] = {};  ///< NUL-terminated, truncated label
+  double t_start_ms = 0.0;
+  double t_end_ms = 0.0;
+  double bytes = 0.0;  ///< transfer payload (0 for kernels/host events)
+  int frame = 0;       ///< inter-frame number the event belongs to
+  int device = -1;     ///< owning device; -1 = host orchestration
+  int lane = kLaneHost;
+  int rows = 0;        ///< MB rows the op covers (0 when not row-shaped)
+  EventKind kind = EventKind::kMark;
+  EventStatus status = EventStatus::kOk;
+
+  void set_name(const char* s) {
+    std::strncpy(name, s == nullptr ? "" : s, kNameCapacity);
+    name[kNameCapacity] = '\0';
+  }
+  double duration_ms() const { return t_end_ms - t_start_ms; }
+};
+
+/// Single-producer/single-consumer bounded ring. The producer is the one
+/// thread holding the Writer; the consumer is Tracer::drain. Overflow drops
+/// the newest event and counts it — emission never blocks an executor lane.
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity_pow2);
+
+  bool try_push(const TraceEvent& e);        // producer side
+  void drain(std::vector<TraceEvent>* out);  // consumer side
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::size_t mask_;
+  std::atomic<std::uint64_t> head_{0};  // next write (producer-owned)
+  std::atomic<std::uint64_t> tail_{0};  // next read (consumer-owned)
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+class Tracer;
+
+/// Hot-path emission handle: one per producing thread, leased from the
+/// Tracer (mutex on acquire/release only — once per lane worker per frame).
+class TraceWriter {
+ public:
+  /// One relaxed load + branch when tracing is disabled; one ring push
+  /// (bounded copy, no locks) when enabled.
+  void emit(const TraceEvent& e);
+
+ private:
+  friend class Tracer;
+  explicit TraceWriter(Tracer* owner, std::size_t capacity);
+  Tracer* owner_;
+  EventRing ring_;
+};
+
+/// RAII lease of a TraceWriter. Null-safe: a lease from a null tracer is a
+/// no-op shell, so executors can write `lease.emit(e)` unconditionally
+/// after one `if (tracer)`-style gate.
+class WriterLease {
+ public:
+  WriterLease() = default;
+  explicit WriterLease(Tracer* tracer);
+  ~WriterLease() { release(); }
+  WriterLease(WriterLease&& o) noexcept
+      : tracer_(o.tracer_), writer_(o.writer_) {
+    o.tracer_ = nullptr;
+    o.writer_ = nullptr;
+  }
+  WriterLease& operator=(WriterLease&& o) noexcept;
+  WriterLease(const WriterLease&) = delete;
+  WriterLease& operator=(const WriterLease&) = delete;
+
+  void emit(const TraceEvent& e) {
+    if (writer_ != nullptr) writer_->emit(e);
+  }
+  bool active() const { return writer_ != nullptr; }
+
+ private:
+  void release();
+  Tracer* tracer_ = nullptr;
+  TraceWriter* writer_ = nullptr;
+};
+
+/// Owns the per-producer rings and the runtime gate. Writers are pooled:
+/// releasing returns the ring to the free list (its undrained events stay
+/// until the next drain), so a frame's worth of lane workers reuses a
+/// handful of rings instead of growing one per thread ever spawned.
+class Tracer {
+ public:
+  explicit Tracer(bool enabled = true, std::size_t ring_capacity = 4096);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Leases a writer (cold path; takes a mutex). Prefer WriterLease.
+  TraceWriter* acquire_writer();
+  void release_writer(TraceWriter* w);
+
+  /// Consumes every ring's pending events into `out` (appending). Must not
+  /// race leased writers' emissions on the SAME ring; the frameworks call
+  /// it after the executor joined its lane workers.
+  void drain(std::vector<TraceEvent>* out);
+
+  /// Events discarded because a ring was full.
+  std::uint64_t dropped() const;
+
+ private:
+  std::atomic<bool> enabled_;
+  std::size_t ring_capacity_;
+  std::mutex pool_mutex_;
+  std::vector<std::unique_ptr<TraceWriter>> writers_;  // all ever created
+  std::vector<TraceWriter*> free_;                     // currently unleased
+};
+
+/// Frame-oriented event store with Chrome trace-event JSON export. One
+/// track per device×lane: pid = device + 1 (pid 0 is the host), tid = lane.
+class TraceSink {
+ public:
+  void add_event(const TraceEvent& e) { events_.push_back(e); }
+  void add_events(const std::vector<TraceEvent>& es) {
+    events_.insert(events_.end(), es.begin(), es.end());
+  }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+  /// Track naming in the exported JSON ("dev0 CPU_N" etc.).
+  void set_device_name(int device, std::string name);
+
+  /// Serializes everything collected so far as Chrome trace-event JSON.
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// write_chrome_trace to `path`; returns false when the file won't open.
+  bool save(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::vector<std::string> device_names_;
+};
+
+/// Everything a framework needs to trace one encode run: the tracer the
+/// executors emit into, the sink that accumulates frames, and the timeline
+/// origin that rebases each execution's local t=0 clock so consecutive
+/// frames (and retried attempts) tile one global timeline instead of
+/// overlapping at zero.
+class TraceSession {
+ public:
+  explicit TraceSession(bool enabled = true) : tracer(enabled) {}
+
+  Tracer tracer;
+  TraceSink sink;
+
+  double origin_ms() const { return origin_ms_; }
+
+  /// Records a host-side orchestration interval of `dur_ms` at the current
+  /// origin and advances the origin past it (host phases serialize).
+  void add_host_event(int frame, const char* name, EventKind kind,
+                      double dur_ms);
+
+  /// Drains the tracer (event times relative to the finished execution's
+  /// t=0), rebases them at the current origin, hands them to the sink and
+  /// advances the origin to the rebased span's end.
+  void fold_execution();
+
+ private:
+  double origin_ms_ = 0.0;
+  std::vector<TraceEvent> buf_;
+};
+
+}  // namespace feves::obs

@@ -78,6 +78,44 @@ void finish_makespan(ExecutionResult* result) {
   }
 }
 
+obs::EventStatus event_status(OpStatus s) {
+  switch (s) {
+    case OpStatus::kOk:
+      return obs::EventStatus::kOk;
+    case OpStatus::kFailed:
+      return obs::EventStatus::kFailed;
+    case OpStatus::kTimedOut:
+      return obs::EventStatus::kTimedOut;
+    case OpStatus::kCancelled:
+      return obs::EventStatus::kCancelled;
+  }
+  return obs::EventStatus::kFailed;
+}
+
+/// Trace lane within the device (0..2) — the same folding as lane_of, so
+/// single-copy-engine devices show D2H traffic on their one copy track.
+int trace_lane(const PlatformTopology& topo, int device, OpResource res) {
+  return lane_of(topo, device, res) - device * 3;
+}
+
+obs::TraceEvent op_event(const PlatformTopology& topo,
+                         const ExecuteOptions& opts, const Op& op,
+                         const OpTimes& t, OpStatus s) {
+  obs::TraceEvent e;
+  e.set_name(op.label.c_str());
+  e.kind = op.resource == OpResource::kCompute ? obs::EventKind::kKernel
+                                               : obs::EventKind::kTransfer;
+  e.frame = opts.trace_frame;
+  e.device = op.device;
+  e.lane = trace_lane(topo, op.device, op.resource);
+  e.rows = op.rows;
+  e.bytes = op.bytes;
+  e.t_start_ms = t.start_ms;
+  e.t_end_ms = t.end_ms;
+  e.status = event_status(s);
+  return e;
+}
+
 }  // namespace
 
 const char* to_string(OpStatus status) {
@@ -142,6 +180,7 @@ ExecutionResult execute_virtual(const OpGraph& graph,
   std::vector<double> lane_free(lanes.size(), 0.0);
   std::vector<bool> settled(graph.size(), false);
   std::vector<std::string> messages(graph.size());
+  obs::WriterLease trace(opts.tracer);
 
   int remaining = graph.size();
   while (remaining > 0) {
@@ -191,6 +230,8 @@ ExecutionResult execute_virtual(const OpGraph& graph,
             lane_free[lane] = result.times[id].end_ms;
           }
         }
+        trace.emit(op_event(topo, opts, op, result.times[id],
+                            result.status[id]));
         settled[id] = true;
         ++head[lane];
         --remaining;
@@ -224,6 +265,9 @@ ExecutionResult execute_real(const OpGraph& graph,
 
   Timer clock;
   auto lane_worker = [&](const std::vector<int>& queue) {
+    // One trace writer per lane worker: emission stays single-producer on
+    // its ring even though every lane runs concurrently.
+    obs::WriterLease trace(opts.tracer);
     for (int id : queue) {
       const Op& op = graph.ops()[id];
       bool deps_ok = true;
@@ -244,6 +288,8 @@ ExecutionResult execute_real(const OpGraph& graph,
           result.status[id] = OpStatus::kCancelled;
           settled[id] = true;
           cv.notify_all();
+          trace.emit(
+              op_event(topo, opts, op, OpTimes{}, OpStatus::kCancelled));
           continue;
         }
       }
@@ -291,6 +337,7 @@ ExecutionResult execute_real(const OpGraph& graph,
         settled[id] = true;
       }
       cv.notify_all();
+      trace.emit(op_event(topo, opts, op, OpTimes{t0, t1}, status));
     }
   };
 

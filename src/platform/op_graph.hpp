@@ -13,6 +13,7 @@
 #pragma once
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 #include "platform/device.hpp"
 
 #include <functional>
@@ -34,6 +35,8 @@ struct Op {
   double virtual_ms = 0.0;           ///< modelled duration (virtual mode)
   std::function<void()> work;        ///< real-mode payload (may be empty)
   std::vector<int> deps;             ///< op ids that must finish first
+  int rows = 0;      ///< MB rows the op covers (trace/attribution metadata)
+  double bytes = 0.0;  ///< transfer payload bytes (0 for kernels)
 };
 
 class OpGraph {
@@ -154,6 +157,13 @@ struct ExecuteOptions {
   /// Real mode: how long an injected hang sleeps before the executor
   /// declares it timed out. Must exceed watchdog_ms.
   double hang_sleep_ms = 20.0;
+  /// When non-null, every op's terminal state is emitted as a TraceEvent
+  /// (per-lane lock-free rings; see obs/trace.hpp). Null — the default —
+  /// costs one pointer test per execution; non-null but disabled costs one
+  /// relaxed load + branch per op.
+  obs::Tracer* tracer = nullptr;
+  /// Frame number stamped into emitted trace events.
+  int trace_frame = 0;
 };
 
 /// Discrete-event execution against the devices' cost/link models. Fully

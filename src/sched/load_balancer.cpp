@@ -3,6 +3,7 @@
 #include "graph/dijkstra.hpp"
 #include "lp/simplex.hpp"
 #include "common/log.hpp"
+#include "common/timer.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -234,7 +235,8 @@ Distribution LoadBalancer::proportional(const PerfCharacterization& perf,
 Distribution LoadBalancer::balance(const PerfCharacterization& perf,
                                    const std::vector<int>& sigma_r_prev,
                                    int force_rstar,
-                                   const std::vector<bool>* active) const {
+                                   const std::vector<bool>* active,
+                                   BalanceStats* stats) const {
   FEVES_CHECK_MSG(perf.initialized(active),
                   "balance() before performance characterization");
   const int n = topo_.num_devices();
@@ -392,7 +394,15 @@ Distribution LoadBalancer::balance(const PerfCharacterization& perf,
       }
     }
 
+    Timer lp_timer;
     const lp::Solution sol = lp::solve(lp);
+    if (stats != nullptr) {
+      stats->lp_solves += 1;
+      stats->lp_iterations += sol.iterations;
+      stats->lp_fallbacks += sol.bland_fallback ? 1 : 0;
+      stats->lp_solve_ms += lp_timer.elapsed_ms();
+      stats->delta_iterations = iter + 1;
+    }
     if (!sol.optimal()) {
       FEVES_WARN("load_balancer",
                  "LP not optimal (status " << static_cast<int>(sol.status)

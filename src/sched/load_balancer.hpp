@@ -26,6 +26,16 @@
 
 namespace feves {
 
+/// Telemetry from one balance() call: LP solver effort, fed into the
+/// observability layer's SchedTelemetry (obs/telemetry.hpp).
+struct BalanceStats {
+  int lp_solves = 0;         ///< LP solves across the ∆ fix-point
+  int lp_iterations = 0;     ///< simplex pivots summed over all solves
+  int lp_fallbacks = 0;      ///< solves where Bland's anti-cycling engaged
+  double lp_solve_ms = 0.0;  ///< wall time spent inside lp::solve
+  int delta_iterations = 0;  ///< ∆ fix-point iterations run
+};
+
 struct LoadBalancerOptions {
   /// σ/σ^r SF-completion deferral (Fig 5). Disabling it forces the full SF
   /// remainder to transfer within the current frame — the ablation knob.
@@ -65,10 +75,12 @@ class LoadBalancer {
   /// deferred from the previous frame (σ^{r-1}); pass zeros for the first
   /// balanced frame. Requires perf.initialized(active). `force_rstar` >= 0
   /// pins the R* device (CPU-centric vs GPU-centric operation, Sec. III-B).
+  /// `stats`, when non-null, receives LP solver telemetry for this call.
   Distribution balance(const PerfCharacterization& perf,
                        const std::vector<int>& sigma_r_prev,
                        int force_rstar = -1,
-                       const std::vector<bool>* active = nullptr) const;
+                       const std::vector<bool>* active = nullptr,
+                       BalanceStats* stats = nullptr) const;
 
   /// R* device selection: cheapest transfer-in + compute + transfer-out
   /// path, found with Dijkstra over the device graph (Sec. III-B, [9]).

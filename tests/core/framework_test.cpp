@@ -1,5 +1,6 @@
 #include "core/framework.hpp"
 
+#include "core/virtual_backend.hpp"
 #include "platform/perf_model.hpp"
 #include "platform/presets.hpp"
 
@@ -162,6 +163,56 @@ TEST(VirtualFramework, DualCopyEngineNoSlowerThanSingle) {
   VirtualFramework a(hd_config(16, 4), topo_single);
   VirtualFramework b(hd_config(16, 4), topo_dual);
   EXPECT_GE(b.steady_state_fps(14, 6), a.steady_state_fps(14, 6) * 0.999);
+}
+
+// Regression (measurement poisoning): ops that did not complete cleanly
+// must not fold into the characterization. A hung device's kernels report
+// watchdog-truncated spans and its dependents report zero-length spans;
+// folding either corrupts the K parameters every later LP consumes.
+TEST(AttributeFrameTimes, NonOkOpsDoNotPoisonTheCharacterization) {
+  const EncoderConfig cfg = hd_config();
+  const PlatformTopology topo = make_sys_nff();  // CPU + 2 accelerators
+  const int n = topo.num_devices();
+  LoadBalancer balancer(cfg, topo);
+  DataAccessManagement dam(cfg, topo, /*enable_reuse=*/true);
+  const Distribution dist = balancer.equidistant(/*rstar_device=*/0);
+  const auto plans = dam.plan_frame(dist, /*rf_holder=*/-1, /*refs=*/1);
+  VirtualBackend backend(cfg, topo, /*active_refs=*/1,
+                         std::vector<double>(static_cast<std::size_t>(n), 1.0));
+  FrameOpIds ids;
+  const OpGraph graph = build_frame_graph(topo, dist, plans, backend, &ids);
+
+  // A clean execution seeds the characterization.
+  PerfCharacterization perf(n, /*alpha=*/1.0);
+  const ExecutionResult clean = execute_virtual(graph, topo, ExecuteOptions{});
+  ASSERT_TRUE(clean.ok());
+  attribute_frame_times(cfg, topo, dist, ids, clean, &perf);
+  const DeviceParams before = perf.params(2);
+  ASSERT_TRUE(before.compute_known());
+
+  // Same graph, device 2 hung: its kernels time out at the watchdog
+  // deadline, everything downstream of them is cancelled.
+  FaultSchedule faults;
+  faults.add({/*device=*/2, /*frame_begin=*/0, kFaultForever,
+              FaultKind::kHang});
+  ExecuteOptions fault_opts;
+  fault_opts.faults = faults.plan(/*frame=*/1, n);
+  fault_opts.watchdog_ms = 1.0;
+  const ExecutionResult faulted = execute_virtual(graph, topo, fault_opts);
+  ASSERT_FALSE(faulted.ok());
+
+  attribute_frame_times(cfg, topo, dist, ids, faulted, &perf);
+  const DeviceParams& after = perf.params(2);
+  EXPECT_DOUBLE_EQ(after.k_me, before.k_me);
+  EXPECT_DOUBLE_EQ(after.k_int, before.k_int);
+  EXPECT_DOUBLE_EQ(after.k_sme, before.k_sme);
+  EXPECT_DOUBLE_EQ(after.t_rstar_ms, before.t_rstar_ms);
+  for (int b = 0; b < 4; ++b) {
+    for (int d = 0; d < 2; ++d) {
+      EXPECT_DOUBLE_EQ(after.k_xfer[b][d], before.k_xfer[b][d])
+          << "buffer " << b << " dir " << d;
+    }
+  }
 }
 
 }  // namespace

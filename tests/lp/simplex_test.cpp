@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
 namespace feves::lp {
 namespace {
@@ -188,6 +190,69 @@ TEST_P(SimplexRandomLe, MatchesDenseSamplingLowerBound) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomLps, SimplexRandomLe, ::testing::Range(0, 25));
+
+// Regression (degenerate cycling): Beale's classic example makes textbook
+// Dantzig pivoting with a naive tie-break cycle forever through degenerate
+// bases. The stall-triggered Bland fallback must terminate it at the true
+// optimum instead of hitting the iteration limit.
+TEST(Simplex, BealeCyclingExampleTerminatesAtOptimum) {
+  // min -0.75x1 + 150x2 - 0.02x3 + 6x4
+  //  s.t. 0.25x1 - 60x2 - (1/25)x3 + 9x4 <= 0
+  //       0.50x1 - 90x2 - (1/50)x3 + 3x4 <= 0
+  //       x3 <= 1                          -> optimum -1/20 at x3 = 1.
+  Problem p;
+  const int x1 = p.add_variable("x1", -0.75);
+  const int x2 = p.add_variable("x2", 150.0);
+  const int x3 = p.add_variable("x3", -0.02);
+  const int x4 = p.add_variable("x4", 6.0);
+  p.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -1.0 / 25.0}, {x4, 9.0}},
+                   Relation::kLe, 0.0);
+  p.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -1.0 / 50.0}, {x4, 3.0}},
+                   Relation::kLe, 0.0);
+  p.add_constraint({{x3, 1.0}}, Relation::kLe, 1.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -0.05, 1e-9);
+  EXPECT_NEAR(s.values[x3], 1.0, 1e-9);
+  EXPECT_LE(max_violation(p, s.values), 1e-9);
+}
+
+TEST(Simplex, HighlyDegenerateLpTerminates) {
+  // Many redundant constraints all active at the origin-adjacent vertex:
+  // every pivot along the way is degenerate, stressing the stall counter.
+  Problem p;
+  const int n = 6;
+  std::vector<int> v;
+  for (int i = 0; i < n; ++i) {
+    v.push_back(p.add_variable("x" + std::to_string(i), -1.0));
+  }
+  // x_i <= x_{i+1} chains with zero RHS (degenerate at x = 0), plus one
+  // binding cap that gives the problem a finite optimum.
+  for (int i = 0; i + 1 < n; ++i) {
+    p.add_constraint({{v[i], 1.0}, {v[i + 1], -1.0}}, Relation::kLe, 0.0);
+    p.add_constraint({{v[i], 2.0}, {v[i + 1], -2.0}}, Relation::kLe, 0.0);
+  }
+  std::vector<Term> all;
+  for (int i = 0; i < n; ++i) all.push_back({v[i], 1.0});
+  p.add_constraint(all, Relation::kLe, 12.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -12.0, 1e-6);
+  EXPECT_LE(max_violation(p, s.values), 1e-6);
+}
+
+TEST(Simplex, SolutionReportsPivotCount) {
+  Problem p;
+  const int x = p.add_variable("x", -3.0);
+  const int y = p.add_variable("y", -5.0);
+  p.add_constraint({{x, 1.0}}, Relation::kLe, 4.0);
+  p.add_constraint({{y, 2.0}}, Relation::kLe, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLe, 18.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_GT(s.iterations, 0);
+  EXPECT_FALSE(s.bland_fallback);  // no degeneracy in this LP
+}
 
 }  // namespace
 }  // namespace feves::lp

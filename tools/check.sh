@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# One-stop pre-merge check: configure + build, the full plain test suite,
+# then one sanitizer sweep (tests/run_sanitized.sh via its ctest label).
+#
+# Usage: tools/check.sh [address|thread|undefined]   (default: thread)
+set -euo pipefail
+
+SAN="${1:-thread}"
+case "$SAN" in
+  address|thread|undefined) ;;
+  *) echo "usage: $0 [address|thread|undefined]" >&2; exit 2 ;;
+esac
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build"
+
+cmake -B "$BUILD" -S "$ROOT"
+cmake --build "$BUILD" -j "$(nproc)"
+
+# Plain suite first (everything except the nested sanitizer builds).
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -LE sanitize
+
+# One sanitizer flavour; run all three with `ctest -L sanitize`.
+ctest --test-dir "$BUILD" --output-on-failure -L sanitize -R "sanitize.$SAN"
+
+echo "check.sh: all green ($SAN sanitizer sweep included)"
