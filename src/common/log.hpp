@@ -3,6 +3,7 @@
 // trace every distribution vector.
 #pragma once
 
+#include <atomic>
 #include <iostream>
 #include <mutex>
 #include <sstream>
@@ -13,8 +14,11 @@ namespace feves {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 namespace detail {
-inline LogLevel& log_threshold() {
-  static LogLevel level = LogLevel::kWarn;
+// Atomic: the threshold is read on every FEVES_LOG call from executor lane
+// workers and encode-service session threads while set_log_level may run
+// concurrently on another thread (a plain static here is a data race).
+inline std::atomic<LogLevel>& log_threshold() {
+  static std::atomic<LogLevel> level{LogLevel::kWarn};
   return level;
 }
 inline std::mutex& log_mutex() {
@@ -23,12 +27,16 @@ inline std::mutex& log_mutex() {
 }
 }  // namespace detail
 
-inline void set_log_level(LogLevel level) { detail::log_threshold() = level; }
-inline LogLevel log_level() { return detail::log_threshold(); }
+inline void set_log_level(LogLevel level) {
+  detail::log_threshold().store(level, std::memory_order_relaxed);
+}
+inline LogLevel log_level() {
+  return detail::log_threshold().load(std::memory_order_relaxed);
+}
 
 inline void log_line(LogLevel level, std::string_view tag,
                      const std::string& msg) {
-  if (level < detail::log_threshold()) return;
+  if (level < log_level()) return;
   static constexpr std::string_view names[] = {"DEBUG", "INFO", "WARN",
                                                "ERROR"};
   std::lock_guard lock(detail::log_mutex());

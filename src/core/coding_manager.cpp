@@ -195,15 +195,28 @@ OpGraph build_frame_graph(const PlatformTopology& topo,
                          {}, "CF_mc");
       d.sf_mc = add_xfer(g, backend, rstar, XferPurpose::kSfMc, plan.sf_mc,
                          sf_ready, "SF_mc");
+      // MV_mc reads the canonical fields, so it must follow every writer:
+      // the refined gathers AND the raw MV_out gathers. The latter are not
+      // always ordered transitively — a device with ME rows but no SME
+      // rows (or a lone device hosting R* itself) has no SME chain linking
+      // its MV_out to sme_mv_ready, and an unordered MV_out would race the
+      // R* kernel's read of the fields.
+      std::vector<int> mv_mc_deps = sme_mv_ready;
+      for (int dep : mv_ready) push_if(&mv_mc_deps, dep);
       d.mv_mc = add_xfer(g, backend, rstar, XferPurpose::kMvMc, plan.mv_mc,
-                         sme_mv_ready, "MV_mc");
+                         std::move(mv_mc_deps), "MV_mc");
       push_if(&rstar_deps, d.cf_mc);
       push_if(&rstar_deps, d.sf_mc);
       push_if(&rstar_deps, d.mv_mc);
-    } else {
-      // CPU-centric: the host needs every device's refined MVs.
-      for (int dep : sme_mv_ready) push_if(&rstar_deps, dep);
     }
+    // R* consumes the canonical fields and SF (mode decision and MC run on
+    // the host's canonical state), so it must follow every gather — even
+    // when the MC prefetches above carried zero rows and were elided, as
+    // happens when one device owns the whole frame. In a full pool these
+    // deps are already satisfied transitively and cost nothing.
+    for (int dep : sme_mv_ready) push_if(&rstar_deps, dep);
+    for (int dep : mv_ready) push_if(&rstar_deps, dep);
+    for (int dep : sf_ready) push_if(&rstar_deps, dep);
 
     d.rstar = add_kernel(g, backend.op_rstar(rstar), rstar,
                          std::move(rstar_deps), "Rstar", total_rows);

@@ -27,8 +27,14 @@ CollaborativeEncoder::CollaborativeEncoder(const EncoderConfig& cfg,
 }
 
 FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
-                                              std::vector<u8>* bitstream_out) {
-  const int frame = next_frame_++;
+                                              std::vector<u8>* bitstream_out,
+                                              const FrameGrant& grant) {
+  // The counter commits only on success (bottom of this function): if the
+  // frame throws — whole grant quarantined, retry budget exhausted — the
+  // caller may re-submit the same source frame on a fresh device grant,
+  // and it must encode under the same frame number for the stream to stay
+  // bit-exact.
+  const int frame = next_frame_;
   FrameStats stats;
   stats.frame_number = frame;
 
@@ -52,6 +58,7 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
     exec_opts.faults = faults_.plan(frame, topo_.num_devices());
     exec_opts.watchdog_ms = opts_.watchdog_ms;
     exec_opts.hang_sleep_ms = opts_.hang_sleep_ms;
+    exec_opts.lease = grant.lease;
     obs::TraceSession* trace = opts_.trace;
     if (trace != nullptr) {
       exec_opts.tracer = &trace->tracer;
@@ -68,7 +75,8 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
                                << opts_.max_frame_retries << " retries");
       FEVES_CHECK_MSG(health_.num_schedulable() > 0,
                       "frame " << frame << ": every device is quarantined");
-      const std::vector<bool> active = health_.active_mask();
+      const std::vector<bool> active =
+          granted_active_mask(health_, grant, frame);
 
       if (attempt > 0) {
         // The failed attempt may have partially written MVs, SF planes or
@@ -94,7 +102,13 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
       };
       BalanceStats lb_stats;
       if (!perf_.initialized(&active)) {
-        dist = balancer_.equidistant(rstar_of(), &active);
+        if (opts_.policy == SchedulingPolicy::kAdaptiveLp &&
+            opts_.lb.probe_rows > 0) {
+          dist = balancer_.balance_with_probes(perf_, sigma_r_prev,
+                                               force_rstar, &active, &lb_stats);
+        } else {
+          dist = balancer_.equidistant(rstar_of(), &active);
+        }
       } else {
         switch (opts_.policy) {
           case SchedulingPolicy::kAdaptiveLp:
@@ -110,7 +124,7 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
             break;
         }
       }
-      const int rf_holder = health_.schedulable(rf_holder_) ? rf_holder_ : -1;
+      const int rf_holder = active[rf_holder_] ? rf_holder_ : -1;
       const std::vector<TransferPlan> plans =
           dam_.plan_frame(dist, rf_holder, active_refs, &active);
       const double sched_ms = sched_timer.elapsed_ms();
@@ -213,6 +227,7 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
     bitstream_out->insert(bitstream_out->end(), bytes.begin(), bytes.end());
   }
   refs_.push_front(std::move(job.recon));
+  ++next_frame_;
   return stats;
 }
 

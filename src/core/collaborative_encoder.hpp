@@ -23,7 +23,12 @@ class CollaborativeEncoder {
   /// Encodes the next frame (the first call encodes the bootstrap I frame
   /// on the host; subsequent calls run the collaborative inter loop).
   /// Appends the frame's bitstream to `bitstream_out` when non-null.
-  FrameStats encode_frame(const Frame420& cur, std::vector<u8>* bitstream_out);
+  /// `grant` restricts the inter loop to a device subset (multi-session
+  /// operation; default: the whole topology). The bitstream and
+  /// reconstruction are bit-identical regardless of the grant — sharding
+  /// only moves *where* work runs.
+  FrameStats encode_frame(const Frame420& cur, std::vector<u8>* bitstream_out,
+                          const FrameGrant& grant = {});
 
   /// Reconstruction of the most recently encoded frame.
   const Frame420& last_recon() const {

@@ -28,8 +28,10 @@ VirtualFramework::VirtualFramework(const EncoderConfig& cfg,
   rf_holder_ = topo_.cpu_index() >= 0 ? topo_.cpu_index() : 0;
 }
 
-FrameStats VirtualFramework::encode_frame() {
-  const int frame = next_frame_++;
+FrameStats VirtualFramework::encode_frame(const FrameGrant& grant) {
+  // Committed only on success (bottom of this function) so a caller can
+  // re-submit the frame on a fresh grant after a mid-frame fault storm.
+  const int frame = next_frame_;
   const int active_refs = std::min(frame, cfg_.num_ref_frames);
 
   FrameStats stats;
@@ -40,6 +42,7 @@ FrameStats VirtualFramework::encode_frame() {
   exec_opts.faults = faults_.plan(frame, topo_.num_devices());
   exec_opts.watchdog_ms = opts_.watchdog_ms;
   exec_opts.hang_sleep_ms = opts_.hang_sleep_ms;
+  exec_opts.lease = grant.lease;
   obs::TraceSession* trace = opts_.trace;
   if (trace != nullptr) {
     exec_opts.tracer = &trace->tracer;
@@ -56,7 +59,7 @@ FrameStats VirtualFramework::encode_frame() {
                              << opts_.max_frame_retries << " retries");
     FEVES_CHECK_MSG(health_.num_schedulable() > 0,
                     "frame " << frame << ": every device is quarantined");
-    const std::vector<bool> active = health_.active_mask();
+    const std::vector<bool> active = granted_active_mask(health_, grant, frame);
 
     // ---- Load balancing (Algorithm 1 lines 3 / 8) -----------------------
     Timer sched_timer;
@@ -74,8 +77,16 @@ FrameStats VirtualFramework::encode_frame() {
     BalanceStats lb_stats;
     if (!perf_.initialized(&active)) {
       // Initialization (Algorithm 1 line 3) — re-entered whenever a
-      // probation device returns with its characterization evicted.
-      dist = balancer_.equidistant(rstar_of(), &active);
+      // probation device returns with its characterization evicted. Under a
+      // churning grant the share-aware probe path keeps the measured
+      // devices LP-balanced instead of re-initializing the whole frame.
+      if (opts_.policy == SchedulingPolicy::kAdaptiveLp &&
+          opts_.lb.probe_rows > 0) {
+        dist = balancer_.balance_with_probes(perf_, sigma_r_prev, force_rstar,
+                                             &active, &lb_stats);
+      } else {
+        dist = balancer_.equidistant(rstar_of(), &active);
+      }
     } else {
       switch (opts_.policy) {
         case SchedulingPolicy::kAdaptiveLp:
@@ -91,8 +102,9 @@ FrameStats VirtualFramework::encode_frame() {
           break;
       }
     }
-    // A quarantined RF holder is unreachable: every accelerator re-fetches.
-    const int rf_holder = health_.schedulable(rf_holder_) ? rf_holder_ : -1;
+    // An RF holder that is quarantined or outside this frame's grant is
+    // unreachable: every accelerator re-fetches.
+    const int rf_holder = active[rf_holder_] ? rf_holder_ : -1;
     const std::vector<TransferPlan> plans =
         dam_.plan_frame(dist, rf_holder, active_refs, &active);
     const double sched_ms = sched_timer.elapsed_ms();
@@ -167,7 +179,28 @@ FrameStats VirtualFramework::encode_frame() {
     break;
   }
   stats.devices_readmitted = static_cast<int>(health_.end_frame().size());
+  ++next_frame_;
   return stats;
+}
+
+std::vector<bool> granted_active_mask(const DeviceHealthMonitor& health,
+                                      const FrameGrant& grant, int frame) {
+  std::vector<bool> active = health.active_mask();
+  if (grant.devices == nullptr) return active;
+  FEVES_CHECK_MSG(grant.devices->size() == active.size(),
+                  "grant mask covers " << grant.devices->size()
+                                       << " devices, topology has "
+                                       << active.size());
+  int n_active = 0;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    active[i] = active[i] && (*grant.devices)[i];
+    n_active += active[i] ? 1 : 0;
+  }
+  FEVES_CHECK_MSG(n_active > 0,
+                  "frame " << frame
+                           << ": every device in the session's grant is "
+                              "quarantined");
+  return active;
 }
 
 void attribute_frame_times(const EncoderConfig& cfg,

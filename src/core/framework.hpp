@@ -25,6 +25,20 @@
 
 namespace feves {
 
+class DeviceLease;
+
+/// Per-frame device grant for a framework sharing its platform with other
+/// encode sessions (src/service). `devices` restricts this frame's
+/// scheduling to a subset of the topology — it is intersected with the
+/// health monitor's active mask, so a session's own quarantines compose
+/// with the arbiter's share. `lease`, when non-null, is forwarded to the
+/// executors, which refuse any op targeting a device outside it. A
+/// default-constructed grant (the single-tenant case) changes nothing.
+struct FrameGrant {
+  const std::vector<bool>* devices = nullptr;
+  const DeviceLease* lease = nullptr;
+};
+
 /// Which scheduler drives the distribution decisions — kAdaptiveLp is the
 /// paper's Algorithm 2; the other two are the evaluation baselines.
 enum class SchedulingPolicy {
@@ -94,8 +108,10 @@ class VirtualFramework {
                    PerturbationSchedule perturbations = {},
                    FaultSchedule faults = {});
 
-  /// Simulates the next inter-frame; returns its stats.
-  FrameStats encode_frame();
+  /// Simulates the next inter-frame; returns its stats. `grant` restricts
+  /// the frame to a device subset (multi-session operation; default: the
+  /// whole topology).
+  FrameStats encode_frame(const FrameGrant& grant = {});
 
   /// Simulates `frames` consecutive inter-frames.
   std::vector<FrameStats> encode(int frames);
@@ -122,6 +138,14 @@ class VirtualFramework {
   int next_frame_ = 1;   ///< next inter-frame number (frame 0 is the I frame)
   int rf_holder_ = 0;    ///< device that produced the newest RF
 };
+
+/// One attempt's schedulable set: the health monitor's active mask
+/// intersected with the grant's device subset (a grant with no mask passes
+/// health through). Fails loudly when the intersection is empty — every
+/// granted device is quarantined, so the session cannot progress and its
+/// arbiter must be asked for a different share. Shared by both frameworks.
+std::vector<bool> granted_active_mask(const DeviceHealthMonitor& health,
+                                      const FrameGrant& grant, int frame);
 
 /// Folds one frame's measured per-op times into the characterization
 /// (Algorithm 1 lines 5-6/10; shared by the virtual and real frameworks).

@@ -72,6 +72,7 @@ void begin_frame_mirror(DeviceMirror& mirror, const EncoderConfig& cfg,
 
   mirror.fields.assign(static_cast<std::size_t>(active_refs),
                        MotionField(static_cast<std::size_t>(cfg.total_mbs())));
+  mirror.refined = mirror.fields;
 }
 
 void restage_mirror(DeviceMirror& mirror, const EncoderConfig& cfg,
@@ -101,6 +102,7 @@ void restage_mirror(DeviceMirror& mirror, const EncoderConfig& cfg,
 
   mirror.fields.assign(static_cast<std::size_t>(active_refs),
                        MotionField(static_cast<std::size_t>(cfg.total_mbs())));
+  mirror.refined = mirror.fields;
 }
 
 RealBackend::RealBackend(EncodeJob& job, std::vector<DeviceMirror>& mirrors,
@@ -184,12 +186,17 @@ OpPayload RealBackend::op_sme(int device, RowInterval rows) {
             const int halo = sme_sf_halo_rows(*job_.cfg);
             const bool top = rows.begin < halo;
             const bool bottom = rows.end > job_.cfg->num_mb_rows() - halo;
+            // Seed the refined field with the raw ME vectors, then refine
+            // that copy — `fields` stays untouched so the MV_out gather can
+            // stream it on the copy lane while this kernel runs.
+            copy_field_rows(m.fields, m.refined, rows,
+                            job_.cfg->mb_width());
             for (std::size_t r = 0; r < job_.refs.size(); ++r) {
               for (auto& plane : m.refs[r]->sf.phases) {
                 plane.extend_vertical_borders(top, bottom);
               }
               run_sme_rows(m.cf_y, m.refs[r]->sf, job_.cfg->mb_width(),
-                           rows.begin, rows.end, params, m.fields[r].data());
+                           rows.begin, rows.end, params, m.refined[r].data());
             }
           }};
 }
@@ -201,7 +208,7 @@ OpPayload RealBackend::op_rstar(int device) {
               // into the canonical fields (a device-local no-cost step — in
               // a real system this data never leaves the device).
               const auto s_iv = intervals_of(sme_dist_);
-              copy_field_rows(mirrors_[device].fields, job_.fields,
+              copy_field_rows(mirrors_[device].refined, job_.fields,
                               s_iv[device], job_.cfg->mb_width());
             }
             ensure_sf_assembled();
@@ -287,16 +294,31 @@ OpPayload RealBackend::op_xfer(int device, XferPurpose purpose,
                 break;
               }
               case XferPurpose::kMvSme:
-              case XferPurpose::kMvMc:
                 for (const RowInterval& f : frags) {
                   copy_field_rows(job_.fields, m.fields, f,
                                   job_.cfg->mb_width());
                 }
                 break;
+              case XferPurpose::kMvMc:
+                // MC prefetch carries refined vectors; it lands in the
+                // refined buffer so the H2D lane never collides with the
+                // MV_out gather still draining `fields` on the D2H lane.
+                for (const RowInterval& f : frags) {
+                  copy_field_rows(job_.fields, m.refined, f,
+                                  job_.cfg->mb_width());
+                }
+                break;
               case XferPurpose::kMvOut:
-              case XferPurpose::kSmeMvOut:
                 for (const RowInterval& f : frags) {
                   copy_field_rows(m.fields, job_.fields, f,
+                                  job_.cfg->mb_width());
+                }
+                break;
+              case XferPurpose::kSmeMvOut:
+                // Refined vectors live in their own buffer (see
+                // DeviceMirror::refined).
+                for (const RowInterval& f : frags) {
+                  copy_field_rows(m.refined, job_.fields, f,
                                   job_.cfg->mb_width());
                 }
                 break;

@@ -30,7 +30,13 @@ struct DeviceMirror {
 
   PlaneU8 cf_y;                       ///< current-frame luma rows
   std::deque<std::unique_ptr<RefMirror>> refs;  ///< parallel to host RefList
-  std::vector<MotionField> fields;    ///< device-local MV fields, per ref
+  std::vector<MotionField> fields;    ///< raw ME MV fields, per ref
+  /// SME's refined MVs land here rather than overwriting `fields` in
+  /// place: the MV_out gather (copy lane) streams the raw ME vectors to
+  /// the host concurrently with the SME kernel (compute lane), and the
+  /// two are deliberately unordered in the op graph — sharing one buffer
+  /// would be a data race and make the published rows timing-dependent.
+  std::vector<MotionField> refined;
 
   /// Poison byte written into mirrors before each frame so reads of
   /// untransferred data are loud in tests.

@@ -27,8 +27,15 @@ void write_escaped(std::ostream& os, const char* s) {
   }
 }
 
-/// pid 0 is the host/orchestrator; devices map to pid = device + 1.
-int pid_of(const TraceEvent& e) { return e.device + 1; }
+/// pid 0 is the host/orchestrator; devices map to pid = device + 1. Events
+/// carrying a session id (multi-tenant encode-service runs) get a disjoint
+/// pid block per session so one merged export shows every session's view of
+/// the shared devices side by side.
+constexpr int kSessionPidStride = 100;
+int pid_of(const TraceEvent& e) {
+  const int base = e.device + 1;
+  return e.session < 0 ? base : (e.session + 1) * kSessionPidStride + base;
+}
 
 /// Microsecond timestamps at fixed nanosecond resolution. The default
 /// ostream 6-significant-digit float formatting loses absolute precision as
@@ -93,8 +100,9 @@ void TraceSink::write_chrome_trace(std::ostream& os) const {
     for (int p : named_pids) seen |= p == pid;
     if (!seen) {
       named_pids.push_back(pid);
+      const int session = pid >= kSessionPidStride ? pid / kSessionPidStride - 1 : -1;
+      const int device = pid % kSessionPidStride - 1;
       std::string pname = "host";
-      const int device = pid - 1;
       if (device >= 0) {
         pname = "dev" + std::to_string(device);
         if (device < static_cast<int>(device_names_.size()) &&
@@ -102,6 +110,7 @@ void TraceSink::write_chrome_trace(std::ostream& os) const {
           pname += " " + device_names_[device];
         }
       }
+      if (session >= 0) pname = "s" + std::to_string(session) + " " + pname;
       write_metadata(os, pid, -1, "process_name", pname, &first);
       // Sorting by pid keeps the host track on top and devices in order.
       if (!first) os << ",\n";
@@ -131,9 +140,10 @@ void TraceSink::write_chrome_trace(std::ostream& os) const {
          << (e.status == EventStatus::kCancelled ? "grey" : "terrible")
          << "\"";
     }
-    os << ",\"args\":{\"frame\":" << e.frame << ",\"rows\":" << e.rows
-       << ",\"bytes\":" << e.bytes << ",\"kind\":\"" << to_string(e.kind)
-       << "\",\"status\":\"" << to_string(e.status) << "\"}}";
+    os << ",\"args\":{\"frame\":" << e.frame << ",\"session\":" << e.session
+       << ",\"rows\":" << e.rows << ",\"bytes\":" << e.bytes << ",\"kind\":\""
+       << to_string(e.kind) << "\",\"status\":\"" << to_string(e.status)
+       << "\"}}";
   }
   os << "\n]}\n";
 }

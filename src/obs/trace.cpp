@@ -126,6 +126,10 @@ void Tracer::drain(std::vector<TraceEvent>* out) {
 }
 
 std::uint64_t Tracer::dropped() const {
+  // pool_mutex_ also guards writers_ here: acquire_writer may push_back
+  // (reallocating the vector) concurrently with a stats poll, so an
+  // unlocked iteration is a use-after-free waiting to happen.
+  std::lock_guard lock(pool_mutex_);
   std::uint64_t total = 0;
   for (const auto& w : writers_) total += w->ring_.dropped();
   return total;
@@ -140,6 +144,7 @@ void TraceSession::add_host_event(int frame, const char* name, EventKind kind,
   e.frame = frame;
   e.device = -1;
   e.lane = kLaneHost;
+  e.session = session_;
   e.t_start_ms = origin_ms_;
   e.t_end_ms = origin_ms_ + std::max(0.0, dur_ms);
   sink.add_event(e);
@@ -160,6 +165,7 @@ void TraceSession::fold_execution() {
   for (TraceEvent& e : buf_) {
     e.t_start_ms += origin_ms_;
     e.t_end_ms += origin_ms_;
+    e.session = session_;
     span_end = std::max(span_end, e.t_end_ms);
   }
   sink.add_events(buf_);

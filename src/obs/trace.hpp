@@ -56,6 +56,7 @@ struct TraceEvent {
   int device = -1;     ///< owning device; -1 = host orchestration
   int lane = kLaneHost;
   int rows = 0;        ///< MB rows the op covers (0 when not row-shaped)
+  int session = -1;    ///< encode-service session id; -1 = standalone run
   EventKind kind = EventKind::kMark;
   EventStatus status = EventStatus::kOk;
 
@@ -160,7 +161,7 @@ class Tracer {
  private:
   std::atomic<bool> enabled_;
   std::size_t ring_capacity_;
-  std::mutex pool_mutex_;
+  mutable std::mutex pool_mutex_;  // guards writers_ / free_ (incl. dropped())
   std::vector<std::unique_ptr<TraceWriter>> writers_;  // all ever created
   std::vector<TraceWriter*> free_;                     // currently unleased
 };
@@ -204,6 +205,13 @@ class TraceSession {
 
   double origin_ms() const { return origin_ms_; }
 
+  /// Session dimension for multi-tenant runs: when >= 0, every event folded
+  /// into the sink is stamped with this id, and the Chrome export gives each
+  /// (session, device) pair its own process track. Set once, before the
+  /// framework using this session starts encoding.
+  void set_session(int id) { session_ = id; }
+  int session() const { return session_; }
+
   /// Records a host-side orchestration interval of `dur_ms` at the current
   /// origin and advances the origin past it (host phases serialize).
   void add_host_event(int frame, const char* name, EventKind kind,
@@ -216,6 +224,7 @@ class TraceSession {
 
  private:
   double origin_ms_ = 0.0;
+  int session_ = -1;
   std::vector<TraceEvent> buf_;
 };
 

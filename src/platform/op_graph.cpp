@@ -1,6 +1,7 @@
 #include "platform/op_graph.hpp"
 
 #include "common/timer.hpp"
+#include "platform/pool.hpp"
 
 #include <algorithm>
 #include <chrono>
@@ -46,6 +47,18 @@ std::vector<std::vector<int>> build_lanes(const OpGraph& graph,
 
 /// Hangs are only meaningful with a watchdog to end them; fail loudly when
 /// a schedule injects one into an executor that could never detect it.
+/// Lease guard shared by both executors: the whole graph is vetted before
+/// anything runs, so a grant violation can never leave a frame half-executed.
+void validate_lease(const OpGraph& graph, const ExecuteOptions& opts) {
+  if (opts.lease == nullptr) return;
+  FEVES_CHECK_MSG(opts.lease->active(), "execution under an inactive lease");
+  for (const Op& op : graph.ops()) {
+    FEVES_CHECK_MSG(opts.lease->covers(op.device),
+                    "op '" << op.label << "' targets device " << op.device
+                           << " outside the session's device lease");
+  }
+}
+
 void validate_fault_options(const ExecuteOptions& opts, bool real_mode) {
   bool any_hang = false;
   for (const auto& d : opts.faults.dev) any_hang |= d.hang;
@@ -170,6 +183,7 @@ ExecutionResult execute_virtual(const OpGraph& graph,
                                 const ExecuteOptions& opts) {
   topo.validate();
   validate_fault_options(opts, /*real_mode=*/false);
+  validate_lease(graph, opts);
   ExecutionResult result;
   result.times.assign(graph.size(), OpTimes{});
   result.status.assign(graph.size(), OpStatus::kOk);
@@ -252,6 +266,7 @@ ExecutionResult execute_real(const OpGraph& graph,
                              const ExecuteOptions& opts) {
   topo.validate();
   validate_fault_options(opts, /*real_mode=*/true);
+  validate_lease(graph, opts);
   ExecutionResult result;
   result.times.assign(graph.size(), OpTimes{});
   result.status.assign(graph.size(), OpStatus::kOk);

@@ -164,6 +164,12 @@ struct ExecuteOptions {
   obs::Tracer* tracer = nullptr;
   /// Frame number stamped into emitted trace events.
   int trace_frame = 0;
+  /// Pool reservation guard (multi-session encode service): when non-null,
+  /// every op in the graph must run on a device the lease covers — an op
+  /// outside it means a scheduler handed work to another tenant's device,
+  /// and both executors refuse the whole graph up front (FEVES_CHECK)
+  /// rather than run it.
+  const class DeviceLease* lease = nullptr;
 };
 
 /// Discrete-event execution against the devices' cost/link models. Fully

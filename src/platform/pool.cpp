@@ -1,0 +1,81 @@
+#include "platform/pool.hpp"
+
+namespace feves {
+
+DeviceLease& DeviceLease::operator=(DeviceLease&& o) noexcept {
+  if (this != &o) {
+    release();
+    pool_ = o.pool_;
+    mask_ = std::move(o.mask_);
+    o.pool_ = nullptr;
+    o.mask_.clear();
+  }
+  return *this;
+}
+
+void DeviceLease::release() {
+  if (pool_ != nullptr) pool_->release(mask_);
+  pool_ = nullptr;
+  mask_.clear();
+}
+
+DevicePool::DevicePool(int num_devices)
+    : reserved_(static_cast<std::size_t>(num_devices), false) {
+  FEVES_CHECK(num_devices >= 1);
+}
+
+bool DevicePool::all_free_locked(const std::vector<bool>& mask) const {
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] && reserved_[i]) return false;
+  }
+  return true;
+}
+
+DeviceLease DevicePool::reserve(const std::vector<bool>& mask) {
+  FEVES_CHECK(static_cast<int>(mask.size()) == num_devices());
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return all_free_locked(mask); });
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) reserved_[i] = true;
+  }
+  return DeviceLease(this, mask);
+}
+
+std::optional<DeviceLease> DevicePool::try_reserve(
+    const std::vector<bool>& mask) {
+  FEVES_CHECK(static_cast<int>(mask.size()) == num_devices());
+  std::lock_guard lock(mu_);
+  if (!all_free_locked(mask)) return std::nullopt;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) reserved_[i] = true;
+  }
+  return DeviceLease(this, mask);
+}
+
+void DevicePool::release(const std::vector<bool>& mask) {
+  {
+    std::lock_guard lock(mu_);
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      if (!mask[i]) continue;
+      FEVES_CHECK_MSG(reserved_[i], "double release of device " << i);
+      reserved_[i] = false;
+    }
+  }
+  cv_.notify_all();
+}
+
+std::vector<bool> DevicePool::free_mask() const {
+  std::lock_guard lock(mu_);
+  std::vector<bool> free(reserved_.size());
+  for (std::size_t i = 0; i < reserved_.size(); ++i) free[i] = !reserved_[i];
+  return free;
+}
+
+int DevicePool::num_free() const {
+  std::lock_guard lock(mu_);
+  int n = 0;
+  for (bool r : reserved_) n += r ? 0 : 1;
+  return n;
+}
+
+}  // namespace feves

@@ -1,0 +1,99 @@
+// Device-pool reservation: the mechanism under the encode service's fair-
+// share policy. A `DevicePool` tracks which devices of one topology are
+// currently reserved; `DeviceLease` is the RAII grant a session holds while
+// one of its frames executes. The executors accept a lease through
+// `ExecuteOptions` and refuse any op graph that touches a device outside it
+// — so a scheduling bug in a tenant can never run work on another tenant's
+// devices, it fails loudly instead.
+//
+// The pool is mechanism only: it has no notion of fairness, weights or
+// admission. That policy lives in src/service/arbiter.hpp, which owns a
+// DevicePool and decides *which* free devices each session is offered.
+#pragma once
+
+#include "common/check.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace feves {
+
+class DevicePool;
+
+/// RAII reservation of a device subset. Move-only; releases on destruction.
+/// A default-constructed lease is inactive (covers nothing, releases
+/// nothing) so it can be a cheap member/return-value placeholder.
+class DeviceLease {
+ public:
+  DeviceLease() = default;
+  ~DeviceLease() { release(); }
+  DeviceLease(DeviceLease&& o) noexcept
+      : pool_(o.pool_), mask_(std::move(o.mask_)) {
+    o.pool_ = nullptr;
+    o.mask_.clear();
+  }
+  DeviceLease& operator=(DeviceLease&& o) noexcept;
+  DeviceLease(const DeviceLease&) = delete;
+  DeviceLease& operator=(const DeviceLease&) = delete;
+
+  /// Returns the reserved devices to the pool (idempotent).
+  void release();
+
+  bool active() const { return pool_ != nullptr; }
+  const std::vector<bool>& mask() const { return mask_; }
+  bool covers(int device) const {
+    return device >= 0 && device < static_cast<int>(mask_.size()) &&
+           mask_[static_cast<std::size_t>(device)];
+  }
+  int num_devices() const {
+    int n = 0;
+    for (bool b : mask_) n += b ? 1 : 0;
+    return n;
+  }
+
+ private:
+  friend class DevicePool;
+  DeviceLease(DevicePool* pool, std::vector<bool> mask)
+      : pool_(pool), mask_(std::move(mask)) {}
+  DevicePool* pool_ = nullptr;
+  std::vector<bool> mask_;
+};
+
+/// Thread-safe reservation ledger over `num_devices` devices. Reservations
+/// are all-or-nothing: a request either takes every device in its mask or
+/// none of them (no partial grants, no ordering hazards between two waiters
+/// each holding half of the other's request).
+class DevicePool {
+ public:
+  explicit DevicePool(int num_devices);
+
+  // Leases point back at this pool; moving it would strand them.
+  DevicePool(const DevicePool&) = delete;
+  DevicePool& operator=(const DevicePool&) = delete;
+
+  int num_devices() const { return static_cast<int>(reserved_.size()); }
+
+  /// Blocks until every device in `mask` is free, then reserves them.
+  DeviceLease reserve(const std::vector<bool>& mask);
+
+  /// Non-blocking reserve: empty optional when any device in `mask` is
+  /// already held.
+  std::optional<DeviceLease> try_reserve(const std::vector<bool>& mask);
+
+  /// Snapshot of the currently unreserved devices.
+  std::vector<bool> free_mask() const;
+  int num_free() const;
+
+ private:
+  friend class DeviceLease;
+  void release(const std::vector<bool>& mask);
+  bool all_free_locked(const std::vector<bool>& mask) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<bool> reserved_;
+};
+
+}  // namespace feves

@@ -113,6 +113,20 @@ PlatformTopology make_sys_hk() {
   return t;
 }
 
+PlatformTopology make_pool(int num_gpus) {
+  FEVES_CHECK(num_gpus >= 1);
+  PlatformTopology t;
+  t.devices.push_back(preset_cpu_haswell());
+  for (int g = 0; g < num_gpus; ++g) {
+    DeviceSpec k = preset_gpu_kepler();
+    if (g > 0) k.name = "GPU_K#" + std::to_string(g + 1);
+    t.devices.push_back(k);
+  }
+  return t;
+}
+
+PlatformTopology make_pool_big() { return make_pool(23); }
+
 PlatformTopology make_single(const DeviceSpec& dev) {
   PlatformTopology t;
   t.devices = {dev};
@@ -127,6 +141,7 @@ PlatformTopology topology_by_name(const std::string& name) {
   if (name == "SysNF") return make_sys_nf();
   if (name == "SysNFF") return make_sys_nff();
   if (name == "SysHK") return make_sys_hk();
+  if (name == "PoolBig") return make_pool_big();
   FEVES_CHECK_MSG(false, "unknown topology preset: " << name);
   return {};
 }

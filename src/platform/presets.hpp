@@ -28,11 +28,20 @@ PlatformTopology make_sys_nf();   ///< CPU_N + GPU_F
 PlatformTopology make_sys_nff();  ///< CPU_N + 2x GPU_F
 PlatformTopology make_sys_hk();   ///< CPU_H + GPU_K
 
+/// Serving pool for the multi-session encode service: CPU_H plus
+/// `num_gpus` GPU_K cards (think a dense 8+-GPU encode box). A single
+/// session saturates well before it can use this many devices (the
+/// per-accelerator whole-frame RF broadcast and the serial R* block bound
+/// its scaling), which is exactly what makes sharding the pool across
+/// sessions pay — the regime bench/ext_service_throughput measures.
+PlatformTopology make_pool(int num_gpus);
+PlatformTopology make_pool_big();  ///< make_pool(23): the "big" preset
+
 /// Single-device topologies (baseline columns of Fig 6).
 PlatformTopology make_single(const DeviceSpec& dev);
 
 /// Looks up a named preset system: "CPU_N", "CPU_H", "GPU_F", "GPU_K",
-/// "SysNF", "SysNFF", "SysHK". Throws on unknown names.
+/// "SysNF", "SysNFF", "SysHK", "PoolBig". Throws on unknown names.
 PlatformTopology topology_by_name(const std::string& name);
 
 /// Names of all seven configurations in the order Fig 6 plots them.

@@ -441,6 +441,65 @@ Distribution LoadBalancer::balance(const PerfCharacterization& perf,
   return current;
 }
 
+Distribution LoadBalancer::balance_with_probes(
+    const PerfCharacterization& perf, const std::vector<int>& sigma_r_prev,
+    int force_rstar, const std::vector<bool>* active,
+    BalanceStats* stats) const {
+  const int n = topo_.num_devices();
+  const int rows = cfg_.num_mb_rows();
+  count_active(active);
+  const std::vector<bool> known = perf.characterized_mask(active);
+  int n_known = 0;
+  int n_unknown = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!device_active(active, i)) continue;
+    (known[i] ? n_known : n_unknown) += 1;
+  }
+  if (n_unknown == 0) {
+    return balance(perf, sigma_r_prev, force_rstar, active, stats);
+  }
+  // No measured device to balance from, or R* pinned to an unmeasured one:
+  // same answer as the initialization frame.
+  if (n_known == 0 || (force_rstar >= 0 && !known[force_rstar])) {
+    const int rstar = force_rstar >= 0 ? force_rstar
+                                       : select_rstar_device(perf, active);
+    return equidistant(rstar, active);
+  }
+
+  // LP over the characterized subset; R* stays on a measured device.
+  Distribution d = balance(perf, sigma_r_prev, force_rstar, &known, stats);
+
+  // Carve the probe slices from the most-loaded measured devices, row by
+  // row so no single donor is drained. Capped at half the frame across all
+  // newcomers — a grant churning in many devices at once must not starve
+  // the devices whose speed the session actually knows.
+  const int probe =
+      std::min(opts_.probe_rows, std::max(1, rows / (2 * n_unknown)));
+  auto carve = [&](std::vector<int>& mod) {
+    for (int i = 0; i < n; ++i) {
+      if (!device_active(active, i) || known[i]) continue;
+      for (int r = 0; r < probe; ++r) {
+        int donor = -1;
+        for (int j = 0; j < n; ++j) {
+          if (!known[j]) continue;
+          if (donor < 0 || mod[j] > mod[donor]) donor = j;
+        }
+        if (donor < 0 || mod[donor] <= 1) break;
+        --mod[donor];
+        ++mod[i];
+      }
+    }
+  };
+  carve(d.me);
+  carve(d.intp);
+  carve(d.sme);
+  // The carve invalidated the LP's ∆/σ bookkeeping; recompute it from the
+  // final integer distributions over the full active set.
+  finalize_bounds(&d, perf, active);
+  d.check_conservation(rows);
+  return d;
+}
+
 void LoadBalancer::finalize_bounds(Distribution* dist,
                                    const PerfCharacterization& perf,
                                    const std::vector<bool>* active) const {

@@ -45,6 +45,14 @@ struct LoadBalancerOptions {
   /// Objective weight on deferred SF rows (must stay << 1/N so it never
   /// trades against τtot).
   double sigma_epsilon = 1e-5;
+  /// Share-aware balancing for frameworks running over a churning device
+  /// grant (the encode service): when > 0 and the active set mixes
+  /// characterized and never-measured devices, balance_with_probes() keeps
+  /// the LP over the characterized subset and carves this many rows per
+  /// module for each unknown device — one probe frame characterizes it —
+  /// instead of collapsing the whole frame to an equidistant re-init.
+  /// 0 (the default) keeps the single-tenant behaviour.
+  int probe_rows = 0;
 };
 
 class LoadBalancer {
@@ -81,6 +89,18 @@ class LoadBalancer {
                        int force_rstar = -1,
                        const std::vector<bool>* active = nullptr,
                        BalanceStats* stats = nullptr) const;
+
+  /// Share-aware balance for a partially characterized active set (see
+  /// LoadBalancerOptions::probe_rows): LP-balances over the characterized
+  /// active devices, then reassigns `probe_rows` rows of every module from
+  /// the most-loaded characterized devices to each uncharacterized active
+  /// device so it earns a measurement. Falls back to balance() when every
+  /// active device is characterized and to equidistant() when none is.
+  Distribution balance_with_probes(const PerfCharacterization& perf,
+                                   const std::vector<int>& sigma_r_prev,
+                                   int force_rstar,
+                                   const std::vector<bool>* active,
+                                   BalanceStats* stats = nullptr) const;
 
   /// R* device selection: cheapest transfer-in + compute + transfer-out
   /// path, found with Dijkstra over the device graph (Sec. III-B, [9]).

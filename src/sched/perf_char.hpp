@@ -67,6 +67,21 @@ class PerfCharacterization {
     return true;
   }
 
+  /// Subset of `active` whose compute parameters are known — the devices an
+  /// LP can balance over right now. Used by the share-aware probe path: when
+  /// a session's grant churns in a never-seen device, the known devices keep
+  /// carrying an LP-balanced frame while the newcomer gets a probe slice.
+  std::vector<bool> characterized_mask(const std::vector<bool>* active) const {
+    FEVES_CHECK(active == nullptr ||
+                static_cast<int>(active->size()) == num_devices());
+    std::vector<bool> known(static_cast<std::size_t>(num_devices()), false);
+    for (int i = 0; i < num_devices(); ++i) {
+      if (active != nullptr && !(*active)[i]) continue;
+      known[i] = params_[i].compute_known();
+    }
+    return known;
+  }
+
   /// Drops a device's characterization (quarantine eviction): after
   /// re-admission it must be re-characterized from a fresh initialization
   /// frame, not balanced from stale pre-fault measurements.

@@ -1,0 +1,235 @@
+#include "service/encode_service.hpp"
+
+namespace feves {
+
+EncodeService::EncodeService(const PlatformTopology& topo, ServiceOptions opts)
+    : topo_(topo), opts_(opts), arbiter_(topo.num_devices(), opts.arbiter) {
+  topo_.validate();
+}
+
+EncodeService::~EncodeService() {
+  {
+    std::lock_guard lock(mu_);
+    for (auto& s : sessions_) {
+      if (!s->collected) {
+        s->abort.store(true, std::memory_order_relaxed);
+        arbiter_.abort(s->id);
+      }
+    }
+  }
+  for (auto& s : sessions_) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+}
+
+int EncodeService::submit(SessionConfig cfg) {
+  std::lock_guard lock(mu_);
+  const int id = arbiter_.admit(cfg.weight);
+  if (id < 0) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return -1;
+  }
+  if (cfg.fw.trace != nullptr) cfg.fw.trace->set_session(id);
+  auto session = std::make_unique<Session>();
+  session->id = id;
+  session->cfg = std::move(cfg);
+  Session* raw = session.get();
+  sessions_.push_back(std::move(session));
+  raw->thread = std::thread([this, raw] { run_session(raw); });
+  return id;
+}
+
+void EncodeService::abort(int session) {
+  std::lock_guard lock(mu_);
+  for (auto& s : sessions_) {
+    if (s->id == session) {
+      s->abort.store(true, std::memory_order_relaxed);
+      arbiter_.abort(session);
+      return;
+    }
+  }
+  FEVES_CHECK_MSG(false, "abort of unknown session " << session);
+}
+
+SessionResult EncodeService::wait(int session) {
+  Session* s = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& owned : sessions_) {
+      if (owned->id == session) {
+        s = owned.get();
+        break;
+      }
+    }
+    FEVES_CHECK_MSG(s != nullptr, "wait on unknown session " << session);
+    FEVES_CHECK_MSG(!s->collected, "session " << session << " already waited");
+    s->collected = true;
+  }
+  if (s->thread.joinable()) s->thread.join();
+  return std::move(s->result);
+}
+
+std::vector<SessionResult> EncodeService::drain() {
+  std::vector<int> pending;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& s : sessions_) {
+      if (!s->collected) pending.push_back(s->id);
+    }
+  }
+  std::vector<SessionResult> out;
+  out.reserve(pending.size());
+  for (int id : pending) out.push_back(wait(id));
+  return out;
+}
+
+ServiceStats EncodeService::stats() const {
+  ServiceStats out;
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.makespan_ms = arbiter_.makespan_ms();
+  out.device_busy_ms = arbiter_.device_busy_ms();
+  std::lock_guard lock(mu_);
+  out.admitted = static_cast<int>(sessions_.size());
+  int utilized_sessions = 0;
+  for (const auto& s : sessions_) {
+    const SessionStats share = arbiter_.session_stats(s->id);
+    out.total_frames += share.frames;
+    out.sum_session_fps += share.fps();
+    out.total_queue_wait_ms += share.queue_wait_ms;
+    if (share.granted_device_ms > 0) {
+      out.mean_grant_utilization += share.grant_utilization();
+      ++utilized_sessions;
+    }
+  }
+  if (utilized_sessions > 0) out.mean_grant_utilization /= utilized_sessions;
+  if (out.makespan_ms > 0) {
+    out.aggregate_fps = 1000.0 * out.total_frames / out.makespan_ms;
+  }
+  return out;
+}
+
+int EncodeService::used_devices(const Distribution& dist) {
+  const int n = static_cast<int>(dist.me.size());
+  int used = 0;
+  for (int i = 0; i < n; ++i) {
+    if (dist.me[i] + dist.intp[i] + dist.sme[i] > 0 || i == dist.rstar_device) {
+      ++used;
+    }
+  }
+  return used;
+}
+
+void EncodeService::run_session(Session* s) {
+  s->result.id = s->id;
+  try {
+    if (s->cfg.source != nullptr) {
+      run_real(s);
+    } else {
+      run_virtual(s);
+    }
+    s->result.state = s->abort.load(std::memory_order_relaxed)
+                          ? SessionResult::State::kAborted
+                          : SessionResult::State::kCompleted;
+  } catch (const std::exception& e) {
+    s->result.state = SessionResult::State::kFailed;
+    s->result.error = e.what();
+  } catch (...) {
+    s->result.state = SessionResult::State::kFailed;
+    s->result.error = "unknown exception";
+  }
+  arbiter_.retire(s->id);
+  s->result.share = arbiter_.session_stats(s->id);
+}
+
+namespace {
+
+/// True if any device in the session's health mask is still usable.
+bool any_usable(const std::vector<bool>& mask) {
+  for (bool b : mask) {
+    if (b) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void EncodeService::run_virtual(Session* s) {
+  VirtualFramework fw(s->cfg.cfg, topo_, s->cfg.fw, s->cfg.perturbations,
+                      s->cfg.faults);
+  for (int f = 0; f < s->cfg.frames; ++f) {
+    if (s->abort.load(std::memory_order_relaxed)) break;
+    bool encoded = false;
+    while (!encoded) {
+      const std::vector<bool> usable = fw.health().active_mask();
+      auto grant = arbiter_.acquire(s->id, usable);
+      if (!grant.has_value()) return;  // aborted / service shutting down
+      FrameStats stats;
+      try {
+        stats =
+            fw.encode_frame(FrameGrant{&grant->lease.mask(), &grant->lease});
+      } catch (...) {
+        // The grant must flow back even when the frame dies: a leaked
+        // lease would starve every other session.
+        arbiter_.release(s->id, std::move(*grant), 0.0, 0,
+                         /*completed=*/false);
+        // A fault storm can quarantine the whole grant mid-frame. Nothing
+        // was committed, so if the health mask shrank and other devices
+        // remain usable, take a fresh grant and retry this frame on them.
+        if (fw.health().active_mask() != usable &&
+            any_usable(fw.health().active_mask())) {
+          continue;
+        }
+        throw;
+      }
+      arbiter_.release(s->id, std::move(*grant), stats.total_ms,
+                       used_devices(stats.dist));
+      s->result.frames.push_back(std::move(stats));
+      encoded = true;
+    }
+  }
+}
+
+void EncodeService::run_real(Session* s) {
+  CollaborativeEncoder enc(s->cfg.cfg, topo_, s->cfg.fw, s->cfg.tier,
+                           s->cfg.faults);
+  Frame420 frame(s->cfg.cfg.width, s->cfg.cfg.height);
+  for (int f = 0; f < s->cfg.frames; ++f) {
+    if (s->abort.load(std::memory_order_relaxed)) break;
+    if (!s->cfg.source->read_frame(f, frame)) break;
+    if (f == 0) {
+      // Bootstrap I frame: host-side intra path, touches no pool device.
+      s->result.frames.push_back(enc.encode_frame(frame, &s->result.bitstream));
+      continue;
+    }
+    bool encoded = false;
+    while (!encoded) {
+      const std::vector<bool> usable = enc.health().active_mask();
+      auto grant = arbiter_.acquire(s->id, usable);
+      if (!grant.has_value()) return;
+      FrameStats stats;
+      try {
+        stats =
+            enc.encode_frame(frame, &s->result.bitstream,
+                             FrameGrant{&grant->lease.mask(), &grant->lease});
+      } catch (...) {
+        arbiter_.release(s->id, std::move(*grant), 0.0, 0,
+                         /*completed=*/false);
+        // Same whole-grant-quarantined recovery as run_virtual: the frame
+        // never committed any state (bitstream and references update only
+        // on success), so retrying it on the surviving devices keeps the
+        // stream bit-exact.
+        if (enc.health().active_mask() != usable &&
+            any_usable(enc.health().active_mask())) {
+          continue;
+        }
+        throw;
+      }
+      arbiter_.release(s->id, std::move(*grant), stats.total_ms,
+                       used_devices(stats.dist));
+      s->result.frames.push_back(std::move(stats));
+      encoded = true;
+    }
+  }
+}
+
+}  // namespace feves

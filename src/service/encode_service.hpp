@@ -1,0 +1,127 @@
+// Multi-session encode service: N concurrent encode sessions over one
+// shared heterogeneous device pool. Each submitted session runs its own
+// Algorithm-1 loop (VirtualFramework without a video source, the real
+// CollaborativeEncoder with one) on a worker thread; every frame it asks
+// the PoolArbiter for a weighted fair share of the free devices, encodes
+// over that grant — the LP balancing only the granted subset, the executors
+// enforcing the lease — and releases the share with the frame's duration so
+// the arbiter's virtual clocks and fairness accounting advance.
+//
+// The correctness anchor survives multi-tenancy: a session's bitstream and
+// reconstruction are bit-identical to encoding the same sequence alone,
+// whatever the arbiter grants frame to frame (tests/service/service_test).
+#pragma once
+
+#include "core/collaborative_encoder.hpp"
+#include "core/framework.hpp"
+#include "service/arbiter.hpp"
+#include "video/sequence.hpp"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace feves {
+
+/// One encode session: a sequence plus the framework options to run it
+/// with. `source == nullptr` selects virtual mode (the DES framework over
+/// `frames` inter-frames); a source selects real mode (frame 0 is the
+/// bootstrap I frame, encoded host-side without a grant).
+struct SessionConfig {
+  EncoderConfig cfg;
+  FrameworkOptions fw;
+  int frames = 8;
+  double weight = 1.0;  ///< fair-share weight (arbiter)
+  // Virtual-mode inputs:
+  PerturbationSchedule perturbations;
+  FaultSchedule faults;
+  // Real-mode inputs:
+  std::shared_ptr<VideoSource> source;
+  SimdTier tier = SimdTier::kAuto;
+};
+
+struct SessionResult {
+  enum class State { kCompleted, kAborted, kFailed };
+  int id = -1;
+  State state = State::kCompleted;
+  std::string error;               ///< kFailed: what the session threw
+  std::vector<FrameStats> frames;  ///< per encoded inter-frame
+  std::vector<u8> bitstream;       ///< real mode only
+  SessionStats share;              ///< arbiter accounting (virtual times)
+};
+
+/// Service-level aggregate over every session submitted so far.
+struct ServiceStats {
+  int admitted = 0;
+  int rejected = 0;   ///< submissions refused by admission control
+  long total_frames = 0;
+  double makespan_ms = 0.0;      ///< latest session virtual end
+  double aggregate_fps = 0.0;    ///< total_frames / makespan
+  double sum_session_fps = 0.0;  ///< Σ per-session fps
+  double total_queue_wait_ms = 0.0;
+  double mean_grant_utilization = 0.0;
+  std::vector<double> device_busy_ms;
+};
+
+struct ServiceOptions {
+  ArbiterOptions arbiter;
+};
+
+class EncodeService {
+ public:
+  EncodeService(const PlatformTopology& topo, ServiceOptions opts = {});
+  /// Aborts and joins every still-running session.
+  ~EncodeService();
+
+  /// Starts a session on its own worker thread. Returns the session id, or
+  /// -1 when admission control refused it (max_sessions live sessions).
+  /// When `cfg.fw.trace` is set, the TraceSession is stamped with the
+  /// session id (it must outlive the service and not be shared between
+  /// sessions).
+  int submit(SessionConfig cfg);
+
+  /// Requests a session stop before its next frame (and wakes it if it is
+  /// parked in the arbiter). The partial result stays collectable.
+  void abort(int session);
+
+  /// Joins the session and returns its result. Each id collectable once.
+  SessionResult wait(int session);
+
+  /// wait() for every not-yet-collected session, in submission order.
+  std::vector<SessionResult> drain();
+
+  /// Aggregate snapshot (meaningful once sessions finished; callable any
+  /// time). Does not include sessions' own FrameStats — those are in the
+  /// per-session results.
+  ServiceStats stats() const;
+
+  const PlatformTopology& topology() const { return topo_; }
+  const PoolArbiter& arbiter() const { return arbiter_; }
+
+ private:
+  struct Session {
+    int id = -1;
+    SessionConfig cfg;
+    std::thread thread;
+    std::atomic<bool> abort{false};
+    SessionResult result;
+    bool collected = false;
+  };
+
+  void run_session(Session* s);
+  void run_virtual(Session* s);
+  void run_real(Session* s);
+  /// Devices the distribution actually assigned work to.
+  static int used_devices(const Distribution& dist);
+
+  PlatformTopology topo_;
+  ServiceOptions opts_;
+  PoolArbiter arbiter_;
+  mutable std::mutex mu_;  ///< guards sessions_ vector growth / collection
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::atomic<int> rejected_{0};
+};
+
+}  // namespace feves

@@ -1,0 +1,50 @@
+// Regression for a latent global-state hazard: the log threshold used to
+// be a plain static read by every FEVES_LOG call site while set_log_level
+// wrote it — a data race once executor lanes and encode-service session
+// threads log concurrently with a main thread adjusting verbosity. The
+// threshold is atomic now; this test recreates the racing access pattern
+// so TSAN (tests/run_sanitized.sh) fails if the atomic ever regresses to a
+// plain static.
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace feves {
+namespace {
+
+TEST(LogRace, ThresholdReadsRaceLevelChanges) {
+  const LogLevel before = log_level();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Filtered out at every level this test sets — the threshold read
+        // is the point, not the output.
+        FEVES_DEBUG("log_race", "probe " << 1);
+      }
+    });
+  }
+  for (int i = 0; i < 20000; ++i) {
+    set_log_level((i & 1) != 0 ? LogLevel::kError : LogLevel::kWarn);
+  }
+  stop.store(true);
+  for (auto& r : readers) r.join();
+  set_log_level(before);
+  const LogLevel after = log_level();
+  EXPECT_TRUE(after == before);
+}
+
+TEST(LogRace, SetThenGetRoundTrips) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kInfo);
+  EXPECT_TRUE(log_level() == LogLevel::kInfo);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace feves

@@ -12,11 +12,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace feves {
@@ -119,6 +121,48 @@ TEST(Tracer, NullTracerLeaseIsInertAndWritersArePooled) {
   obs::TraceWriter* again = tracer.acquire_writer();
   EXPECT_TRUE(again == first || again != nullptr);
   tracer.release_writer(again);
+}
+
+TEST(Tracer, DroppedRacesWriterPoolGrowth) {
+  // Regression for a latent hazard: dropped() used to iterate writers_
+  // without the pool mutex while acquire_writer could push_back (and
+  // reallocate) the same vector from another thread — a use-after-free
+  // under concurrent sessions polling drop counters. dropped() locks now;
+  // this recreates the racing pattern for TSAN/ASAN.
+  obs::Tracer tracer;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        obs::TraceWriter* w = tracer.acquire_writer();  // may grow the pool
+        w->emit(obs::TraceEvent{});
+        tracer.release_writer(w);
+      }
+    });
+  }
+  std::uint64_t last = 0;
+  for (int i = 0; i < 20000; ++i) last = tracer.dropped();
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  EXPECT_GE(tracer.dropped(), last);
+}
+
+TEST(TraceSession, SessionDimensionStampsFoldedEvents) {
+  obs::TraceSession session;
+  session.set_session(3);
+  session.add_host_event(1, "sched", obs::EventKind::kSched, 1.0);
+  {
+    obs::WriterLease lease(&session.tracer);
+    obs::TraceEvent e;
+    e.device = 0;
+    lease.emit(e);
+  }
+  session.fold_execution();
+  ASSERT_EQ(session.sink.size(), 2u);
+  for (const auto& e : session.sink.events()) {
+    EXPECT_EQ(e.session, 3);
+  }
 }
 
 TEST(TraceSession, HostEventsSerializeOnTheHostLane) {

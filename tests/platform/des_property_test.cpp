@@ -5,6 +5,7 @@
 #include "platform/op_graph.hpp"
 
 #include "common/rng.hpp"
+#include "core/framework.hpp"
 #include "platform/presets.hpp"
 
 #include <gtest/gtest.h>
@@ -119,6 +120,108 @@ TEST_P(DesProperty, RealExecutorHonoursSameOrderingConstraints) {
       EXPECT_GE(res.times[i].start_ms, res.times[d].end_ms - 1e-6);
     }
   }
+}
+
+TEST_P(DesProperty, InducedDeviceSubgraphNeverFinishesLater) {
+  // Pool-partition monotonicity, the DES property under the encode
+  // service's virtual accounting: take any device partition, keep only one
+  // group's ops (cross-group deps dropped, per-lane FIFO order kept), and
+  // every surviving op ends no later than it did in the full contended
+  // run. Removing competing work can only help.
+  const RandomGraph rg = make_random_graph(static_cast<u64>(GetParam()) * 5 + 2);
+  const ExecutionResult full = execute_virtual(rg.graph, rg.topo);
+  const auto& ops = rg.graph.ops();
+
+  Rng rng(static_cast<u64>(GetParam()) * 31 + 7);
+  std::vector<int> group(static_cast<std::size_t>(rg.topo.num_devices()));
+  for (auto& g : group) g = static_cast<int>(rng.uniform_int(0, 1));
+
+  for (int which = 0; which < 2; ++which) {
+    // Induced subgraph of this device group, preserving relative op order
+    // (so per-lane FIFO ranks are unchanged among survivors).
+    OpGraph induced;
+    std::vector<int> remap(static_cast<std::size_t>(rg.graph.size()), -1);
+    std::vector<int> back;
+    for (int i = 0; i < rg.graph.size(); ++i) {
+      if (group[static_cast<std::size_t>(ops[i].device)] != which) continue;
+      Op op;
+      op.device = ops[i].device;
+      op.resource = ops[i].resource;
+      op.virtual_ms = ops[i].virtual_ms;
+      op.label = ops[i].label;
+      for (int d : ops[i].deps) {
+        if (remap[static_cast<std::size_t>(d)] >= 0) {
+          op.deps.push_back(remap[static_cast<std::size_t>(d)]);
+        }
+      }
+      remap[static_cast<std::size_t>(i)] = induced.size();
+      back.push_back(i);
+      induced.add(std::move(op));
+    }
+    if (induced.size() == 0) continue;
+    const ExecutionResult part = execute_virtual(induced, rg.topo);
+    for (int j = 0; j < induced.size(); ++j) {
+      EXPECT_LE(part.times[j].end_ms,
+                full.times[back[static_cast<std::size_t>(j)]].end_ms + 1e-9)
+          << "op " << back[static_cast<std::size_t>(j)]
+          << " finished later without the other group's load";
+    }
+    EXPECT_LE(part.makespan_ms, full.makespan_ms + 1e-9);
+  }
+}
+
+TEST_P(DesProperty, PartitionedPoolMakespansSumAboveFullPool) {
+  // The service-level version of the same property, through the framework:
+  // for any partition of the pool into device groups, running the frame
+  // workload once per group (the balancer confined to that group via
+  // FrameGrant) costs at least as much total virtual time as one run over
+  // the full pool — splitting a pool never creates throughput.
+  Rng rng(static_cast<u64>(GetParam()) * 17 + 5);
+  PlatformTopology topo;
+  topo.devices.push_back(preset_cpu_nehalem());
+  const int accels = 2 + static_cast<int>(rng.uniform_int(0, 2));
+  for (int i = 0; i < accels; ++i) {
+    auto g = preset_gpu_fermi();
+    g.name = "GPU#" + std::to_string(i);
+    topo.devices.push_back(g);
+  }
+  EncoderConfig cfg;
+  cfg.width = 1280;
+  cfg.height = 720;
+  cfg.search_range = 8;
+  cfg.num_ref_frames = 1;
+  const int kFrames = 4;
+
+  auto virtual_total_ms = [&](const std::vector<bool>* devices) {
+    VirtualFramework fw(cfg, topo);
+    double total = 0.0;
+    for (int f = 0; f < kFrames; ++f) {
+      FrameGrant grant;
+      grant.devices = devices;
+      total += fw.encode_frame(grant).total_ms;
+    }
+    return total;
+  };
+
+  const double full_ms = virtual_total_ms(nullptr);
+
+  // Random 2-partition with both sides nonempty.
+  const int n = topo.num_devices();
+  std::vector<bool> side_a(static_cast<std::size_t>(n), false);
+  do {
+    for (int i = 0; i < n; ++i) {
+      side_a[static_cast<std::size_t>(i)] = rng.uniform01() < 0.5;
+    }
+  } while (std::count(side_a.begin(), side_a.end(), true) == 0 ||
+           std::count(side_a.begin(), side_a.end(), true) == n);
+  std::vector<bool> side_b(static_cast<std::size_t>(n), false);
+  for (int i = 0; i < n; ++i) {
+    side_b[static_cast<std::size_t>(i)] = !side_a[static_cast<std::size_t>(i)];
+  }
+
+  const double sum_ms = virtual_total_ms(&side_a) + virtual_total_ms(&side_b);
+  EXPECT_GE(sum_ms, full_ms - 1e-6)
+      << "two pool shares outran the full pool on the same workload";
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomGraphs, DesProperty, ::testing::Range(0, 25));

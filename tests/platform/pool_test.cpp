@@ -1,0 +1,159 @@
+// Device pool + lease mechanics: mutual exclusion of reservations, the
+// blocking/non-blocking acquisition paths, lease RAII, and the executors'
+// lease enforcement (an op graph touching a device outside the session's
+// lease is refused up front — the wall between concurrent sessions).
+#include "platform/pool.hpp"
+
+#include "platform/op_graph.hpp"
+#include "platform/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace feves {
+namespace {
+
+std::vector<bool> mask_of(int n, std::initializer_list<int> devices) {
+  std::vector<bool> m(static_cast<std::size_t>(n), false);
+  for (int d : devices) m[static_cast<std::size_t>(d)] = true;
+  return m;
+}
+
+TEST(DevicePool, TryReserveIsMutuallyExclusive) {
+  DevicePool pool(4);
+  auto first = pool.try_reserve(mask_of(4, {0, 1}));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(pool.num_free(), 2);
+
+  // Overlapping request: all-or-nothing refusal, even though device 2 is
+  // free.
+  EXPECT_FALSE(pool.try_reserve(mask_of(4, {1, 2})).has_value());
+  // Disjoint request: granted.
+  auto second = pool.try_reserve(mask_of(4, {2, 3}));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(pool.num_free(), 0);
+
+  first->release();
+  EXPECT_EQ(pool.num_free(), 2);
+  const auto free = pool.free_mask();
+  EXPECT_TRUE(free[0] && free[1]);
+  EXPECT_FALSE(free[2] || free[3]);
+}
+
+TEST(DevicePool, ReserveBlocksUntilConflictReleased) {
+  DevicePool pool(2);
+  auto held = pool.try_reserve(mask_of(2, {0, 1}));
+  ASSERT_TRUE(held.has_value());
+
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    DeviceLease lease = pool.reserve(mask_of(2, {1}));
+    acquired.store(true);
+    lease.release();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(acquired.load()) << "reserve must block while device 1 held";
+  held->release();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_EQ(pool.num_free(), 2);
+}
+
+TEST(DeviceLease, RaiiReleasesOnDestruction) {
+  DevicePool pool(3);
+  {
+    auto lease = pool.try_reserve(mask_of(3, {0, 2}));
+    ASSERT_TRUE(lease.has_value());
+    EXPECT_TRUE(lease->active());
+    EXPECT_TRUE(lease->covers(0));
+    EXPECT_FALSE(lease->covers(1));
+    EXPECT_EQ(lease->num_devices(), 2);
+    EXPECT_EQ(pool.num_free(), 1);
+  }
+  EXPECT_EQ(pool.num_free(), 3);
+}
+
+TEST(DeviceLease, MoveTransfersOwnershipAndReleaseIsIdempotent) {
+  DevicePool pool(2);
+  auto a = pool.try_reserve(mask_of(2, {0}));
+  ASSERT_TRUE(a.has_value());
+  DeviceLease b = std::move(*a);
+  EXPECT_FALSE(a->active());
+  EXPECT_TRUE(b.active());
+  EXPECT_EQ(pool.num_free(), 1);
+  b.release();
+  b.release();  // second release: no-op, no double-free check fired
+  EXPECT_FALSE(b.active());
+  EXPECT_EQ(pool.num_free(), 2);
+}
+
+// ---- Executor lease enforcement -------------------------------------------
+
+PlatformTopology three_device_topo() {
+  PlatformTopology t;
+  t.devices.push_back(preset_cpu_nehalem());
+  t.devices.push_back(preset_gpu_fermi());
+  auto g = preset_gpu_fermi();
+  g.name = "GPU#1";
+  t.devices.push_back(g);
+  return t;
+}
+
+OpGraph two_device_graph() {
+  OpGraph g;
+  Op a;
+  a.device = 0;
+  a.virtual_ms = 1.0;
+  a.label = "host";
+  g.add(std::move(a));
+  Op b;
+  b.device = 2;
+  b.virtual_ms = 1.0;
+  b.deps = {0};
+  b.label = "gpu1";
+  g.add(std::move(b));
+  return g;
+}
+
+TEST(OpGraphLease, ExecutorsRejectOpsOutsideTheLease) {
+  const PlatformTopology topo = three_device_topo();
+  const OpGraph graph = two_device_graph();
+  DevicePool pool(3);
+  auto lease = pool.try_reserve(mask_of(3, {0, 1}));  // device 2 NOT covered
+  ASSERT_TRUE(lease.has_value());
+
+  ExecuteOptions opts;
+  opts.lease = &*lease;
+  EXPECT_THROW(execute_virtual(graph, topo, opts), Error);
+  EXPECT_THROW(execute_real(graph, topo, opts), Error);
+}
+
+TEST(OpGraphLease, CoveringLeasePassesAndReleasedLeaseFails) {
+  const PlatformTopology topo = three_device_topo();
+  const OpGraph graph = two_device_graph();
+  DevicePool pool(3);
+  auto lease = pool.try_reserve(mask_of(3, {0, 2}));
+  ASSERT_TRUE(lease.has_value());
+
+  ExecuteOptions opts;
+  opts.lease = &*lease;
+  const ExecutionResult res = execute_virtual(graph, topo, opts);
+  EXPECT_GT(res.makespan_ms, 0.0);
+
+  lease->release();
+  EXPECT_THROW(execute_virtual(graph, topo, opts), Error)
+      << "a released lease must not authorize execution";
+}
+
+TEST(OpGraphLease, NullLeaseMeansSingleTenantFullAccess) {
+  const PlatformTopology topo = three_device_topo();
+  const OpGraph graph = two_device_graph();
+  const ExecutionResult res = execute_virtual(graph, topo);
+  EXPECT_GT(res.makespan_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace feves

@@ -20,7 +20,8 @@ cmake -B "$BUILD" -S "$ROOT" \
   -DFEVES_SANITIZE="$SAN" \
   -DFEVES_BUILD_BENCH=OFF \
   -DFEVES_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD" -j "$(nproc)" --target test_platform test_common test_core
+cmake --build "$BUILD" -j "$(nproc)" \
+  --target test_platform test_common test_core test_service test_obs
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
@@ -28,8 +29,13 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 
 # Executors + fault machinery, the thread pool, and the end-to-end recovery
 # loops (real mode spawns one thread per lane every attempt).
-"$BUILD/tests/test_platform" --gtest_filter='*Executor*:*Fault*:*Schedule*:OpGraph.*'
-"$BUILD/tests/test_common" --gtest_filter='ThreadPool*'
+"$BUILD/tests/test_platform" --gtest_filter='*Executor*:*Fault*:*Schedule*:OpGraph.*:DevicePool.*:DeviceLease.*'
+"$BUILD/tests/test_common" --gtest_filter='ThreadPool*:LogRace*'
 "$BUILD/tests/test_core" --gtest_filter='FaultRecovery*:DeviceHealthMonitor.*'
+
+# Multi-session encode service: session churn / abort races under the
+# arbiter, plus the tracer writer-pool race regression.
+"$BUILD/tests/test_service" --gtest_filter='ServiceStress*'
+"$BUILD/tests/test_obs" --gtest_filter='Tracer.*'
 
 echo "run_sanitized.sh: all $SAN-sanitized tests passed"

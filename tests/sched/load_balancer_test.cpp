@@ -271,5 +271,72 @@ TEST_P(BalanceRandomized, ConservationAndSanity) {
 INSTANTIATE_TEST_SUITE_P(RandomSpeeds, BalanceRandomized,
                          ::testing::Range(0, 30));
 
+// ---- Share-aware probe balancing (multi-session grant churn) --------------
+
+TEST(BalanceWithProbes, UncharacterizedNewcomersGetProbeSlices) {
+  // A session's grant churned in device 3, never measured by this session:
+  // the LP must still balance the characterized devices while the newcomer
+  // receives a small probe slice of every module so it earns parameters.
+  const auto cfg = hd_config();
+  auto topo = topology_by_name("SysNFF");
+  auto extra = topo.devices.back();
+  extra.name = "GPU_NEW";
+  topo.devices.push_back(extra);
+
+  LoadBalancerOptions opts;
+  opts.probe_rows = 2;
+  LoadBalancer lb(cfg, topo, opts);
+
+  // Seed only the first three devices; device 3 stays unknown.
+  const auto seeded3 = seeded_perf(cfg, topology_by_name("SysNFF"));
+  PerfCharacterization perf(4);
+  for (int i = 0; i < 3; ++i) perf.seed(i, seeded3.params(i));
+
+  const std::vector<bool> active(4, true);
+  std::vector<int> zeros(4, 0);
+  const auto d = lb.balance_with_probes(perf, zeros, -1, &active);
+  d.check_conservation(68);
+  EXPECT_GT(d.me[3], 0) << "newcomer must get an ME probe";
+  EXPECT_LE(d.me[3], opts.probe_rows);
+  EXPECT_GT(d.intp[3], 0) << "newcomer must get an INT probe";
+  EXPECT_GT(d.sme[3], 0) << "newcomer must get an SME probe";
+  // The characterized devices still carry nearly everything.
+  EXPECT_GT(d.me[1] + d.me[2], 40);
+}
+
+TEST(BalanceWithProbes, FullyCharacterizedFallsBackToPlainBalance) {
+  const auto cfg = hd_config();
+  const auto topo = topology_by_name("SysNFF");
+  LoadBalancerOptions opts;
+  opts.probe_rows = 2;
+  LoadBalancer lb(cfg, topo, opts);
+  const auto perf = seeded_perf(cfg, topo);
+  std::vector<int> zeros(3, 0);
+  const std::vector<bool> active(3, true);
+  const auto probed = lb.balance_with_probes(perf, zeros, -1, &active);
+  const auto plain = lb.balance(perf, zeros, -1, &active);
+  EXPECT_EQ(probed.me, plain.me);
+  EXPECT_EQ(probed.intp, plain.intp);
+  EXPECT_EQ(probed.sme, plain.sme);
+  EXPECT_EQ(probed.rstar_device, plain.rstar_device);
+}
+
+TEST(BalanceWithProbes, NothingCharacterizedFallsBackToEquidistant) {
+  const auto cfg = hd_config();
+  const auto topo = topology_by_name("SysNFF");
+  LoadBalancerOptions opts;
+  opts.probe_rows = 2;
+  LoadBalancer lb(cfg, topo, opts);
+  PerfCharacterization perf(3);  // nobody measured yet
+  std::vector<int> zeros(3, 0);
+  const std::vector<bool> active(3, true);
+  const auto d = lb.balance_with_probes(perf, zeros, -1, &active);
+  d.check_conservation(68);
+  // Equidistant shape: every active device within one row of 68/3.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(d.me[i], 68.0 / 3.0, 1.0) << "device " << i;
+  }
+}
+
 }  // namespace
 }  // namespace feves

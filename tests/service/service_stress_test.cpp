@@ -1,0 +1,208 @@
+// Concurrency stress for the encode service: randomized session churn —
+// joins, finishes, and aborts landing mid-stream — with fault injection
+// mixed in, sized to run under TSAN (tests/run_sanitized.sh wires the
+// ServiceStress* filter into `ctest -L sanitize`). These tests assert
+// liveness and accounting consistency, not throughput: every submitted
+// session must come back as exactly one of completed/aborted/failed, and
+// the arbiter's books must balance.
+#include "service/encode_service.hpp"
+
+#include "common/rng.hpp"
+#include "platform/presets.hpp"
+#include "video/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+namespace feves {
+namespace {
+
+EncoderConfig small_config() {
+  EncoderConfig cfg;
+  cfg.width = 96;
+  cfg.height = 64;
+  cfg.search_range = 8;
+  cfg.num_ref_frames = 2;
+  return cfg;
+}
+
+/// Mid-size virtual config: enough rows that frames take long enough for
+/// aborts to land mid-stream, cheap enough for sanitizer runs.
+EncoderConfig virtual_config() {
+  EncoderConfig cfg;
+  cfg.width = 1280;
+  cfg.height = 720;
+  cfg.search_range = 8;
+  cfg.num_ref_frames = 1;
+  return cfg;
+}
+
+PlatformTopology test_topo(int accels) {
+  PlatformTopology t;
+  t.devices.push_back(preset_cpu_nehalem());
+  for (int i = 0; i < accels; ++i) {
+    auto g = preset_gpu_fermi();
+    g.name = "GPU#" + std::to_string(i);
+    t.devices.push_back(g);
+  }
+  return t;
+}
+
+TEST(ServiceStress, RandomChurnWithFaultsAndAborts) {
+  // Three waves of virtual sessions joining a shared pool; roughly a third
+  // get aborted at a random point, some carry transient fault schedules.
+  // Every session must resolve, and aborted ones must not run to the end.
+  const PlatformTopology topo = test_topo(3);
+  Rng rng(2024);
+  EncodeService svc(topo);
+  std::vector<int> ids;
+  std::vector<int> requested;
+  std::vector<bool> abort_plan;
+
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int k = 0; k < 4; ++k) {
+      SessionConfig sc;
+      sc.cfg = virtual_config();
+      sc.frames = 4 + static_cast<int>(rng.uniform_int(0, 8));
+      sc.weight = rng.uniform01() < 0.5 ? 1.0 : 2.0;
+      if (rng.uniform01() < 0.4) {
+        sc.faults.add({/*device=*/1 + static_cast<int>(rng.uniform_int(0, 2)),
+                       /*frame_begin=*/1, /*frame_end=*/2,
+                       FaultKind::kKernelTransient});
+      }
+      const int id = svc.submit(sc);
+      ASSERT_GE(id, 0);
+      ids.push_back(id);
+      requested.push_back(sc.frames);
+      abort_plan.push_back(rng.uniform01() < 0.3);
+    }
+    // Stagger the waves so later sessions join a half-drained pool.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    for (std::size_t i = ids.size() - 4; i < ids.size(); ++i) {
+      if (abort_plan[i]) svc.abort(ids[i]);
+    }
+  }
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    SessionResult r = svc.wait(ids[i]);
+    EXPECT_TRUE(r.state == SessionResult::State::kCompleted ||
+                r.state == SessionResult::State::kAborted)
+        << "session " << ids[i] << ": " << r.error;
+    EXPECT_LE(static_cast<int>(r.frames.size()), requested[i]);
+    if (r.state == SessionResult::State::kCompleted && !abort_plan[i]) {
+      EXPECT_EQ(static_cast<int>(r.frames.size()), requested[i]);
+    }
+    EXPECT_EQ(r.share.frames, static_cast<int>(r.frames.size()))
+        << "arbiter accounting must match the session's own frame count";
+  }
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.admitted, static_cast<int>(ids.size()));
+  EXPECT_LE(stats.mean_grant_utilization, 1.0 + 1e-9);
+  EXPECT_EQ(svc.arbiter().live_sessions(), 0);
+}
+
+TEST(ServiceStress, ConcurrentSubmittersAndAborters) {
+  // Submit/wait from four driver threads while the main thread fires
+  // aborts at whatever is currently running: exercises the service's own
+  // session-table locking, not just the arbiter's.
+  const PlatformTopology topo = test_topo(2);
+  EncodeService svc(topo);
+  std::atomic<int> completed{0};
+  std::atomic<int> aborted{0};
+  std::vector<std::thread> drivers;
+  std::mutex ids_mu;
+  std::vector<int> live_ids;
+
+  for (int t = 0; t < 4; ++t) {
+    drivers.emplace_back([&, t] {
+      Rng rng(static_cast<u64>(7 * t + 1));
+      for (int round = 0; round < 3; ++round) {
+        SessionConfig sc;
+        sc.cfg = virtual_config();
+        sc.frames = 3 + static_cast<int>(rng.uniform_int(0, 4));
+        const int id = svc.submit(sc);
+        ASSERT_GE(id, 0);
+        {
+          std::lock_guard lock(ids_mu);
+          live_ids.push_back(id);
+        }
+        SessionResult r = svc.wait(id);
+        ASSERT_TRUE(r.state == SessionResult::State::kCompleted ||
+                    r.state == SessionResult::State::kAborted)
+            << r.error;
+        (r.state == SessionResult::State::kCompleted ? completed : aborted)
+            .fetch_add(1);
+      }
+    });
+  }
+  Rng rng(4242);
+  for (int shot = 0; shot < 6; ++shot) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard lock(ids_mu);
+    if (!live_ids.empty()) {
+      const auto pick = rng.uniform_int(0, live_ids.size() - 1);
+      svc.abort(live_ids[static_cast<std::size_t>(pick)]);  // may be done: ok
+    }
+  }
+  for (auto& d : drivers) d.join();
+  EXPECT_EQ(completed.load() + aborted.load(), 12);
+  EXPECT_EQ(svc.arbiter().live_sessions(), 0);
+}
+
+TEST(ServiceStress, RealModeChurn) {
+  // Real-backend churn: actual pixel work on executor lane threads, one
+  // session aborted mid-stream. Small frames keep this sanitizer-friendly.
+  const PlatformTopology topo = test_topo(2);
+  const EncoderConfig cfg = small_config();
+  EncodeService svc(topo);
+  std::vector<int> ids;
+  for (int s = 0; s < 3; ++s) {
+    SyntheticConfig sconf;
+    sconf.width = cfg.width;
+    sconf.height = cfg.height;
+    sconf.frames = 6;
+    sconf.seed = 11 + static_cast<u64>(s);
+    SessionConfig sc;
+    sc.cfg = cfg;
+    sc.frames = 6;
+    sc.source = std::make_shared<SyntheticSequence>(sconf);
+    const int id = svc.submit(sc);
+    ASSERT_GE(id, 0);
+    ids.push_back(id);
+  }
+  while (svc.arbiter().session_stats(ids[0]).frames < 1) {
+    std::this_thread::yield();
+  }
+  svc.abort(ids[0]);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    SessionResult r = svc.wait(ids[i]);
+    EXPECT_TRUE(r.state == SessionResult::State::kCompleted ||
+                r.state == SessionResult::State::kAborted)
+        << r.error;
+    if (i > 0) {
+      EXPECT_EQ(r.state, SessionResult::State::kCompleted) << r.error;
+      EXPECT_EQ(static_cast<int>(r.frames.size()), 6);
+      EXPECT_FALSE(r.bitstream.empty());
+    }
+  }
+}
+
+TEST(ServiceStress, DestructorAbortsUncollectedSessions) {
+  // Dropping the service with sessions in flight must abort and join them
+  // without deadlock or leaked leases (TSAN/ASAN verify the rest).
+  const PlatformTopology topo = test_topo(2);
+  auto svc = std::make_unique<EncodeService>(topo);
+  SessionConfig sc;
+  sc.cfg = virtual_config();
+  sc.frames = 200;
+  ASSERT_GE(svc->submit(sc), 0);
+  ASSERT_GE(svc->submit(sc), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  svc.reset();  // abort + join inside ~EncodeService
+}
+
+}  // namespace
+}  // namespace feves

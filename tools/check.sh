@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
 # One-stop pre-merge check: configure + build, the full plain test suite,
 # then one sanitizer sweep (tests/run_sanitized.sh via its ctest label).
+# With --service, also re-runs the encode-service battery on its own and
+# the multi-session throughput sweep (1/2/4/8 sessions, adaptive vs
+# equidistant) — the bench exits nonzero if a shape check fails.
 #
-# Usage: tools/check.sh [address|thread|undefined]   (default: thread)
+# Usage: tools/check.sh [address|thread|undefined] [--service]
 set -euo pipefail
 
-SAN="${1:-thread}"
-case "$SAN" in
-  address|thread|undefined) ;;
-  *) echo "usage: $0 [address|thread|undefined]" >&2; exit 2 ;;
-esac
+SAN="thread"
+SERVICE=0
+for arg in "$@"; do
+  case "$arg" in
+    address|thread|undefined) SAN="$arg" ;;
+    --service) SERVICE=1 ;;
+    *) echo "usage: $0 [address|thread|undefined] [--service]" >&2; exit 2 ;;
+  esac
+done
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build"
@@ -19,6 +26,12 @@ cmake --build "$BUILD" -j "$(nproc)"
 
 # Plain suite first (everything except the nested sanitizer builds).
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -LE sanitize
+
+if [ "$SERVICE" -eq 1 ]; then
+  # The service battery by label, then the throughput scaling sweep.
+  ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -L service
+  "$BUILD/bench/ext_service_throughput"
+fi
 
 # One sanitizer flavour; run all three with `ctest -L sanitize`.
 ctest --test-dir "$BUILD" --output-on-failure -L sanitize -R "sanitize.$SAN"
