@@ -7,10 +7,71 @@
 #include "platform/presets.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace feves::bench {
+
+/// Common bench CLI: `--smoke` shrinks the workload to a CI-friendly size
+/// (same code paths, fewer frames/reps), `--json <path>` additionally dumps
+/// the measured numbers as a flat JSON object (uploaded as a CI artifact —
+/// numbers to look at over time, not thresholds to gate on).
+struct BenchArgs {
+  bool smoke = false;
+  std::string json_path;
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Minimal flat JSON emitter for bench artifacts (numbers and strings only;
+/// insertion order preserved).
+class JsonReport {
+ public:
+  void add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + value + "\"");
+  }
+
+  /// Writes `{...}` to `path`; returns false (with a message) on IO error.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{");
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(f, "%s\n  \"%s\": %s", i == 0 ? "" : ",",
+                   fields_[i].first.c_str(), fields_[i].second.c_str());
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 /// The paper's encoding setup: full-HD frames (coded as 1920x1088), FSBM
 /// with the requested search-area edge (paper quotes SA = 2 * range), QP

@@ -26,6 +26,12 @@ using namespace feves::bench;
 
 enum class Mode { kNoSession, kDisabled, kEnabled };
 
+// Workload sizes; shrunk by --smoke (same code paths, CI-friendly runtime).
+int g_real_frames = 9;
+int g_virtual_frames = 40;
+int g_real_reps = 5;
+int g_virtual_reps = 9;
+
 FrameworkOptions mode_options(Mode mode, obs::TraceSession* session) {
   FrameworkOptions opts;
   session->tracer.set_enabled(mode == Mode::kEnabled);
@@ -45,7 +51,7 @@ double real_encode_ms(Mode mode, std::size_t* events) {
   SyntheticConfig scene;
   scene.width = cfg.width;
   scene.height = cfg.height;
-  scene.frames = 9;
+  scene.frames = g_real_frames;
   scene.kind = SceneKind::kRollingObjects;
   SyntheticSequence source(scene);
 
@@ -70,7 +76,7 @@ double virtual_encode_ms(Mode mode, std::size_t* events) {
   VirtualFramework fw(paper_config(32, 2), topology_by_name("SysNFF"),
                       mode_options(mode, &session));
   Timer t;
-  fw.encode(40);
+  fw.encode(g_virtual_frames);
   const double ms = t.elapsed_ms();
   if (events != nullptr) *events = session.sink.size();
   return ms;
@@ -85,17 +91,24 @@ double best_of(int reps, F&& run, Mode mode, std::size_t* events = nullptr) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  if (args.smoke) {
+    g_real_frames = 5;
+    g_virtual_frames = 12;
+    g_real_reps = 2;
+    g_virtual_reps = 3;
+  }
   print_header("Tracing overhead (real-mode encode wall time)",
-               "contract: enabled < 2%, disabled ~ 0% (SysNFF, CIF, 9 "
-               "frames, best of 5)");
+               "contract: enabled < 2%, disabled ~ 0% (SysNFF, CIF)");
 
   real_encode_ms(Mode::kNoSession, nullptr);  // warm-up
 
-  const double base = best_of(5, real_encode_ms, Mode::kNoSession);
-  const double off = best_of(5, real_encode_ms, Mode::kDisabled);
+  const double base = best_of(g_real_reps, real_encode_ms, Mode::kNoSession);
+  const double off = best_of(g_real_reps, real_encode_ms, Mode::kDisabled);
   std::size_t events = 0;
-  const double on = best_of(5, real_encode_ms, Mode::kEnabled, &events);
+  const double on =
+      best_of(g_real_reps, real_encode_ms, Mode::kEnabled, &events);
   const double off_pct = 100.0 * (off - base) / base;
   const double on_pct = 100.0 * (on - base) / base;
 
@@ -113,13 +126,29 @@ int main() {
   print_header("Raw emission cost (virtual framework, DES in microseconds)",
                "absolute cost per traced event; the DES loop is too fast "
                "for a % contract");
-  const double vbase = best_of(9, virtual_encode_ms, Mode::kNoSession);
+  const double vbase =
+      best_of(g_virtual_reps, virtual_encode_ms, Mode::kNoSession);
   std::size_t vevents = 0;
-  const double von = best_of(9, virtual_encode_ms, Mode::kEnabled, &vevents);
-  std::printf("40 virtual frames: %.2f ms untraced, %.2f ms traced, "
+  const double von =
+      best_of(g_virtual_reps, virtual_encode_ms, Mode::kEnabled, &vevents);
+  const double ns_per_event =
+      vevents > 0 ? 1e6 * (von - vbase) / static_cast<double>(vevents) : 0.0;
+  std::printf("%d virtual frames: %.2f ms untraced, %.2f ms traced, "
               "%zu events => %.0f ns/event\n",
-              vbase, von, vevents,
-              vevents > 0 ? 1e6 * (von - vbase) / static_cast<double>(vevents)
-                          : 0.0);
+              g_virtual_frames, vbase, von, vevents, ns_per_event);
+
+  if (!args.json_path.empty()) {
+    JsonReport report;
+    report.add("bench", "ext_trace_overhead");
+    report.add("real_frames", g_real_frames);
+    report.add("real_base_ms", base);
+    report.add("real_disabled_ms", off);
+    report.add("real_enabled_ms", on);
+    report.add("real_disabled_overhead_pct", off_pct);
+    report.add("real_enabled_overhead_pct", on_pct);
+    report.add("virtual_frames", g_virtual_frames);
+    report.add("virtual_ns_per_event", ns_per_event);
+    if (!report.write(args.json_path)) return 1;
+  }
   return 0;
 }

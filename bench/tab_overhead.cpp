@@ -8,20 +8,29 @@
 
 #include <algorithm>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace feves;
   using namespace feves::bench;
+  const BenchArgs args = parse_bench_args(argc, argv);
 
   print_header("Scheduling overhead per inter-frame (measured wall time)",
                "paper: < 2 ms on average, far below any single module");
 
+  const int frames = args.smoke ? 8 : 30;
+  const std::vector<const char*> systems =
+      args.smoke ? std::vector<const char*>{"SysNFF"}
+                 : std::vector<const char*>{"SysNF", "SysNFF", "SysHK"};
+
+  JsonReport report;
+  report.add("bench", "tab_overhead");
+  report.add("frames", frames);
   std::printf("%-8s  %-5s  %-12s  %-12s  %-12s\n", "system", "RFs",
               "avg [ms]", "max [ms]", "frame [ms]");
   bool all_ok = true;
-  for (const char* sys : {"SysNF", "SysNFF", "SysHK"}) {
+  for (const char* sys : systems) {
     for (int refs : {1, 4}) {
       VirtualFramework fw(paper_config(32, refs), topology_by_name(sys));
-      const auto stats = fw.encode(30);
+      const auto stats = fw.encode(frames);
       double total = 0, worst = 0, frame_ms = 0;
       for (const auto& s : stats) {
         total += s.scheduling_ms;
@@ -31,10 +40,14 @@ int main() {
       const double avg = total / static_cast<double>(stats.size());
       std::printf("%-8s  %-5d  %-12.4f  %-12.4f  %-12.1f\n", sys, refs, avg,
                   worst, frame_ms);
+      const std::string key = std::string(sys) + "_rf" + std::to_string(refs);
+      report.add(key + "_avg_ms", avg);
+      report.add(key + "_max_ms", worst);
       all_ok = all_ok && avg < 2.0;
     }
   }
   std::printf("\nShape check vs paper: average overhead < 2 ms: %s\n",
               all_ok ? "PASS" : "FAIL");
+  if (!args.json_path.empty() && !report.write(args.json_path)) return 1;
   return 0;
 }

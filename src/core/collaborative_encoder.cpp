@@ -3,6 +3,9 @@
 #include "codec/bitstream.hpp"
 #include "common/timer.hpp"
 
+#include <algorithm>
+#include <future>
+
 namespace feves {
 
 CollaborativeEncoder::CollaborativeEncoder(const EncoderConfig& cfg,
@@ -20,7 +23,8 @@ CollaborativeEncoder::CollaborativeEncoder(const EncoderConfig& cfg,
       health_(topo.num_devices(), opts.health),
       refs_(cfg.num_ref_frames),
       mirrors_(static_cast<std::size_t>(topo.num_devices())),
-      mirror_stale_(static_cast<std::size_t>(topo.num_devices()), false) {
+      mirror_stale_(static_cast<std::size_t>(topo.num_devices()), false),
+      staged_(static_cast<std::size_t>(topo.num_devices())) {
   cfg_.validate();
   topo_.validate();
   rf_holder_ = topo_.cpu_index() >= 0 ? topo_.cpu_index() : 0;
@@ -88,59 +92,56 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
         job.prepare(cfg_, cur, std::move(reborrowed), frame);
       }
 
+      const int rf_holder = active[rf_holder_] ? rf_holder_ : -1;
+
+      // Consume the pipeline slot when its speculation survived; otherwise
+      // (or after a failed attempt) schedule synchronously from fresh state.
       Timer sched_timer;
-      Distribution dist;
-      const std::vector<int> sigma_r_prev = dam_.deferred_rows();
-      const int force_rstar = (opts_.force_rstar_device >= 0 &&
-                               health_.schedulable(opts_.force_rstar_device))
-                                  ? opts_.force_rstar_device
-                                  : -1;
-      auto rstar_of = [&] {
-        return force_rstar >= 0
-                   ? force_rstar
-                   : balancer_.select_rstar_device(perf_, &active);
-      };
-      BalanceStats lb_stats;
-      if (!perf_.initialized(&active)) {
-        if (opts_.policy == SchedulingPolicy::kAdaptiveLp &&
-            opts_.lb.probe_rows > 0) {
-          dist = balancer_.balance_with_probes(perf_, sigma_r_prev,
-                                               force_rstar, &active, &lb_stats);
+      ScheduleDecision sd;
+      bool from_pipeline = false;
+      double overlapped_ms = 0.0;
+      if (slot_.valid && slot_.frame == frame) {
+        if (attempt == 0 &&
+            pipeline_slot_matches(slot_, frame, active, rf_holder,
+                                  active_refs, perf_,
+                                  opts_.lb.convergence_epsilon)) {
+          sd = std::move(slot_.sched);
+          dam_ = std::move(*slot_.dam);
+          overlapped_ms = slot_.cost_ms;
+          from_pipeline = true;
         } else {
-          dist = balancer_.equidistant(rstar_of(), &active);
-        }
-      } else {
-        switch (opts_.policy) {
-          case SchedulingPolicy::kAdaptiveLp:
-            dist = balancer_.balance(perf_, sigma_r_prev, force_rstar,
-                                     &active, &lb_stats);
-            break;
-          case SchedulingPolicy::kProportional:
-            dist = balancer_.proportional(perf_, sigma_r_prev, force_rstar,
-                                          &active);
-            break;
-          case SchedulingPolicy::kEquidistant:
-            dist = balancer_.equidistant(rstar_of(), &active);
-            break;
+          ++stats.telemetry.pipeline_misses;
         }
       }
-      const int rf_holder = active[rf_holder_] ? rf_holder_ : -1;
-      const std::vector<TransferPlan> plans =
-          dam_.plan_frame(dist, rf_holder, active_refs, &active);
+      slot_.valid = false;
+      if (!from_pipeline) {
+        sd = compute_schedule(opts_, balancer_, perf_, health_, dam_, active,
+                              rf_holder, active_refs);
+      }
+      const Distribution& dist = sd.dist;
       const double sched_ms = sched_timer.elapsed_ms();
       stats.scheduling_ms += sched_ms;
-      stats.telemetry.lp_solves += lb_stats.lp_solves;
-      stats.telemetry.lp_iterations += lb_stats.lp_iterations;
-      stats.telemetry.lp_fallbacks += lb_stats.lp_fallbacks;
-      stats.telemetry.lp_solve_ms += lb_stats.lp_solve_ms;
-      stats.telemetry.delta_iterations += lb_stats.delta_iterations;
-      if (trace != nullptr) {
-        if (lb_stats.lp_solves > 0) {
+      stats.telemetry.sched_critical_ms += sched_ms;
+      stats.telemetry.lp_solves += sd.lb.lp_solves;
+      stats.telemetry.lp_iterations += sd.lb.lp_iterations;
+      stats.telemetry.lp_fallbacks += sd.lb.lp_fallbacks;
+      stats.telemetry.lp_warm_solves += sd.lb.lp_warm_solves;
+      stats.telemetry.lp_skipped += sd.lb.lp_skipped;
+      stats.telemetry.lp_solve_ms += sd.lb.lp_solve_ms;
+      stats.telemetry.delta_iterations += sd.lb.delta_iterations;
+      if (from_pipeline) {
+        ++stats.telemetry.pipeline_hits;
+        stats.telemetry.sched_overlapped_ms += overlapped_ms;
+      }
+      if (trace != nullptr && !from_pipeline) {
+        // A consumed slot was traced on the pipeline lane at precompute
+        // time; only synchronous scheduling lands on the host lane.
+        if (sd.lb.lp_solves > 0) {
           trace->add_host_event(frame, "lp_solve", obs::EventKind::kLpSolve,
-                                lb_stats.lp_solve_ms);
+                                sd.lb.lp_solve_ms);
         }
         trace->add_host_event(frame, "sched", obs::EventKind::kSched,
-                              std::max(0.0, sched_ms - lb_stats.lp_solve_ms));
+                              std::max(0.0, sched_ms - sd.lb.lp_solve_ms));
       }
 
       for (int i = 0; i < topo_.num_devices(); ++i) {
@@ -155,15 +156,52 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
           mirror_stale_[i] = false;
         } else {
           begin_frame_mirror(mirrors_[i], cfg_, active_refs,
-                             refs_.ref(0).recon.y);
+                             refs_.ref(0).recon.y, &staged_[i]);
         }
       }
 
       RealBackend backend(job, mirrors_, topo_, tier_, dist.sme);
       FrameOpIds ids;
       const OpGraph graph =
-          build_frame_graph(topo_, dist, plans, backend, &ids);
+          build_frame_graph(topo_, dist, sd.plans, backend, &ids);
+
+      // Speculation thread: while this frame executes, solve frame+1's
+      // schedule from the pre-fold characterization, plan its transfers on
+      // a copy of the Data Access state, and prestage the frame-agnostic
+      // mirror buffers. Disjoint state from the execution (the executor
+      // touches job/mirrors/refs; the speculation touches the balancer's
+      // warm cache, a DAM clone and staged_), so no synchronization beyond
+      // the join. std::async's future joins on destruction, keeping
+      // exception unwinds safe.
+      PipelineSlot next;
+      std::future<void> spec;
+      if (opts_.enable_pipeline && perf_.initialized(&active)) {
+        next.frame = frame + 1;
+        next.active_refs = std::min(active_refs + 1, cfg_.num_ref_frames);
+        next.active = active;
+        next.rf_holder = dist.rstar_device;
+        next.params.resize(static_cast<std::size_t>(topo_.num_devices()));
+        for (int i = 0; i < topo_.num_devices(); ++i) {
+          next.params[i] = perf_.params(i);
+        }
+        spec = std::async(std::launch::async, [this, &next, &active] {
+          Timer spec_timer;
+          next.dam.emplace(dam_);
+          next.sched =
+              compute_schedule(opts_, balancer_, perf_, health_, *next.dam,
+                               next.active, next.rf_holder, next.active_refs);
+          for (int i = 0; i < topo_.num_devices(); ++i) {
+            if (topo_.devices[i].is_accelerator() && active[i]) {
+              prestage_mirror(staged_[i], cfg_, next.active_refs);
+            }
+          }
+          next.cost_ms = spec_timer.elapsed_ms();
+          next.valid = true;
+        });
+      }
+
       const ExecutionResult result = execute_real(graph, topo_, exec_opts);
+      if (spec.valid()) spec.get();
       stats.total_ms += result.makespan_ms;
       if (trace != nullptr) trace->fold_execution();
 
@@ -215,6 +253,15 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
       }
       stats.telemetry.measured_tau1_ms = stats.tau1_ms;
       stats.telemetry.measured_tau2_ms = stats.tau2_ms;
+      if (next.valid) {
+        // Publish the speculation only on a clean attempt; a failed one
+        // changes the device set, so its slot would miss anyway.
+        slot_ = std::move(next);
+        if (trace != nullptr) {
+          trace->add_host_event(frame, "sched_ahead", obs::EventKind::kSched,
+                                slot_.cost_ms, obs::kLanePipeline);
+        }
+      }
       break;
     }
     stats.devices_readmitted = static_cast<int>(health_.end_frame().size());

@@ -57,6 +57,11 @@ class CollaborativeEncoder {
   std::vector<bool> mirror_stale_;
   int next_frame_ = 0;
   int rf_holder_ = 0;
+  /// Next frame's speculative schedule, produced on a concurrent
+  /// speculation thread while the current frame executes.
+  PipelineSlot slot_;
+  /// Per-device prestaged mirror buffers (the pipeline's double buffer).
+  std::vector<MirrorStage> staged_;
 };
 
 }  // namespace feves

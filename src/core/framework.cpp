@@ -28,6 +28,74 @@ VirtualFramework::VirtualFramework(const EncoderConfig& cfg,
   rf_holder_ = topo_.cpu_index() >= 0 ? topo_.cpu_index() : 0;
 }
 
+ScheduleDecision compute_schedule(const FrameworkOptions& opts,
+                                  LoadBalancer& balancer,
+                                  const PerfCharacterization& perf,
+                                  const DeviceHealthMonitor& health,
+                                  DataAccessManagement& dam,
+                                  const std::vector<bool>& active,
+                                  int rf_holder, int active_refs) {
+  ScheduleDecision out;
+  const std::vector<int> sigma_r_prev = dam.deferred_rows();
+  // A pinned R* on a quarantined device falls back to automatic selection.
+  const int force_rstar = (opts.force_rstar_device >= 0 &&
+                           health.schedulable(opts.force_rstar_device))
+                              ? opts.force_rstar_device
+                              : -1;
+  auto rstar_of = [&] {
+    return force_rstar >= 0 ? force_rstar
+                            : balancer.select_rstar_device(perf, &active);
+  };
+  if (!perf.initialized(&active)) {
+    // Initialization (Algorithm 1 line 3) — re-entered whenever a
+    // probation device returns with its characterization evicted. Under a
+    // churning grant the share-aware probe path keeps the measured
+    // devices LP-balanced instead of re-initializing the whole frame.
+    if (opts.policy == SchedulingPolicy::kAdaptiveLp &&
+        opts.lb.probe_rows > 0) {
+      out.dist = balancer.balance_with_probes(perf, sigma_r_prev, force_rstar,
+                                              &active, &out.lb);
+    } else {
+      out.dist = balancer.equidistant(rstar_of(), &active);
+    }
+  } else {
+    switch (opts.policy) {
+      case SchedulingPolicy::kAdaptiveLp:
+        out.dist = balancer.balance(perf, sigma_r_prev, force_rstar, &active,
+                                    &out.lb);
+        break;
+      case SchedulingPolicy::kProportional:
+        out.dist = balancer.proportional(perf, sigma_r_prev, force_rstar,
+                                         &active);
+        break;
+      case SchedulingPolicy::kEquidistant:
+        out.dist = balancer.equidistant(rstar_of(), &active);
+        break;
+    }
+  }
+  out.plans = dam.plan_frame(out.dist, rf_holder, active_refs, &active);
+  return out;
+}
+
+bool pipeline_slot_matches(const PipelineSlot& slot, int frame,
+                           const std::vector<bool>& active, int rf_holder,
+                           int active_refs, const PerfCharacterization& perf,
+                           double epsilon) {
+  if (!slot.valid || slot.frame != frame) return false;
+  if (slot.active != active || slot.rf_holder != rf_holder ||
+      slot.active_refs != active_refs) {
+    return false;
+  }
+  if (epsilon <= 0.0) return false;
+  double drift = 0.0;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    if (!active[i]) continue;
+    drift = std::max(
+        drift, relative_drift(slot.params[i], perf.params(static_cast<int>(i))));
+  }
+  return drift < epsilon;
+}
+
 FrameStats VirtualFramework::encode_frame(const FrameGrant& grant) {
   // Committed only on success (bottom of this function) so a caller can
   // re-submit the frame on a fresh grant after a mid-frame fault storm.
@@ -60,67 +128,58 @@ FrameStats VirtualFramework::encode_frame(const FrameGrant& grant) {
     FEVES_CHECK_MSG(health_.num_schedulable() > 0,
                     "frame " << frame << ": every device is quarantined");
     const std::vector<bool> active = granted_active_mask(health_, grant, frame);
-
-    // ---- Load balancing (Algorithm 1 lines 3 / 8) -----------------------
-    Timer sched_timer;
-    Distribution dist;
-    const std::vector<int> sigma_r_prev = dam_.deferred_rows();
-    // A pinned R* on a quarantined device falls back to automatic selection.
-    const int force_rstar = (opts_.force_rstar_device >= 0 &&
-                             health_.schedulable(opts_.force_rstar_device))
-                                ? opts_.force_rstar_device
-                                : -1;
-    auto rstar_of = [&] {
-      return force_rstar >= 0 ? force_rstar
-                              : balancer_.select_rstar_device(perf_, &active);
-    };
-    BalanceStats lb_stats;
-    if (!perf_.initialized(&active)) {
-      // Initialization (Algorithm 1 line 3) — re-entered whenever a
-      // probation device returns with its characterization evicted. Under a
-      // churning grant the share-aware probe path keeps the measured
-      // devices LP-balanced instead of re-initializing the whole frame.
-      if (opts_.policy == SchedulingPolicy::kAdaptiveLp &&
-          opts_.lb.probe_rows > 0) {
-        dist = balancer_.balance_with_probes(perf_, sigma_r_prev, force_rstar,
-                                             &active, &lb_stats);
-      } else {
-        dist = balancer_.equidistant(rstar_of(), &active);
-      }
-    } else {
-      switch (opts_.policy) {
-        case SchedulingPolicy::kAdaptiveLp:
-          dist = balancer_.balance(perf_, sigma_r_prev, force_rstar, &active,
-                                   &lb_stats);
-          break;
-        case SchedulingPolicy::kProportional:
-          dist = balancer_.proportional(perf_, sigma_r_prev, force_rstar,
-                                        &active);
-          break;
-        case SchedulingPolicy::kEquidistant:
-          dist = balancer_.equidistant(rstar_of(), &active);
-          break;
-      }
-    }
     // An RF holder that is quarantined or outside this frame's grant is
     // unreachable: every accelerator re-fetches.
     const int rf_holder = active[rf_holder_] ? rf_holder_ : -1;
-    const std::vector<TransferPlan> plans =
-        dam_.plan_frame(dist, rf_holder, active_refs, &active);
+
+    // ---- Load balancing (Algorithm 1 lines 3 / 8) -----------------------
+    // Consume the pipeline slot when its speculation survived; otherwise
+    // (or after a failed attempt) schedule synchronously from fresh state.
+    Timer sched_timer;
+    ScheduleDecision sd;
+    bool from_pipeline = false;
+    double overlapped_ms = 0.0;
+    if (slot_.valid && slot_.frame == frame) {
+      if (attempt == 0 &&
+          pipeline_slot_matches(slot_, frame, active, rf_holder, active_refs,
+                                perf_, opts_.lb.convergence_epsilon)) {
+        sd = std::move(slot_.sched);
+        dam_ = std::move(*slot_.dam);
+        overlapped_ms = slot_.cost_ms;
+        from_pipeline = true;
+      } else {
+        ++stats.telemetry.pipeline_misses;
+      }
+    }
+    slot_.valid = false;
+    if (!from_pipeline) {
+      sd = compute_schedule(opts_, balancer_, perf_, health_, dam_, active,
+                            rf_holder, active_refs);
+    }
+    const Distribution& dist = sd.dist;
     const double sched_ms = sched_timer.elapsed_ms();
     stats.scheduling_ms += sched_ms;
-    stats.telemetry.lp_solves += lb_stats.lp_solves;
-    stats.telemetry.lp_iterations += lb_stats.lp_iterations;
-    stats.telemetry.lp_fallbacks += lb_stats.lp_fallbacks;
-    stats.telemetry.lp_solve_ms += lb_stats.lp_solve_ms;
-    stats.telemetry.delta_iterations += lb_stats.delta_iterations;
-    if (trace != nullptr) {
-      if (lb_stats.lp_solves > 0) {
+    stats.telemetry.sched_critical_ms += sched_ms;
+    stats.telemetry.lp_solves += sd.lb.lp_solves;
+    stats.telemetry.lp_iterations += sd.lb.lp_iterations;
+    stats.telemetry.lp_fallbacks += sd.lb.lp_fallbacks;
+    stats.telemetry.lp_warm_solves += sd.lb.lp_warm_solves;
+    stats.telemetry.lp_skipped += sd.lb.lp_skipped;
+    stats.telemetry.lp_solve_ms += sd.lb.lp_solve_ms;
+    stats.telemetry.delta_iterations += sd.lb.delta_iterations;
+    if (from_pipeline) {
+      ++stats.telemetry.pipeline_hits;
+      stats.telemetry.sched_overlapped_ms += overlapped_ms;
+    }
+    if (trace != nullptr && !from_pipeline) {
+      // A consumed slot was already traced on the pipeline lane when it was
+      // precomputed; only synchronous scheduling lands on the host lane.
+      if (sd.lb.lp_solves > 0) {
         trace->add_host_event(frame, "lp_solve", obs::EventKind::kLpSolve,
-                              lb_stats.lp_solve_ms);
+                              sd.lb.lp_solve_ms);
       }
       trace->add_host_event(frame, "sched", obs::EventKind::kSched,
-                            std::max(0.0, sched_ms - lb_stats.lp_solve_ms));
+                            std::max(0.0, sched_ms - sd.lb.lp_solve_ms));
     }
 
     // ---- Orchestration + execution (lines 4 / 9) ------------------------
@@ -131,7 +190,8 @@ FrameStats VirtualFramework::encode_frame(const FrameGrant& grant) {
     }
     VirtualBackend backend(cfg_, topo_, active_refs, slowdown);
     FrameOpIds ids;
-    const OpGraph graph = build_frame_graph(topo_, dist, plans, backend, &ids);
+    const OpGraph graph =
+        build_frame_graph(topo_, dist, sd.plans, backend, &ids);
     const ExecutionResult result = execute_virtual(graph, topo_, exec_opts);
     stats.total_ms += result.makespan_ms;  // failed attempts burn time too
     if (trace != nullptr) trace->fold_execution();
@@ -156,6 +216,11 @@ FrameStats VirtualFramework::encode_frame(const FrameGrant& grant) {
     stats.telemetry.predicted_tau2_ms = dist.tau2_ms;
     stats.telemetry.predicted_tau_tot_ms = dist.tau_tot_ms;
     stats.telemetry.measured_tau_tot_ms = result.makespan_ms;
+    // The speculative schedule for frame+1 must also see only the pre-fold
+    // characterization: in a real overlap it runs concurrently with this
+    // frame's execution and cannot know its measurements. Consume-time
+    // validation re-checks the drift once they have folded.
+    if (opts_.enable_pipeline) precompute_next(frame, active, dist);
     attribute_frame_times(cfg_, topo_, dist, ids, result, &perf_);
     rf_holder_ = dist.rstar_device;
     stats.dist = dist;
@@ -181,6 +246,40 @@ FrameStats VirtualFramework::encode_frame(const FrameGrant& grant) {
   stats.devices_readmitted = static_cast<int>(health_.end_frame().size());
   ++next_frame_;
   return stats;
+}
+
+void VirtualFramework::precompute_next(int frame,
+                                       const std::vector<bool>& active,
+                                       const Distribution& dist) {
+  // Not worth speculating before the characterization exists: the first
+  // real schedule after initialization changes too much to survive
+  // validation anyway.
+  if (!perf_.initialized(&active)) {
+    slot_.valid = false;
+    return;
+  }
+  Timer t;
+  PipelineSlot next;
+  next.frame = frame + 1;
+  next.active_refs = std::min(frame + 1, cfg_.num_ref_frames);
+  // Speculate that next frame runs on the same schedulable set; probation
+  // readmissions and grant changes surface as a consume-time mismatch.
+  next.active = active;
+  next.rf_holder = dist.rstar_device;  // this frame's R* host keeps the RF
+  next.params.resize(static_cast<std::size_t>(topo_.num_devices()));
+  for (int i = 0; i < topo_.num_devices(); ++i) {
+    next.params[i] = perf_.params(i);
+  }
+  next.dam.emplace(dam_);  // plan against a copy; commit only on a hit
+  next.sched = compute_schedule(opts_, balancer_, perf_, health_, *next.dam,
+                                next.active, next.rf_holder, next.active_refs);
+  next.cost_ms = t.elapsed_ms();
+  next.valid = true;
+  slot_ = std::move(next);
+  if (opts_.trace != nullptr) {
+    opts_.trace->add_host_event(frame, "sched_ahead", obs::EventKind::kSched,
+                                slot_.cost_ms, obs::kLanePipeline);
+  }
 }
 
 std::vector<bool> granted_active_mask(const DeviceHealthMonitor& health,

@@ -21,6 +21,7 @@
 #include "platform/perturbation.hpp"
 #include "sched/load_balancer.hpp"
 
+#include <optional>
 #include <vector>
 
 namespace feves {
@@ -79,6 +80,17 @@ struct FrameworkOptions {
   /// folded into its sink frame by frame (Chrome trace export). The session
   /// must outlive the framework. Null = zero tracing overhead.
   obs::TraceSession* trace = nullptr;
+  /// Two-slot frame pipeline: after frame n succeeds, frame n+1's LP solve,
+  /// transfer planning and (real mode) mirror prestaging run in the shadow
+  /// of frame n's execution — in real mode on a genuinely concurrent
+  /// speculation thread — and are consumed next frame only if the device
+  /// set, R* placement, reference window and characterization still match
+  /// (drift < lb.convergence_epsilon). Any mismatch (fault retry, grant
+  /// churn, perturbation spike) discards the slot and re-solves
+  /// synchronously from fresh state, so adaptation latency and output are
+  /// bit-identical to the unpipelined loop; only the critical-path
+  /// scheduling cost changes.
+  bool enable_pipeline = true;
 };
 
 /// Everything measured about one encoded inter-frame.
@@ -100,6 +112,54 @@ struct FrameStats {
   obs::SchedTelemetry telemetry;
   double fps() const { return total_ms > 0 ? 1000.0 / total_ms : 0.0; }
 };
+
+/// One scheduling decision: the distribution the policy produced, the
+/// transfer plans derived from it, and the LP effort it took. Produced by
+/// compute_schedule() either synchronously on the critical path or
+/// speculatively inside the frame pipeline.
+struct ScheduleDecision {
+  Distribution dist;
+  std::vector<TransferPlan> plans;
+  BalanceStats lb;
+};
+
+/// Runs one full scheduling step shared by both frameworks: policy dispatch
+/// (Algorithm 2 / proportional / equidistant, including the probe path for
+/// partially characterized grants and the R*-pin quarantine fallback), then
+/// transfer planning. Mutates `dam`'s deferred-SF state and the balancer's
+/// warm-start cache.
+ScheduleDecision compute_schedule(const FrameworkOptions& opts,
+                                  LoadBalancer& balancer,
+                                  const PerfCharacterization& perf,
+                                  const DeviceHealthMonitor& health,
+                                  DataAccessManagement& dam,
+                                  const std::vector<bool>& active,
+                                  int rf_holder, int active_refs);
+
+/// One precomputed frame of the two-slot pipeline: the speculative schedule
+/// for frame `frame`, the advanced copy of the Data Access state it was
+/// planned against, and the inputs it speculated on (validated at consume
+/// time against the then-current platform state).
+struct PipelineSlot {
+  bool valid = false;
+  int frame = 0;
+  int active_refs = 0;
+  int rf_holder = -1;
+  std::vector<bool> active;
+  std::vector<DeviceParams> params;  ///< characterization at solve time
+  ScheduleDecision sched;
+  std::optional<DataAccessManagement> dam;
+  double cost_ms = 0.0;  ///< wall time the precompute took (overlapped)
+};
+
+/// Consume-time validation: the slot's speculation still matches this
+/// attempt's scheduling inputs — same schedulable set, R* holder and
+/// reference window, and every active device's characterization within the
+/// convergence epsilon of the snapshot the slot was solved under.
+bool pipeline_slot_matches(const PipelineSlot& slot, int frame,
+                           const std::vector<bool>& active, int rf_holder,
+                           int active_refs, const PerfCharacterization& perf,
+                           double epsilon);
 
 class VirtualFramework {
  public:
@@ -137,6 +197,13 @@ class VirtualFramework {
   DeviceHealthMonitor health_;
   int next_frame_ = 1;   ///< next inter-frame number (frame 0 is the I frame)
   int rf_holder_ = 0;    ///< device that produced the newest RF
+  PipelineSlot slot_;    ///< next frame's speculative schedule
+
+  /// Precomputes `slot_` for frame+1 from the pre-fold characterization
+  /// (honestly modelling the overlap: the speculative solve cannot see the
+  /// measurements of the execution it overlaps).
+  void precompute_next(int frame, const std::vector<bool>& active,
+                       const Distribution& dist);
 };
 
 /// One attempt's schedulable set: the health monitor's active mask

@@ -53,26 +53,51 @@ void copy_field_rows(const std::vector<MotionField>& src,
 
 }  // namespace
 
+void prestage_mirror(MirrorStage& stage, const EncoderConfig& cfg,
+                     int active_refs) {
+  const int border = ref_border(cfg);
+  stage.fresh = std::make_unique<DeviceMirror::RefMirror>(cfg.width,
+                                                          cfg.height, border);
+  for (auto& plane : stage.fresh->sf.phases) plane.fill(DeviceMirror::kPoison);
+  stage.fields.assign(static_cast<std::size_t>(active_refs),
+                      MotionField(static_cast<std::size_t>(cfg.total_mbs())));
+  stage.refined = stage.fields;
+  stage.active_refs = active_refs;
+  stage.valid = true;
+}
+
 void begin_frame_mirror(DeviceMirror& mirror, const EncoderConfig& cfg,
-                        int active_refs, const PlaneU8& newest_recon_y) {
+                        int active_refs, const PlaneU8& newest_recon_y,
+                        MirrorStage* staged) {
   const int border = ref_border(cfg);
   if (mirror.cf_y.width() != cfg.width) {
     mirror.cf_y = PlaneU8(cfg.width, cfg.height, border);
   }
   mirror.cf_y.fill(DeviceMirror::kPoison);
 
-  auto fresh = std::make_unique<DeviceMirror::RefMirror>(cfg.width, cfg.height,
-                                                         border);
-  for (auto& plane : fresh->sf.phases) plane.fill(DeviceMirror::kPoison);
+  std::unique_ptr<DeviceMirror::RefMirror> fresh;
+  if (staged != nullptr && staged->valid &&
+      staged->active_refs == active_refs && staged->fresh != nullptr &&
+      staged->fresh->recon_y.width() == cfg.width &&
+      staged->fresh->recon_y.height() == cfg.height) {
+    fresh = std::move(staged->fresh);
+    mirror.fields = std::move(staged->fields);
+    mirror.refined = std::move(staged->refined);
+    staged->valid = false;
+  } else {
+    fresh = std::make_unique<DeviceMirror::RefMirror>(cfg.width, cfg.height,
+                                                      border);
+    for (auto& plane : fresh->sf.phases) plane.fill(DeviceMirror::kPoison);
+    mirror.fields.assign(
+        static_cast<std::size_t>(active_refs),
+        MotionField(static_cast<std::size_t>(cfg.total_mbs())));
+    mirror.refined = mirror.fields;
+  }
   copy_full_plane(newest_recon_y, fresh->recon_y);
   mirror.refs.push_front(std::move(fresh));
   while (static_cast<int>(mirror.refs.size()) > active_refs) {
     mirror.refs.pop_back();
   }
-
-  mirror.fields.assign(static_cast<std::size_t>(active_refs),
-                       MotionField(static_cast<std::size_t>(cfg.total_mbs())));
-  mirror.refined = mirror.fields;
 }
 
 void restage_mirror(DeviceMirror& mirror, const EncoderConfig& cfg,

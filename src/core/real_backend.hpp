@@ -79,14 +79,38 @@ class RealBackend final : public FrameBackend {
   bool sf_assembled_ = false;
 };
 
+/// Double-buffered staging state for the frame pipeline: the parts of
+/// begin_frame_mirror that do not depend on the executing frame's output —
+/// fresh RefMirror allocation, SF poison, MV field reset — prepared in the
+/// shadow of the previous execution. Everything in a prepared stage is
+/// frame-agnostic by construction (blank poisoned buffers), so a stage is
+/// reusable across retries; only an active_refs mismatch invalidates it.
+struct MirrorStage {
+  bool valid = false;
+  int active_refs = 0;
+  std::unique_ptr<DeviceMirror::RefMirror> fresh;
+  std::vector<MotionField> fields;
+  std::vector<MotionField> refined;
+};
+
+/// Prepares `stage` for a frame with `active_refs` references: allocates
+/// the fresh reference slot with its SF planes poisoned and zeroed MV
+/// fields, exactly as begin_frame_mirror's cold path would.
+void prestage_mirror(MirrorStage& stage, const EncoderConfig& cfg,
+                     int active_refs);
+
 /// Prepares `mirror` for the next frame: allocates the new reference slot
 /// and stages `newest_recon_y` (the canonical newest reconstruction,
 /// borders included) into it, trims the window, poisons the CF rows and
 /// resets the local MV fields. The RF_in op models the transfer time; the
 /// bytes are staged here so the R*-producing device (which skips RF_in) is
-/// handled uniformly.
+/// handled uniformly. A non-null `staged` slot matching this frame's shape
+/// is consumed instead of allocating (the pipeline's prestaged buffers);
+/// the recon copy — which needs the just-finished frame's output — always
+/// happens here. Either path yields byte-identical mirror state.
 void begin_frame_mirror(DeviceMirror& mirror, const EncoderConfig& cfg,
-                        int active_refs, const PlaneU8& newest_recon_y);
+                        int active_refs, const PlaneU8& newest_recon_y,
+                        MirrorStage* staged = nullptr);
 
 /// Rebuilds `mirror` from scratch out of the canonical reference list —
 /// the recovery path. Used when the incremental begin_frame_mirror contract

@@ -123,32 +123,16 @@ struct Tableau {
   }
 };
 
-}  // namespace
+/// Auxiliary-column bookkeeping produced while building a tableau.
+struct BuildInfo {
+  int num_slack = 0;
+  std::vector<int> artificial_cols;
+};
 
-int Problem::add_variable(std::string name, double objective_coeff) {
-  objective_.push_back(objective_coeff);
-  if (name.empty()) name = "x" + std::to_string(objective_.size() - 1);
-  names_.push_back(std::move(name));
-  return static_cast<int>(objective_.size()) - 1;
-}
-
-void Problem::set_objective(int var, double coeff) {
-  FEVES_CHECK(var >= 0 && var < num_variables());
-  objective_[var] = coeff;
-}
-
-int Problem::add_constraint(std::vector<Term> terms, Relation rel, double rhs) {
-  for (const Term& t : terms) {
-    FEVES_CHECK_MSG(t.var >= 0 && t.var < num_variables(),
-                    "constraint references unknown variable " << t.var);
-    FEVES_CHECK_MSG(std::isfinite(t.coeff), "non-finite coefficient");
-  }
-  FEVES_CHECK_MSG(std::isfinite(rhs), "non-finite rhs");
-  constraints_.push_back({std::move(terms), rel, rhs});
-  return static_cast<int>(constraints_.size()) - 1;
-}
-
-Solution solve(const Problem& p) {
+/// Builds the canonical tableau for `p`: rows normalized to non-negative
+/// RHS, column layout [decision | slack/surplus | artificial], artificial
+/// variables seeded as the initial basis of kGe/kEq rows.
+Tableau build_tableau(const Problem& p, BuildInfo* info) {
   const int n = p.num_variables();
   const int m = p.num_constraints();
 
@@ -175,7 +159,8 @@ Solution solve(const Problem& p) {
 
   int next_slack = n;
   int next_art = n + num_slack;
-  std::vector<int> artificial_cols;
+  info->num_slack = num_slack;
+  info->artificial_cols.clear();
 
   for (int i = 0; i < m; ++i) {
     const Constraint& c = p.constraints()[i];
@@ -196,23 +181,156 @@ Solution solve(const Problem& p) {
       t.a[i][next_slack++] = -1.0;
       t.a[i][next_art] = 1.0;
       t.basis[i] = next_art;
-      artificial_cols.push_back(next_art++);
+      info->artificial_cols.push_back(next_art++);
     } else {
       t.a[i][next_art] = 1.0;
       t.basis[i] = next_art;
-      artificial_cols.push_back(next_art++);
+      info->artificial_cols.push_back(next_art++);
     }
     // The slack index advanced only for kLe above; for kGe we advanced
     // inline. (kEq uses no slack.)
   }
+  return t;
+}
 
+/// Tolerance for accepting a warm basis: pivots smaller than this are
+/// treated as singular, RHS entries below -this as infeasible. Looser than
+/// kEps on purpose — a marginal warm basis is not worth numerical risk when
+/// the cold path is cheap and always available.
+constexpr double kWarmEps = 1e-7;
+
+/// Factorizes `t` onto `warm` with one Gauss-Jordan pivot per basis column,
+/// picking the largest remaining pivot row for each column (the basis is a
+/// set — its row assignment is free, and a fixed order can hit spurious
+/// zero pivots on a perfectly usable basis). Returns false on any
+/// rejection: structural mismatch, an artificial or repeated column in the
+/// basis, a singular basis, or a basis infeasible for the new RHS. On
+/// rejection the tableau may be partially pivoted — the caller must rebuild
+/// it for the cold path.
+bool factorize_warm(Tableau& t, const Basis& warm, int n, int num_slack) {
+  if (static_cast<int>(warm.cols.size()) != t.rows) return false;
+  if (warm.num_cols != t.cols) return false;
+  std::vector<bool> used(static_cast<std::size_t>(t.cols), false);
+  for (int c : warm.cols) {
+    if (c < 0 || c >= n + num_slack) return false;
+    if (used[c]) return false;
+    used[c] = true;
+  }
+  t.cost.assign(static_cast<std::size_t>(t.cols), 0.0);
+  t.cost_rhs = 0.0;
+  std::vector<bool> row_done(static_cast<std::size_t>(t.rows), false);
+  for (int c : warm.cols) {
+    int best = -1;
+    double best_abs = kWarmEps;
+    for (int i = 0; i < t.rows; ++i) {
+      if (row_done[i]) continue;
+      if (std::abs(t.a[i][c]) > best_abs) {
+        best_abs = std::abs(t.a[i][c]);
+        best = i;
+      }
+    }
+    if (best < 0) return false;
+    t.pivot(best, c);
+    row_done[best] = true;
+  }
+  for (double& r : t.rhs) {
+    if (r < -kWarmEps) return false;
+    if (r < 0.0) r = 0.0;
+  }
+  return true;
+}
+
+/// Prices the original objective onto the current basis, bars artificial
+/// columns from re-entering, runs phase-2 iterations and extracts the
+/// solution (including the final basis). Shared by the warm and cold paths.
+Solution run_phase2(Tableau& t, const Problem& p,
+                    const std::vector<int>& artificial_cols, bool warm_used) {
+  const int n = p.num_variables();
+  const int max_iters = 200 * (t.cols + t.rows + 8);
+
+  t.cost.assign(static_cast<std::size_t>(t.cols), 0.0);
+  t.cost_rhs = 0.0;
+  for (int j = 0; j < n; ++j) t.cost[j] = p.objective()[j];
+  for (int i = 0; i < t.rows; ++i) {
+    const double cb = t.basis[i] < n ? p.objective()[t.basis[i]] : 0.0;
+    if (cb != 0.0) {
+      for (int j = 0; j < t.cols; ++j) t.cost[j] -= cb * t.a[i][j];
+      t.cost_rhs -= cb * t.rhs[i];
+    }
+  }
+  if (!artificial_cols.empty()) {
+    t.blocked.assign(static_cast<std::size_t>(t.cols), false);
+    for (int col : artificial_cols) t.blocked[col] = true;
+  }
+
+  Solution sol;
+  sol.status = t.iterate(max_iters);
+  sol.iterations = t.iterations;
+  sol.bland_fallback = t.bland_fallback;
+  sol.warm_used = warm_used;
+  if (sol.status != SolveStatus::kOptimal) return sol;
+
+  sol.values.assign(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < t.rows; ++i) {
+    if (t.basis[i] < n) sol.values[t.basis[i]] = t.rhs[i];
+  }
+  sol.objective = 0.0;
+  for (int j = 0; j < n; ++j) sol.objective += p.objective()[j] * sol.values[j];
+  sol.basis.cols = t.basis;
+  sol.basis.num_cols = t.cols;
+  return sol;
+}
+
+}  // namespace
+
+int Problem::add_variable(std::string name, double objective_coeff) {
+  objective_.push_back(objective_coeff);
+  if (name.empty()) name = "x" + std::to_string(objective_.size() - 1);
+  names_.push_back(std::move(name));
+  return static_cast<int>(objective_.size()) - 1;
+}
+
+void Problem::set_objective(int var, double coeff) {
+  FEVES_CHECK(var >= 0 && var < num_variables());
+  objective_[var] = coeff;
+}
+
+int Problem::add_constraint(std::vector<Term> terms, Relation rel, double rhs) {
+  for (const Term& t : terms) {
+    FEVES_CHECK_MSG(t.var >= 0 && t.var < num_variables(),
+                    "constraint references unknown variable " << t.var);
+    FEVES_CHECK_MSG(std::isfinite(t.coeff), "non-finite coefficient");
+  }
+  FEVES_CHECK_MSG(std::isfinite(rhs), "non-finite rhs");
+  constraints_.push_back({std::move(terms), rel, rhs});
+  return static_cast<int>(constraints_.size()) - 1;
+}
+
+Solution solve(const Problem& p, const Basis* warm) {
+  const int n = p.num_variables();
+  const int m = p.num_constraints();
+
+  // Warm attempt: factorize onto the previous basis and go straight to
+  // phase 2. Any rejection falls through to the cold path on a freshly
+  // built tableau (the failed factorization corrupts its own copy only).
+  if (warm != nullptr && warm->usable()) {
+    BuildInfo info;
+    Tableau t = build_tableau(p, &info);
+    if (factorize_warm(t, *warm, n, info.num_slack)) {
+      Solution sol = run_phase2(t, p, info.artificial_cols, /*warm_used=*/true);
+      if (sol.status == SolveStatus::kOptimal) return sol;
+    }
+  }
+
+  BuildInfo info;
+  Tableau t = build_tableau(p, &info);
   const int max_iters = 200 * (t.cols + t.rows + 8);
 
   // Phase 1: minimize the sum of artificial variables.
-  if (!artificial_cols.empty()) {
+  if (!info.artificial_cols.empty()) {
     t.cost.assign(t.cols, 0.0);
     t.cost_rhs = 0.0;
-    for (int col : artificial_cols) t.cost[col] = 1.0;
+    for (int col : info.artificial_cols) t.cost[col] = 1.0;
     // Price out the artificial basis.
     for (int i = 0; i < m; ++i) {
       if (t.cost[t.basis[i]] != 0.0) {
@@ -222,19 +340,25 @@ Solution solve(const Problem& p) {
     }
     const SolveStatus s1 = t.iterate(max_iters);
     if (s1 == SolveStatus::kIterationLimit) {
-      return {SolveStatus::kIterationLimit, 0.0, {}, t.iterations,
-              t.bland_fallback};
+      Solution sol;
+      sol.status = SolveStatus::kIterationLimit;
+      sol.iterations = t.iterations;
+      sol.bland_fallback = t.bland_fallback;
+      return sol;
     }
     const double phase1_obj = -t.cost_rhs;
     if (phase1_obj > 1e-6) {
-      return {SolveStatus::kInfeasible, 0.0, {}, t.iterations,
-              t.bland_fallback};
+      Solution sol;
+      sol.status = SolveStatus::kInfeasible;
+      sol.iterations = t.iterations;
+      sol.bland_fallback = t.bland_fallback;
+      return sol;
     }
     // Drive remaining artificial variables out of the basis where possible.
     for (int i = 0; i < m; ++i) {
-      if (t.basis[i] >= n + num_slack) {
+      if (t.basis[i] >= n + info.num_slack) {
         int pcol = -1;
-        for (int j = 0; j < n + num_slack; ++j) {
+        for (int j = 0; j < n + info.num_slack; ++j) {
           if (std::abs(t.a[i][j]) > kEps) {
             pcol = j;
             break;
@@ -247,39 +371,7 @@ Solution solve(const Problem& p) {
     }
   }
 
-  // Phase 2: original objective, artificial columns forbidden.
-  t.cost.assign(t.cols, 0.0);
-  t.cost_rhs = 0.0;
-  for (int j = 0; j < n; ++j) t.cost[j] = p.objective()[j];
-  for (int i = 0; i < m; ++i) {
-    const double cb = t.basis[i] < n ? p.objective()[t.basis[i]] : 0.0;
-    if (cb != 0.0) {
-      for (int j = 0; j < t.cols; ++j) t.cost[j] -= cb * t.a[i][j];
-      t.cost_rhs -= cb * t.rhs[i];
-    }
-  }
-  // Artificial columns are permanently barred from entering in phase 2.
-  if (!artificial_cols.empty()) {
-    t.blocked.assign(static_cast<std::size_t>(t.cols), false);
-    for (int col : artificial_cols) t.blocked[col] = true;
-  }
-
-  const SolveStatus s2 = t.iterate(max_iters);
-  if (s2 != SolveStatus::kOptimal) {
-    return {s2, 0.0, {}, t.iterations, t.bland_fallback};
-  }
-
-  Solution sol;
-  sol.status = SolveStatus::kOptimal;
-  sol.iterations = t.iterations;
-  sol.bland_fallback = t.bland_fallback;
-  sol.values.assign(n, 0.0);
-  for (int i = 0; i < m; ++i) {
-    if (t.basis[i] < n) sol.values[t.basis[i]] = t.rhs[i];
-  }
-  sol.objective = 0.0;
-  for (int j = 0; j < n; ++j) sol.objective += p.objective()[j] * sol.values[j];
-  return sol;
+  return run_phase2(t, p, info.artificial_cols, /*warm_used=*/false);
 }
 
 double max_violation(const Problem& p, const std::vector<double>& values) {

@@ -59,18 +59,41 @@ class Problem {
   std::vector<Constraint> constraints_;
 };
 
+/// Final basis of an optimal solve: the basic tableau column per constraint
+/// row. Feeding it back as `warm` to the next solve of a structurally
+/// similar problem (same variable/constraint layout, perturbed
+/// coefficients) skips phase 1 entirely and usually starts phase 2 at or
+/// next to the optimum — the FEVES frame loop re-solves a near-identical LP
+/// every frame, so this is where the per-frame solver cost goes.
+struct Basis {
+  std::vector<int> cols;  ///< basic column per constraint row
+  int num_cols = 0;       ///< tableau width the basis was produced under
+
+  bool usable() const { return !cols.empty(); }
+};
+
 struct Solution {
   SolveStatus status = SolveStatus::kInfeasible;
   double objective = 0.0;
   std::vector<double> values;  ///< one entry per decision variable
   int iterations = 0;          ///< pivot count across both phases
   bool bland_fallback = false;  ///< anti-cycling fallback engaged at least once
+  bool warm_used = false;  ///< warm basis accepted (phase 1 skipped)
+  Basis basis;             ///< final basis, for warm-starting the next solve
 
   bool optimal() const { return status == SolveStatus::kOptimal; }
 };
 
 /// Solves `p` (minimization). Deterministic: same problem, same answer.
-Solution solve(const Problem& p);
+/// A non-null `warm` basis is attempted first: the tableau is factorized
+/// onto it by Gauss-Jordan pivots and phase 2 runs directly. Any rejection
+/// — structural mismatch, singular pivot order, a basis infeasible for the
+/// new right-hand side, or a non-optimal phase-2 outcome — falls back to
+/// the ordinary two-phase cold solve, so a warm call can never return a
+/// different status than a cold one would. `iterations` counts only simplex
+/// pivots (not the warm factorization), so a warm re-solve of an unchanged
+/// problem reports 0.
+Solution solve(const Problem& p, const Basis* warm = nullptr);
 
 /// Maximum constraint violation of `values` (0 when feasible). Negative
 /// variable values count as violations too.

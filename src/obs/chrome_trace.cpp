@@ -57,6 +57,8 @@ const char* lane_name(int lane) {
       return "copyD2H";
     case kLaneHost:
       return "host";
+    case kLanePipeline:
+      return "pipeline";
   }
   return "lane?";
 }

@@ -36,6 +36,29 @@ struct SchedTelemetry {
   int lp_fallbacks = 0;       ///< anti-cycling Bland's-rule activations
   double lp_solve_ms = 0.0;   ///< wall time inside lp::solve
   int delta_iterations = 0;   ///< MS/LS_BOUNDS fix-point rounds
+  int lp_warm_solves = 0;     ///< solves that accepted the previous basis
+  int lp_skipped = 0;         ///< solves skipped by the convergence detector
+                              ///< (cached distribution reused)
+
+  // Frame pipeline: how this frame's schedule reached the critical path.
+  int pipeline_hits = 0;    ///< schedule consumed from the two-slot pipeline
+  int pipeline_misses = 0;  ///< precomputed schedule discarded (drift,
+                            ///< device-set change, retry) and re-solved
+  double sched_critical_ms = 0.0;    ///< scheduling time ON the critical
+                                     ///< path (consume/validate, or the full
+                                     ///< synchronous solve on a miss)
+  double sched_overlapped_ms = 0.0;  ///< scheduling time hidden in the
+                                     ///< previous frame's execution shadow
+
+  /// Fraction of this frame's scheduling work that ran off the critical
+  /// path (0 when nothing was overlapped).
+  double pipeline_overlap_ratio() const {
+    const double total = sched_critical_ms + sched_overlapped_ms;
+    return total > 0.0 ? sched_overlapped_ms / total : 0.0;
+  }
+
+  /// Solves the scheduler actually paid for at full price.
+  int lp_cold_solves() const { return lp_solves - lp_warm_solves; }
 
   // The LP's synchronization-point predictions (0 under non-LP policies)
   // against the successful attempt's measurements.

@@ -136,15 +136,23 @@ std::uint64_t Tracer::dropped() const {
 }
 
 void TraceSession::add_host_event(int frame, const char* name, EventKind kind,
-                                  double dur_ms) {
+                                  double dur_ms, int lane) {
   if (!tracer.enabled()) return;
   TraceEvent e;
   e.set_name(name);
   e.kind = kind;
   e.frame = frame;
   e.device = -1;
-  e.lane = kLaneHost;
+  e.lane = lane;
   e.session = session_;
+  if (lane == kLanePipeline) {
+    // Overlapped scheduling: backdated into the execution span that just
+    // folded, origin untouched.
+    e.t_end_ms = origin_ms_;
+    e.t_start_ms = std::max(0.0, origin_ms_ - std::max(0.0, dur_ms));
+    sink.add_event(e);
+    return;
+  }
   e.t_start_ms = origin_ms_;
   e.t_end_ms = origin_ms_ + std::max(0.0, dur_ms);
   sink.add_event(e);

@@ -43,6 +43,8 @@ inline constexpr int kLaneCompute = 0;
 inline constexpr int kLaneCopyH2D = 1;
 inline constexpr int kLaneCopyD2H = 2;
 inline constexpr int kLaneHost = 3;  ///< orchestration (LP, planning, marks)
+inline constexpr int kLanePipeline = 4;  ///< scheduling overlapped with the
+                                         ///< previous frame's execution
 
 /// One traced interval. Fixed-size (no heap) so ring emission is a memcpy.
 struct TraceEvent {
@@ -212,10 +214,14 @@ class TraceSession {
   void set_session(int id) { session_ = id; }
   int session() const { return session_; }
 
-  /// Records a host-side orchestration interval of `dur_ms` at the current
-  /// origin and advances the origin past it (host phases serialize).
+  /// Records a host-side orchestration interval of `dur_ms`. On the default
+  /// kLaneHost lane the event starts at the current origin and advances the
+  /// origin past it (host phases serialize). On kLanePipeline the event is
+  /// placed ENDING at the current origin — it models work that ran in the
+  /// shadow of the execution that just folded — and the origin does not
+  /// move, so overlapped scheduling never inflates the timeline.
   void add_host_event(int frame, const char* name, EventKind kind,
-                      double dur_ms);
+                      double dur_ms, int lane = kLaneHost);
 
   /// Drains the tracer (event times relative to the finished execution's
   /// t=0), rebases them at the current origin, hands them to the sink and

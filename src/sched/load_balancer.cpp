@@ -236,7 +236,7 @@ Distribution LoadBalancer::balance(const PerfCharacterization& perf,
                                    const std::vector<int>& sigma_r_prev,
                                    int force_rstar,
                                    const std::vector<bool>* active,
-                                   BalanceStats* stats) const {
+                                   BalanceStats* stats) {
   FEVES_CHECK_MSG(perf.initialized(active),
                   "balance() before performance characterization");
   const int n = topo_.num_devices();
@@ -249,6 +249,39 @@ Distribution LoadBalancer::balance(const PerfCharacterization& perf,
   FEVES_CHECK(rstar < n);
   FEVES_CHECK_MSG(device_active(active, rstar),
                   "R* device " << rstar << " is not active");
+
+  std::vector<bool> act(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) act[i] = device_active(active, i);
+
+  // The cache only speaks for this exact scheduling situation: any change
+  // in the schedulable set (quarantine, probation return, grant churn), the
+  // R* placement or the deferred-SF state is a different LP — cold path.
+  const bool cache_matches = warm_.valid && warm_.rstar == rstar &&
+                             warm_.active == act &&
+                             warm_.sigma_r_prev == sigma_r_prev;
+
+  // Convergence detector: under epsilon drift the cached distribution is
+  // still (near-)optimal — return it without solving. A mispredict spike or
+  // an eviction zeroes/steps the parameters past any sane epsilon, so the
+  // fault path always re-solves.
+  if (opts_.enable_warm_start && opts_.convergence_epsilon > 0.0 &&
+      cache_matches) {
+    double drift = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (!act[i]) continue;
+      drift = std::max(drift, relative_drift(warm_.params[i], perf.params(i)));
+    }
+    if (drift < opts_.convergence_epsilon) {
+      if (stats != nullptr) stats->lp_skipped += 1;
+      return warm_.dist;
+    }
+  }
+
+  // Basis chained across the ∆ fix-point (and, via the cache, across
+  // frames): each solve warm-starts from the previous optimum.
+  lp::Basis chain;
+  if (opts_.enable_warm_start && cache_matches) chain = warm_.basis;
+  bool last_solve_optimal = false;
 
   // Warm start for the ∆ fix-point: proportional distribution.
   Distribution current = proportional(perf, sigma_r_prev, rstar, active);
@@ -395,11 +428,14 @@ Distribution LoadBalancer::balance(const PerfCharacterization& perf,
     }
 
     Timer lp_timer;
-    const lp::Solution sol = lp::solve(lp);
+    const lp::Basis* warm =
+        (opts_.enable_warm_start && chain.usable()) ? &chain : nullptr;
+    const lp::Solution sol = lp::solve(lp, warm);
     if (stats != nullptr) {
       stats->lp_solves += 1;
       stats->lp_iterations += sol.iterations;
       stats->lp_fallbacks += sol.bland_fallback ? 1 : 0;
+      stats->lp_warm_solves += sol.warm_used ? 1 : 0;
       stats->lp_solve_ms += lp_timer.elapsed_ms();
       stats->delta_iterations = iter + 1;
     }
@@ -407,8 +443,11 @@ Distribution LoadBalancer::balance(const PerfCharacterization& perf,
       FEVES_WARN("load_balancer",
                  "LP not optimal (status " << static_cast<int>(sol.status)
                                            << "); keeping previous split");
+      last_solve_optimal = false;
       break;
     }
+    chain = sol.basis;
+    last_solve_optimal = true;
 
     Distribution next;
     next.rstar_device = rstar;
@@ -438,13 +477,27 @@ Distribution LoadBalancer::balance(const PerfCharacterization& perf,
   }
 
   current.check_conservation(rows);
+
+  if (opts_.enable_warm_start && last_solve_optimal) {
+    warm_.valid = true;
+    warm_.basis = chain;
+    warm_.dist = current;
+    warm_.active = std::move(act);
+    warm_.sigma_r_prev = sigma_r_prev;
+    warm_.rstar = rstar;
+    warm_.params.assign(static_cast<std::size_t>(n), DeviceParams{});
+    for (int i = 0; i < n; ++i) warm_.params[i] = perf.params(i);
+  } else if (!last_solve_optimal) {
+    // A failed solve means the cached state no longer describes a solvable
+    // situation; do not serve it as "converged" next frame.
+    warm_ = WarmState{};
+  }
   return current;
 }
 
 Distribution LoadBalancer::balance_with_probes(
     const PerfCharacterization& perf, const std::vector<int>& sigma_r_prev,
-    int force_rstar, const std::vector<bool>* active,
-    BalanceStats* stats) const {
+    int force_rstar, const std::vector<bool>* active, BalanceStats* stats) {
   const int n = topo_.num_devices();
   const int rows = cfg_.num_mb_rows();
   count_active(active);

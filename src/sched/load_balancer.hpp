@@ -20,6 +20,7 @@
 #pragma once
 
 #include "common/config.hpp"
+#include "lp/simplex.hpp"
 #include "platform/device.hpp"
 #include "sched/distribution.hpp"
 #include "sched/perf_char.hpp"
@@ -34,6 +35,9 @@ struct BalanceStats {
   int lp_fallbacks = 0;      ///< solves where Bland's anti-cycling engaged
   double lp_solve_ms = 0.0;  ///< wall time spent inside lp::solve
   int delta_iterations = 0;  ///< ∆ fix-point iterations run
+  int lp_warm_solves = 0;    ///< solves that accepted a warm basis
+  int lp_skipped = 0;        ///< balance() calls answered from the
+                             ///< converged-distribution cache (no solve)
 };
 
 struct LoadBalancerOptions {
@@ -53,6 +57,18 @@ struct LoadBalancerOptions {
   /// instead of collapsing the whole frame to an equidistant re-init.
   /// 0 (the default) keeps the single-tenant behaviour.
   int probe_rows = 0;
+  /// Warm-start consecutive LP solves from the previous solve's final basis
+  /// (and chain the basis across the ∆ fix-point within one call). Purely
+  /// an acceleration: a rejected basis falls back to the cold two-phase
+  /// solve, so results never depend on it.
+  bool enable_warm_start = true;
+  /// Convergence detector: when the active set, R* device and deferred-SF
+  /// state match the cached solve and every active device's K parameters
+  /// drifted less than this (relative), balance() returns the cached
+  /// Distribution without solving. 0 disables the skip (every call solves);
+  /// it also gates the frame pipeline's consume-time validation
+  /// (FrameworkOptions::enable_pipeline).
+  double convergence_epsilon = 0.01;
 };
 
 class LoadBalancer {
@@ -84,11 +100,17 @@ class LoadBalancer {
   /// balanced frame. Requires perf.initialized(active). `force_rstar` >= 0
   /// pins the R* device (CPU-centric vs GPU-centric operation, Sec. III-B).
   /// `stats`, when non-null, receives LP solver telemetry for this call.
+  /// Non-const: maintains the warm-start cache (previous basis, converged
+  /// distribution and the characterization snapshot it was solved under) —
+  /// see LoadBalancerOptions::enable_warm_start / convergence_epsilon. The
+  /// cache is bypassed and refreshed whenever the active set, the R* device
+  /// or the deferred-SF state changes, so quarantine transitions and grant
+  /// churn always re-solve from the current platform state.
   Distribution balance(const PerfCharacterization& perf,
                        const std::vector<int>& sigma_r_prev,
                        int force_rstar = -1,
                        const std::vector<bool>* active = nullptr,
-                       BalanceStats* stats = nullptr) const;
+                       BalanceStats* stats = nullptr);
 
   /// Share-aware balance for a partially characterized active set (see
   /// LoadBalancerOptions::probe_rows): LP-balances over the characterized
@@ -100,7 +122,12 @@ class LoadBalancer {
                                    const std::vector<int>& sigma_r_prev,
                                    int force_rstar,
                                    const std::vector<bool>* active,
-                                   BalanceStats* stats = nullptr) const;
+                                   BalanceStats* stats = nullptr);
+
+  /// Drops the warm-start cache (basis + converged distribution). For
+  /// callers that know the cached state no longer describes the platform
+  /// beyond what the built-in validation detects.
+  void invalidate_warm_start() { warm_ = WarmState{}; }
 
   /// R* device selection: cheapest transfer-in + compute + transfer-out
   /// path, found with Dijkstra over the device graph (Sec. III-B, [9]).
@@ -119,9 +146,24 @@ class LoadBalancer {
   void finalize_bounds(Distribution* dist, const PerfCharacterization& perf,
                        const std::vector<bool>* active) const;
 
+  /// Everything the previous balance() left behind: the final LP basis for
+  /// warm-starting the next solve, the converged distribution the
+  /// convergence detector can reuse, and the inputs that solve was keyed on
+  /// (validation: any mismatch forces a cold path).
+  struct WarmState {
+    bool valid = false;
+    lp::Basis basis;
+    Distribution dist;
+    std::vector<bool> active;
+    std::vector<int> sigma_r_prev;
+    std::vector<DeviceParams> params;
+    int rstar = -1;
+  };
+
   EncoderConfig cfg_;
   PlatformTopology topo_;
   LoadBalancerOptions opts_;
+  WarmState warm_;
 };
 
 }  // namespace feves

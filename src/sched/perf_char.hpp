@@ -11,6 +11,8 @@
 
 #include "common/check.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 namespace feves {
@@ -31,6 +33,28 @@ struct DeviceParams {
 
   bool compute_known() const { return k_me > 0 && k_int > 0 && k_sme > 0; }
 };
+
+/// Largest relative change across two parameter snapshots (0 = identical).
+/// A parameter appearing or disappearing (0 ↔ nonzero) counts as a full
+/// 1.0 drift, so quarantine eviction or first-time characterization always
+/// exceeds any sane convergence epsilon. Drives the load balancer's
+/// convergence detector and the frame pipeline's consume-time validation.
+inline double relative_drift(const DeviceParams& a, const DeviceParams& b) {
+  auto rel = [](double x, double y) {
+    if (x == y) return 0.0;
+    const double den = std::max(std::abs(x), std::abs(y));
+    return std::abs(x - y) / den;
+  };
+  double d = std::max({rel(a.k_me, b.k_me), rel(a.k_int, b.k_int),
+                       rel(a.k_sme, b.k_sme),
+                       rel(a.t_rstar_ms, b.t_rstar_ms)});
+  for (int buf = 0; buf < 4; ++buf) {
+    for (int dir = 0; dir < 2; ++dir) {
+      d = std::max(d, rel(a.k_xfer[buf][dir], b.k_xfer[buf][dir]));
+    }
+  }
+  return d;
+}
 
 class PerfCharacterization {
  public:

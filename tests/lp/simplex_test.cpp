@@ -254,5 +254,115 @@ TEST(Simplex, SolutionReportsPivotCount) {
   EXPECT_FALSE(s.bland_fallback);  // no degeneracy in this LP
 }
 
+// ---- Warm-starting ---------------------------------------------------------
+
+namespace {
+Problem makespan_lp(const double k[3], double rows) {
+  Problem p;
+  const int tau = p.add_variable("tau", 1.0);
+  std::vector<Term> sum;
+  for (int i = 0; i < 3; ++i) {
+    const int x = p.add_variable("x" + std::to_string(i), 0.0);
+    p.add_constraint({{x, k[i]}, {tau, -1.0}}, Relation::kLe, 0.0);
+    sum.push_back({x, 1.0});
+  }
+  p.add_constraint(sum, Relation::kEq, rows);
+  return p;
+}
+}  // namespace
+
+TEST(SimplexWarm, UnchangedProblemResolvesWithZeroPivots) {
+  const double k[3] = {1.0, 2.0, 4.0};
+  const Problem p = makespan_lp(k, 70.0);
+  const Solution cold = solve(p);
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_TRUE(cold.basis.usable());
+
+  const Solution warm = solve(p, &cold.basis);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_TRUE(warm.warm_used);
+  // The previous optimal basis is still optimal: pricing finds no entering
+  // column and phase 2 exits without a single pivot.
+  EXPECT_EQ(warm.iterations, 0);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  for (std::size_t i = 0; i < cold.values.size(); ++i) {
+    EXPECT_NEAR(warm.values[i], cold.values[i], 1e-9) << "var " << i;
+  }
+}
+
+TEST(SimplexWarm, PerturbedProblemMatchesColdObjective) {
+  const double k0[3] = {1.0, 2.0, 4.0};
+  const Problem p0 = makespan_lp(k0, 70.0);
+  const Solution s0 = solve(p0);
+  ASSERT_TRUE(s0.optimal());
+
+  // EWMA-sized drift in the device speeds: the warm basis stays usable and
+  // the warm re-solve must land on exactly the cold optimum of the NEW lp.
+  Rng rng(991);
+  Basis basis = s0.basis;
+  for (int trial = 0; trial < 50; ++trial) {
+    double k[3];
+    for (double& v : k) v = rng.uniform_real(0.5, 5.0);
+    const double rows = rng.uniform_real(30.0, 200.0);
+    const Problem p = makespan_lp(k, rows);
+    const Solution cold = solve(p);
+    const Solution warm = solve(p, &basis);
+    ASSERT_EQ(warm.status, cold.status) << "trial " << trial;
+    ASSERT_TRUE(warm.optimal()) << "trial " << trial;
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-6) << "trial " << trial;
+    EXPECT_LE(max_violation(p, warm.values), 1e-6) << "trial " << trial;
+    basis = warm.basis;  // chain across the sequence, as the balancer does
+  }
+}
+
+TEST(SimplexWarm, StructuralMismatchFallsBackToCold) {
+  const double k[3] = {1.0, 2.0, 4.0};
+  const Solution s0 = solve(makespan_lp(k, 70.0));
+  ASSERT_TRUE(s0.optimal());
+
+  // A different row/column count (device dropped out) must reject the basis
+  // and cold-solve, not crash or mis-solve.
+  Problem smaller;
+  const int tau = smaller.add_variable("tau", 1.0);
+  const int x0 = smaller.add_variable("x0", 0.0);
+  smaller.add_constraint({{x0, 2.0}, {tau, -1.0}}, Relation::kLe, 0.0);
+  smaller.add_constraint({{x0, 1.0}}, Relation::kEq, 40.0);
+  const Solution warm = solve(smaller, &s0.basis);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_FALSE(warm.warm_used);
+  const Solution cold = solve(smaller);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+}
+
+TEST(SimplexWarm, InfeasibleBasisForNewRhsFallsBackToCold) {
+  // Basis from a kLe-slack-heavy optimum applied to a problem whose RHS
+  // makes that basis infeasible (negative basic values): the factorization
+  // rejects it and the cold path must still find the optimum.
+  Problem p0;
+  const int x = p0.add_variable("x", -1.0);
+  p0.add_constraint({{x, 1.0}}, Relation::kLe, 3.0);
+  const Solution s0 = solve(p0);
+  ASSERT_TRUE(s0.optimal());
+
+  Problem p1;
+  const int y = p1.add_variable("x", 1.0);
+  p1.add_constraint({{y, -1.0}}, Relation::kLe, -5.0);  // y >= 5
+  const Solution warm = solve(p1, &s0.basis);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_NEAR(warm.values[y], 5.0, 1e-9);
+}
+
+TEST(SimplexWarm, WarmNeverChangesReportedStatus) {
+  // Infeasible problem stays infeasible no matter what basis is offered.
+  Problem p;
+  const int x = p.add_variable("x", 1.0);
+  p.add_constraint({{x, 1.0}}, Relation::kLe, 1.0);
+  p.add_constraint({{x, 1.0}}, Relation::kGe, 2.0);
+  const double k[3] = {1.0, 2.0, 4.0};
+  const Solution donor = solve(makespan_lp(k, 70.0));
+  ASSERT_TRUE(donor.optimal());
+  EXPECT_EQ(solve(p, &donor.basis).status, SolveStatus::kInfeasible);
+}
+
 }  // namespace
 }  // namespace feves::lp

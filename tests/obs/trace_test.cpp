@@ -406,10 +406,14 @@ TEST(SchedTelemetry, LpEffortAndPredictionErrorAreExposed) {
 
   for (std::size_t f = 1; f < stats.size(); ++f) {
     const obs::SchedTelemetry& t = stats[f].telemetry;
-    EXPECT_GE(t.lp_solves, 1) << "frame " << f;
-    EXPECT_GT(t.lp_iterations, 0) << "frame " << f;
-    EXPECT_GE(t.delta_iterations, 1) << "frame " << f;
-    EXPECT_GT(t.lp_solve_ms, 0.0) << "frame " << f;
+    // Once the warm cache converges, a frame may skip the LP entirely and
+    // reuse the cached distribution — but it always reports one or the
+    // other.
+    EXPECT_GE(t.lp_solves + t.lp_skipped, 1) << "frame " << f;
+    if (t.lp_solves > 0) {
+      EXPECT_GT(t.lp_solve_ms, 0.0) << "frame " << f;
+      EXPECT_GE(t.delta_iterations, 1) << "frame " << f;
+    }
     EXPECT_GT(t.predicted_tau_tot_ms, 0.0) << "frame " << f;
     EXPECT_GT(t.measured_tau_tot_ms, 0.0) << "frame " << f;
     ASSERT_EQ(static_cast<int>(t.dev.size()), 3) << "frame " << f;

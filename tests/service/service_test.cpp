@@ -353,7 +353,7 @@ TEST(EncodeService, RejectsBeyondMaxSessionsAndCountsIt) {
   EncodeService svc(test_topo(2), opts);
   SessionConfig sc;
   sc.cfg = big_virtual_config();  // long enough to still be live below
-  sc.frames = 50;
+  sc.frames = 500;
   const int first = svc.submit(sc);
   ASSERT_GE(first, 0);
   SessionConfig sc2;

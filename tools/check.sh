@@ -1,39 +1,156 @@
 #!/usr/bin/env bash
-# One-stop pre-merge check: configure + build, the full plain test suite,
-# then one sanitizer sweep (tests/run_sanitized.sh via its ctest label).
-# With --service, also re-runs the encode-service battery on its own and
-# the multi-session throughput sweep (1/2/4/8 sessions, adaptive vs
-# equidistant) — the bench exits nonzero if a shape check fails.
+# One-stop pre-merge check and the single CI entry point.
 #
-# Usage: tools/check.sh [address|thread|undefined] [--service]
-set -euo pipefail
+# Local usage (runs every stage, collects failures, reports them all):
+#   tools/check.sh [address|thread|undefined] [--service]
+#
+# CI usage (one stage per job, exit code propagates that stage's result):
+#   tools/check.sh --ci build-test    # configure + build + tier-1 ctest
+#   tools/check.sh --ci sanitize      # nested sanitizer builds (ctest -L)
+#   tools/check.sh --ci format        # clang-format over the source tree
+#   tools/check.sh --ci bench-smoke   # cheap bench runs, JSON to bench-json/
+#
+# Environment: BUILD_TYPE sets CMAKE_BUILD_TYPE; CC/CXX select the
+# toolchain; BENCH_JSON_DIR overrides the bench artifact directory.
+set -uo pipefail
 
 SAN="thread"
 SERVICE=0
-for arg in "$@"; do
-  case "$arg" in
-    address|thread|undefined) SAN="$arg" ;;
+CI_STAGE=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    address|thread|undefined) SAN="$1" ;;
     --service) SERVICE=1 ;;
-    *) echo "usage: $0 [address|thread|undefined] [--service]" >&2; exit 2 ;;
+    --ci)
+      [ $# -ge 2 ] || { echo "--ci needs a stage" >&2; exit 2; }
+      CI_STAGE="$2"; shift ;;
+    *)
+      echo "usage: $0 [address|thread|undefined] [--service] [--ci <stage>]" >&2
+      exit 2 ;;
   esac
+  shift
 done
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build"
+BENCH_JSON_DIR="${BENCH_JSON_DIR:-$BUILD/bench-json}"
 
-cmake -B "$BUILD" -S "$ROOT"
-cmake --build "$BUILD" -j "$(nproc)"
+# Every stage runs even after an earlier one fails; each failure is
+# recorded and the script exits nonzero listing all of them — a red stage
+# can never be masked by a later green one.
+FAILED=()
+run_stage() {
+  local name="$1"; shift
+  echo
+  echo "==> $name"
+  if "$@"; then
+    echo "==> $name: OK"
+  else
+    echo "==> $name: FAILED" >&2
+    FAILED+=("$name")
+  fi
+}
 
-# Plain suite first (everything except the nested sanitizer builds).
-ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -LE sanitize
+configure() {
+  local args=(-B "$BUILD" -S "$ROOT")
+  [ -n "${BUILD_TYPE:-}" ] && args+=(-DCMAKE_BUILD_TYPE="$BUILD_TYPE")
+  [ -n "${FEVES_CMAKE_ARGS:-}" ] && args+=($FEVES_CMAKE_ARGS)
+  cmake "${args[@]}"
+}
 
-if [ "$SERVICE" -eq 1 ]; then
-  # The service battery by label, then the throughput scaling sweep.
+stage_build() {
+  configure && cmake --build "$BUILD" -j "$(nproc)"
+}
+
+stage_test() {
+  ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -LE sanitize
+}
+
+stage_service_tests() {
   ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -L service
-  "$BUILD/bench/ext_service_throughput"
+}
+
+stage_service() {
+  # Local-only extra: the throughput sweep's shape thresholds ride on real
+  # thread interleaving, too jittery to gate CI on.
+  stage_service_tests && "$BUILD/bench/ext_service_throughput"
+}
+
+stage_sanitize() {
+  # `all` fans out to every flavour (CI); a single name runs one (local).
+  local which="$1"
+  if [ "$which" = all ]; then
+    ctest --test-dir "$BUILD" --output-on-failure -L sanitize
+  else
+    ctest --test-dir "$BUILD" --output-on-failure -L sanitize \
+      -R "sanitize.$which"
+  fi
+}
+
+stage_format() {
+  if ! command -v clang-format >/dev/null 2>&1; then
+    echo "clang-format not found" >&2
+    return 1
+  fi
+  local files
+  files=$(find "$ROOT/src" "$ROOT/tests" "$ROOT/bench" "$ROOT/examples" \
+            -name '*.cpp' -o -name '*.hpp')
+  # shellcheck disable=SC2086
+  clang-format --dry-run --Werror $files
+}
+
+stage_bench_smoke() {
+  mkdir -p "$BENCH_JSON_DIR"
+  local ok=0
+  "$BUILD/bench/tab_overhead" --smoke \
+      --json "$BENCH_JSON_DIR/tab_overhead.json" || ok=1
+  "$BUILD/bench/ext_trace_overhead" --smoke \
+      --json "$BENCH_JSON_DIR/ext_trace_overhead.json" || ok=1
+  "$BUILD/bench/ext_pipeline_overhead" --smoke \
+      --json "$BENCH_JSON_DIR/ext_pipeline_overhead.json" || ok=1
+  return $ok
+}
+
+case "$CI_STAGE" in
+  "")
+    # Local pre-merge sweep. Format is advisory here when the binary is
+    # missing (developer boxes vary); CI always has it.
+    run_stage "configure+build" stage_build
+    run_stage "tier-1 tests" stage_test
+    [ "$SERVICE" -eq 1 ] && run_stage "service battery" stage_service
+    run_stage "sanitize ($SAN)" stage_sanitize "$SAN"
+    if command -v clang-format >/dev/null 2>&1; then
+      run_stage "format" stage_format
+    else
+      echo "(format check skipped: clang-format not installed)"
+    fi
+    ;;
+  build-test)
+    run_stage "configure+build" stage_build
+    run_stage "tier-1 tests" stage_test
+    run_stage "service tests" stage_service_tests
+    ;;
+  sanitize)
+    # FEVES_SAN narrows to one flavour (CI matrix); default runs all three.
+    run_stage "configure" configure
+    run_stage "sanitize (${FEVES_SAN:-all})" stage_sanitize "${FEVES_SAN:-all}"
+    ;;
+  format)
+    run_stage "format" stage_format
+    ;;
+  bench-smoke)
+    run_stage "configure+build" stage_build
+    run_stage "bench smoke" stage_bench_smoke
+    ;;
+  *)
+    echo "unknown --ci stage: $CI_STAGE" >&2
+    echo "stages: build-test sanitize format bench-smoke" >&2
+    exit 2 ;;
+esac
+
+echo
+if [ ${#FAILED[@]} -gt 0 ]; then
+  echo "check.sh: FAILED stages: ${FAILED[*]}" >&2
+  exit 1
 fi
-
-# One sanitizer flavour; run all three with `ctest -L sanitize`.
-ctest --test-dir "$BUILD" --output-on-failure -L sanitize -R "sanitize.$SAN"
-
-echo "check.sh: all green ($SAN sanitizer sweep included)"
+echo "check.sh: all green"
