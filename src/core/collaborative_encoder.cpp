@@ -30,6 +30,47 @@ CollaborativeEncoder::CollaborativeEncoder(const EncoderConfig& cfg,
   rf_holder_ = topo_.cpu_index() >= 0 ? topo_.cpu_index() : 0;
 }
 
+EncoderCheckpoint CollaborativeEncoder::checkpoint() const {
+  EncoderCheckpoint cp;
+  cp.fw.next_frame = next_frame_;
+  cp.fw.rf_holder = rf_holder_;
+  cp.fw.perf = perf_;
+  cp.fw.health = health_;
+  for (int i = 0; i < refs_.size(); ++i) {
+    cp.refs.push_back(std::make_shared<const RefPicture>(refs_.ref(i)));
+  }
+  return cp;
+}
+
+void CollaborativeEncoder::restore(const EncoderCheckpoint& cp) {
+  FEVES_CHECK_MSG(cp.fw.perf.num_devices() == topo_.num_devices(),
+                  "checkpoint covers " << cp.fw.perf.num_devices()
+                                       << " devices, topology has "
+                                       << topo_.num_devices());
+  FEVES_CHECK_MSG(static_cast<int>(cp.refs.size()) <= refs_.capacity(),
+                  "checkpoint reference window exceeds num_ref_frames");
+  FEVES_CHECK_MSG(cp.fw.next_frame == 0 || !cp.refs.empty(),
+                  "mid-stream checkpoint carries no reference window");
+  next_frame_ = cp.fw.next_frame;
+  rf_holder_ = cp.fw.rf_holder;
+  perf_ = cp.fw.perf;
+  health_ = cp.fw.health;
+  refs_.clear();
+  // push_front wants oldest first to end up newest-first like the snapshot.
+  for (auto it = cp.refs.rbegin(); it != cp.refs.rend(); ++it) {
+    refs_.push_front(std::make_unique<RefPicture>(**it));
+  }
+  // Mirrors, prestaged buffers, the pipeline slot and the deferred-SF
+  // ledger all describe frames the snapshot does not cover: drop them and
+  // restage each mirror whole from the restored canonical references.
+  for (int i = 0; i < topo_.num_devices(); ++i) {
+    if (topo_.devices[i].is_accelerator()) mirror_stale_[i] = true;
+    staged_[static_cast<std::size_t>(i)].valid = false;
+  }
+  slot_.valid = false;
+  dam_.reset();
+}
+
 FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
                                               std::vector<u8>* bitstream_out,
                                               const FrameGrant& grant) {

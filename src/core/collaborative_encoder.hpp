@@ -13,12 +13,36 @@
 
 namespace feves {
 
+/// Real-mode frame-boundary snapshot: the adaptive scheduling state plus
+/// deep copies of the reference window (reconstructions, SF planes and
+/// their readiness) — everything a fresh CollaborativeEncoder needs to
+/// continue the stream bit-identically from the frame after the snapshot.
+/// References are shared_ptr so a checkpoint is cheap to copy and hold;
+/// restore() deep-copies them back into the encoder, so one checkpoint can
+/// seed any number of restarts.
+struct EncoderCheckpoint {
+  FrameworkCheckpoint fw;
+  std::vector<std::shared_ptr<const RefPicture>> refs;  ///< newest first
+};
+
 class CollaborativeEncoder {
  public:
   CollaborativeEncoder(const EncoderConfig& cfg, const PlatformTopology& topo,
                        FrameworkOptions opts = {},
                        SimdTier tier = SimdTier::kAuto,
                        FaultSchedule faults = {});
+
+  /// Snapshots the encoder at the current frame boundary (between
+  /// encode_frame calls). The caller records its own bitstream offset — the
+  /// encoder only appends, it never owns the stream.
+  EncoderCheckpoint checkpoint() const;
+
+  /// Restores a frame-boundary snapshot, typically into a freshly
+  /// constructed encoder on the same topology (the resume-elsewhere path).
+  /// Device mirrors are marked stale and restaged whole from the restored
+  /// canonical references on the next frame, so the continuation is
+  /// bit-identical to an uninterrupted encode.
+  void restore(const EncoderCheckpoint& cp);
 
   /// Encodes the next frame (the first call encodes the bootstrap I frame
   /// on the host; subsequent calls run the collaborative inter loop).

@@ -28,6 +28,31 @@ VirtualFramework::VirtualFramework(const EncoderConfig& cfg,
   rf_holder_ = topo_.cpu_index() >= 0 ? topo_.cpu_index() : 0;
 }
 
+FrameworkCheckpoint VirtualFramework::checkpoint() const {
+  FrameworkCheckpoint cp;
+  cp.next_frame = next_frame_;
+  cp.rf_holder = rf_holder_;
+  cp.perf = perf_;
+  cp.health = health_;
+  return cp;
+}
+
+void VirtualFramework::restore(const FrameworkCheckpoint& cp) {
+  FEVES_CHECK_MSG(cp.perf.num_devices() == topo_.num_devices(),
+                  "checkpoint covers " << cp.perf.num_devices()
+                                       << " devices, topology has "
+                                       << topo_.num_devices());
+  FEVES_CHECK(cp.next_frame >= 1);
+  next_frame_ = cp.next_frame;
+  rf_holder_ = cp.rf_holder;
+  perf_ = cp.perf;
+  health_ = cp.health;
+  // The slot and the deferred-SF ledger describe frames beyond the
+  // snapshot; both must be rebuilt from scratch after the jump.
+  slot_.valid = false;
+  dam_.reset();
+}
+
 ScheduleDecision compute_schedule(const FrameworkOptions& opts,
                                   LoadBalancer& balancer,
                                   const PerfCharacterization& perf,

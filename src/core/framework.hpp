@@ -161,12 +161,36 @@ bool pipeline_slot_matches(const PipelineSlot& slot, int frame,
                            int active_refs, const PerfCharacterization& perf,
                            double epsilon);
 
+/// Frame-boundary snapshot of Algorithm 1's adaptive state — the minimal
+/// cross-frame scheduling state either framework needs to resume from the
+/// frame after the snapshot. Pixels (the reference window) are real-mode
+/// only and live in EncoderCheckpoint (collaborative_encoder.hpp); the
+/// service layer wraps both in a SessionCheckpoint. Copyable by value so a
+/// checkpoint can outlive the framework it was taken from — restoring into
+/// a freshly constructed framework is exactly the resume-elsewhere story.
+struct FrameworkCheckpoint {
+  int next_frame = 1;  ///< first inter-frame NOT covered by the snapshot
+  int rf_holder = 0;   ///< device holding the newest RF at the boundary
+  PerfCharacterization perf{1};  ///< K parameters at the last good frame
+  DeviceHealthMonitor health{1}; ///< quarantine/probation state
+};
+
 class VirtualFramework {
  public:
   VirtualFramework(const EncoderConfig& cfg, const PlatformTopology& topo,
                    FrameworkOptions opts = {},
                    PerturbationSchedule perturbations = {},
                    FaultSchedule faults = {});
+
+  /// Snapshots the adaptive state at the current frame boundary (call only
+  /// between encode_frame calls).
+  FrameworkCheckpoint checkpoint() const;
+
+  /// Restores a frame-boundary snapshot — typically into a freshly
+  /// constructed framework over the same topology. Scheduling resumes from
+  /// the checkpointed characterization; the pipeline slot and deferred-SF
+  /// state are dropped (they describe frames the snapshot does not cover).
+  void restore(const FrameworkCheckpoint& cp);
 
   /// Simulates the next inter-frame; returns its stats. `grant` restricts
   /// the frame to a device subset (multi-session operation; default: the

@@ -59,6 +59,8 @@ const char* lane_name(int lane) {
       return "host";
     case kLanePipeline:
       return "pipeline";
+    case kLaneResilience:
+      return "resilience";
   }
   return "lane?";
 }

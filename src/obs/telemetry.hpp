@@ -28,6 +28,37 @@ struct DeviceTelemetry {
   ModuleTimes me, interp, sme;
 };
 
+/// Session-resilience counters. Scoped by the holder: embedded in a
+/// FrameStats they describe one frame's recovery activity (the restarts and
+/// backoff that preceded it, the checkpoint taken after it); in a
+/// SessionResult the whole session; in ServiceStats the whole service —
+/// including the service-only counters (shed sessions, breaker trips).
+struct ResilienceTelemetry {
+  int checkpoints_taken = 0;
+  int checkpoints_restored = 0;
+  int restarts = 0;          ///< checkpoint-restarts performed
+  int frames_replayed = 0;   ///< frames re-encoded because of restarts
+  int backoff_waits = 0;     ///< backoff / breaker sleeps taken
+  double backoff_wait_ms = 0.0;
+  double checkpoint_ms = 0.0;  ///< wall time spent snapshotting state
+  int shed_sessions = 0;       ///< sessions shed by admission control
+  int breaker_trips = 0;       ///< pool-exhaustion circuit-breaker opens
+  int degraded_sessions = 0;   ///< sessions that stepped down the ladder
+
+  void merge(const ResilienceTelemetry& o) {
+    checkpoints_taken += o.checkpoints_taken;
+    checkpoints_restored += o.checkpoints_restored;
+    restarts += o.restarts;
+    frames_replayed += o.frames_replayed;
+    backoff_waits += o.backoff_waits;
+    backoff_wait_ms += o.backoff_wait_ms;
+    checkpoint_ms += o.checkpoint_ms;
+    shed_sessions += o.shed_sessions;
+    breaker_trips += o.breaker_trips;
+    degraded_sessions += o.degraded_sessions;
+  }
+};
+
 /// Everything measured about one frame's scheduling decision.
 struct SchedTelemetry {
   // LP solver effort (summed over the ∆ fix-point and any retry attempts).

@@ -45,6 +45,8 @@ inline constexpr int kLaneCopyD2H = 2;
 inline constexpr int kLaneHost = 3;  ///< orchestration (LP, planning, marks)
 inline constexpr int kLanePipeline = 4;  ///< scheduling overlapped with the
                                          ///< previous frame's execution
+inline constexpr int kLaneResilience = 5;  ///< checkpoint / restart / backoff
+                                           ///< activity of the encode service
 
 /// One traced interval. Fixed-size (no heap) so ring emission is a memcpy.
 struct TraceEvent {

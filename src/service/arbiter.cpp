@@ -11,6 +11,7 @@ PoolArbiter::PoolArbiter(int num_devices, ArbiterOptions opts)
       dev_free_ms_(static_cast<std::size_t>(num_devices), 0.0),
       dev_busy_ms_(static_cast<std::size_t>(num_devices), 0.0) {
   FEVES_CHECK(opts_.max_sessions >= 1);
+  FEVES_CHECK(opts_.admission_queue >= 0);
 }
 
 PoolArbiter::~PoolArbiter() {
@@ -21,34 +22,116 @@ PoolArbiter::~PoolArbiter() {
   cv_.notify_all();
 }
 
+void PoolArbiter::Grant::abandon() {
+  if (arbiter_ == nullptr) {
+    lease.release();  // defensively; a well-formed grant always has both
+    return;
+  }
+  PoolArbiter* arbiter = arbiter_;
+  arbiter_ = nullptr;
+  if (!lease.active()) return;  // passed through release(); nothing to do
+  {
+    std::lock_guard lock(arbiter->mu_);
+    lease.release();  // pool mutex nests inside mu_ (consistent order)
+  }
+  // The freed devices may satisfy a parked waiter right now — without this
+  // wake it would stall until the next unrelated release/abort.
+  arbiter->cv_.notify_all();
+}
+
 int PoolArbiter::admit(double weight) {
   FEVES_CHECK(weight > 0.0);
-  std::lock_guard lock(mu_);
+  int shed_id = -1;
+  int new_id = -1;
+  {
+    std::lock_guard lock(mu_);
+    int live = 0;
+    int queued = 0;
+    for (const Session& s : sessions_) {
+      live += s.live ? 1 : 0;
+      queued += s.queued ? 1 : 0;
+    }
+    Session s;
+    s.weight = weight;
+    s.stats.weight = weight;
+    s.last_mask.assign(static_cast<std::size_t>(num_devices()), false);
+    if (live < opts_.max_sessions) {
+      s.live = true;
+    } else if (queued < opts_.admission_queue) {
+      s.queued = true;
+    } else if (opts_.admission_queue > 0) {
+      // Queue full: shed the lowest-weight queued session (newest id as the
+      // tie-break victim) iff the newcomer strictly outweighs it.
+      int victim = -1;
+      for (int j = 0; j < static_cast<int>(sessions_.size()); ++j) {
+        const Session& o = sessions_[static_cast<std::size_t>(j)];
+        if (!o.queued) continue;
+        if (victim < 0 ||
+            o.weight <= sessions_[static_cast<std::size_t>(victim)].weight) {
+          victim = j;
+        }
+      }
+      FEVES_CHECK(victim >= 0);
+      if (weight <= sessions_[static_cast<std::size_t>(victim)].weight) {
+        return -1;  // newcomer loses: refuse it instead
+      }
+      Session& v = sessions_[static_cast<std::size_t>(victim)];
+      v.queued = false;
+      v.shed = true;
+      shed_id = victim;
+      s.queued = true;
+    } else {
+      return -1;
+    }
+    sessions_.push_back(std::move(s));
+    new_id = static_cast<int>(sessions_.size()) - 1;
+  }
+  if (shed_id >= 0) cv_.notify_all();  // wake the victim's parked acquire()
+  return new_id;
+}
+
+void PoolArbiter::promote_locked() {
   int live = 0;
   for (const Session& s : sessions_) live += s.live ? 1 : 0;
-  if (live >= opts_.max_sessions) return -1;
-  Session s;
-  s.weight = weight;
-  s.live = true;
-  s.stats.weight = weight;
-  s.last_mask.assign(static_cast<std::size_t>(num_devices()), false);
-  sessions_.push_back(std::move(s));
-  return static_cast<int>(sessions_.size()) - 1;
+  while (live < opts_.max_sessions) {
+    int best = -1;
+    for (int j = 0; j < static_cast<int>(sessions_.size()); ++j) {
+      const Session& o = sessions_[static_cast<std::size_t>(j)];
+      if (!o.queued) continue;
+      if (best < 0 ||
+          o.weight > sessions_[static_cast<std::size_t>(best)].weight) {
+        best = j;  // highest weight wins; scan order makes ties lowest-id
+      }
+    }
+    if (best < 0) return;
+    Session& p = sessions_[static_cast<std::size_t>(best)];
+    p.queued = false;
+    p.live = true;
+    ++live;
+  }
 }
 
 void PoolArbiter::retire(int session) {
   {
     std::lock_guard lock(mu_);
     FEVES_CHECK(session >= 0 && session < static_cast<int>(sessions_.size()));
-    sessions_[static_cast<std::size_t>(session)].live = false;
+    Session& s = sessions_[static_cast<std::size_t>(session)];
+    s.live = false;
+    s.queued = false;
+    s.retired = true;
+    promote_locked();
   }
-  // Shares just rebalanced; waiters may deserve bigger grants now.
+  // Shares just rebalanced (and a queued session may have been promoted);
+  // waiters may deserve bigger grants now.
   cv_.notify_all();
 }
 
 bool PoolArbiter::eligible_locked(const Session& s,
                                   const std::vector<bool>& free) const {
-  if (!s.waiting || s.aborted) return false;
+  // Only live sessions compete for grants: a queued session has priority 0
+  // (no service yet) and would otherwise win head-of-line over every live
+  // waiter while holding no share.
+  if (!s.live || !s.waiting || s.aborted || s.shed) return false;
   for (std::size_t i = 0; i < free.size(); ++i) {
     if (free[i] && s.usable[i]) return true;
   }
@@ -81,29 +164,40 @@ int PoolArbiter::fair_share_locked(const Session& s) const {
 }
 
 std::optional<PoolArbiter::Grant> PoolArbiter::acquire(
-    int session, const std::vector<bool>& usable) {
+    int session, const std::vector<bool>& usable, AcquireOutcome* outcome,
+    int max_devices) {
   FEVES_CHECK(static_cast<int>(usable.size()) == num_devices());
   bool any_usable = false;
   for (bool u : usable) any_usable |= u;
   FEVES_CHECK_MSG(any_usable,
                   "session " << session << " has no usable device left");
+  if (outcome != nullptr) *outcome = AcquireOutcome::kGranted;
 
   std::unique_lock lock(mu_);
   FEVES_CHECK(session >= 0 && session < static_cast<int>(sessions_.size()));
   Session& s = sessions_[static_cast<std::size_t>(session)];
-  FEVES_CHECK_MSG(s.live, "acquire() on a retired session");
+  FEVES_CHECK_MSG(!s.retired, "acquire() on a retired session");
   s.waiting = true;
   s.usable = usable;
   cv_.wait(lock, [&] {
-    return stopping_ || s.aborted || is_head_locked(session, pool_.free_mask());
+    return stopping_ || s.aborted || s.shed ||
+           is_head_locked(session, pool_.free_mask());
   });
   s.waiting = false;
-  if (stopping_ || s.aborted) return std::nullopt;
+  if (stopping_ || s.aborted || s.shed) {
+    if (outcome != nullptr) {
+      *outcome = stopping_   ? AcquireOutcome::kShutdown
+                 : s.aborted ? AcquireOutcome::kAborted
+                             : AcquireOutcome::kShed;
+    }
+    return std::nullopt;
+  }
 
   // Pool state only changes under mu_ (acquire/release below), so this
   // snapshot is the state try_reserve will see.
   const std::vector<bool> free = pool_.free_mask();
-  const int share = fair_share_locked(s);
+  int share = fair_share_locked(s);
+  if (max_devices > 0) share = std::min(share, max_devices);
 
   // Candidate devices: free ∩ usable, affinity devices first, then by
   // least virtual backlog (a device another session just loaded up is a
@@ -138,6 +232,8 @@ std::optional<PoolArbiter::Grant> PoolArbiter::acquire(
   Grant grant;
   grant.lease = std::move(*lease);
   grant.num_devices = n;
+  grant.arbiter_ = this;
+  grant.session_ = session;
   lock.unlock();
   // The remaining free devices may now satisfy the next eligible waiter.
   cv_.notify_all();
@@ -175,6 +271,7 @@ void PoolArbiter::release(int session, Grant grant, double frame_ms,
     s.stats.used_device_ms += frame_ms * std::min(used_devices, grant.num_devices);
 
     grant.lease.release();  // pool mutex nests inside mu_ (consistent order)
+    grant.arbiter_ = nullptr;  // fully consumed; dtor must not re-enter mu_
   }
   cv_.notify_all();
 }
@@ -193,6 +290,13 @@ int PoolArbiter::live_sessions() const {
   int live = 0;
   for (const Session& s : sessions_) live += s.live ? 1 : 0;
   return live;
+}
+
+int PoolArbiter::queued_sessions() const {
+  std::lock_guard lock(mu_);
+  int queued = 0;
+  for (const Session& s : sessions_) queued += s.queued ? 1 : 0;
+  return queued;
 }
 
 SessionStats PoolArbiter::session_stats(int session) const {

@@ -14,6 +14,13 @@
 //    reported duration, giving deterministic-shape throughput/queue-wait
 //    accounting that works identically for the DES-driven virtual framework
 //    (whose frame times are modelled, not elapsed) and the real encoder.
+//
+// Overload control: beyond the live bound, admit() can park sessions in a
+// bounded admission queue (ArbiterOptions::admission_queue). Queued sessions
+// are promoted by weight when a live one retires; when the queue itself is
+// full, the lowest-weight queued session is shed in favour of a strictly
+// higher-weight newcomer — priority-aware load shedding instead of
+// tail-drop.
 #pragma once
 
 #include "platform/pool.hpp"
@@ -27,12 +34,25 @@
 namespace feves {
 
 struct ArbiterOptions {
-  /// Admission bound: admit() refuses when this many sessions are live.
+  /// Admission bound: at most this many sessions hold live shares.
   int max_sessions = 16;
+  /// Bounded admission queue behind the live bound (0 = refuse instead of
+  /// queueing, the legacy behaviour). Queued sessions park in acquire()
+  /// without a share until promoted, or are shed under queue pressure.
+  int admission_queue = 0;
   /// Prefer re-granting the devices a session held last frame. Keeps device
   /// mirrors warm (real mode) and characterizations valid (fewer probe /
   /// re-init frames) at the cost of slower rebalancing after churn.
   bool prefer_affinity = true;
+};
+
+/// How an acquire() call ended when it did not produce a grant — the
+/// caller's terminal-state attribution depends on the distinction.
+enum class AcquireOutcome {
+  kGranted,   ///< grant returned
+  kAborted,   ///< abort() landed on the session
+  kShed,      ///< session was shed by admission-queue pressure
+  kShutdown,  ///< the arbiter is being destroyed
 };
 
 /// Arbiter-side accounting for one session (snapshot; all times virtual).
@@ -58,9 +78,47 @@ struct SessionStats {
 class PoolArbiter {
  public:
   /// One grant: the device lease plus the share accounting release() needs.
-  struct Grant {
+  /// RAII: a grant that goes out of scope without passing through release()
+  /// — an exception unwinding a session loop — hands its devices back to
+  /// the pool AND wakes the arbiter's parked waiters. (The lease alone
+  /// would free the devices but leave waiters parked on the arbiter's
+  /// condition variable until some unrelated event; that silent stall was
+  /// the classic leaked-grant failure mode.)
+  class Grant {
+   public:
+    Grant() = default;
+    ~Grant() { abandon(); }
+    Grant(Grant&& o) noexcept
+        : lease(std::move(o.lease)),
+          num_devices(o.num_devices),
+          arbiter_(o.arbiter_),
+          session_(o.session_) {
+      o.arbiter_ = nullptr;
+      o.num_devices = 0;
+    }
+    Grant& operator=(Grant&& o) noexcept {
+      if (this != &o) {
+        abandon();
+        lease = std::move(o.lease);
+        num_devices = o.num_devices;
+        arbiter_ = o.arbiter_;
+        session_ = o.session_;
+        o.arbiter_ = nullptr;
+        o.num_devices = 0;
+      }
+      return *this;
+    }
+    Grant(const Grant&) = delete;
+    Grant& operator=(const Grant&) = delete;
+
     DeviceLease lease;
     int num_devices = 0;
+
+   private:
+    friend class PoolArbiter;
+    void abandon();
+    PoolArbiter* arbiter_ = nullptr;
+    int session_ = -1;
   };
 
   PoolArbiter(int num_devices, ArbiterOptions opts = {});
@@ -69,22 +127,31 @@ class PoolArbiter {
   /// into its pool).
   ~PoolArbiter();
 
-  /// Admits a session with the given fair-share weight; returns its id, or
-  /// -1 when the max-sessions bound is hit.
+  /// Admits a session with the given fair-share weight; returns its id.
+  /// When the live bound is hit the session is queued (admission_queue
+  /// permitting); when the queue is also full, the lowest-weight queued
+  /// session is shed iff the newcomer's weight is strictly higher —
+  /// otherwise the newcomer itself is refused with -1.
   int admit(double weight = 1.0);
 
-  /// Removes a session from the share computation (idempotent). Its
-  /// accounting remains readable.
+  /// Removes a session from the share computation (idempotent) and
+  /// promotes the highest-weight queued session, if any, into the freed
+  /// live slot. The retired session's accounting remains readable.
   void retire(int session);
 
-  /// Blocks until this session is the most underserved eligible waiter and
-  /// at least one device in `usable` is free, then grants a fair share of
-  /// the free usable devices. `usable` is the session's own view (its
-  /// health monitor's active mask): devices it has quarantined are never
-  /// granted to it, but stay grantable to everyone else. Returns nullopt
-  /// when the session was aborted or the arbiter is shutting down, and
-  /// fails loudly when `usable` has no devices at all.
-  std::optional<Grant> acquire(int session, const std::vector<bool>& usable);
+  /// Blocks until this session is a live head-of-line waiter and at least
+  /// one device in `usable` is free, then grants a fair share of the free
+  /// usable devices — at most `max_devices` of them when that is > 0 (the
+  /// graceful-degradation rung: a storm-ridden session volunteering to
+  /// shrink). `usable` is the session's own view (its health monitor's
+  /// active mask): devices it has quarantined are never granted to it, but
+  /// stay grantable to everyone else. Returns nullopt when the session was
+  /// aborted or shed or the arbiter is shutting down — `outcome`, when
+  /// non-null, says which — and fails loudly when `usable` has no devices
+  /// at all.
+  std::optional<Grant> acquire(int session, const std::vector<bool>& usable,
+                               AcquireOutcome* outcome = nullptr,
+                               int max_devices = 0);
 
   /// Returns a grant, advancing the virtual clocks: the frame occupied the
   /// granted devices for `frame_ms`, of which `used_devices` got rows.
@@ -99,6 +166,11 @@ class PoolArbiter {
 
   int num_devices() const { return pool_.num_devices(); }
   int live_sessions() const;
+  /// Sessions parked in the admission queue (no live share yet).
+  int queued_sessions() const;
+  /// Devices currently unreserved — equals num_devices() iff no grant is
+  /// outstanding (the chaos harness's no-leak invariant).
+  int free_devices() const { return pool_.num_free(); }
   SessionStats session_stats(int session) const;
   std::vector<double> device_busy_ms() const;
   /// Virtual makespan: the latest session completion time so far.
@@ -108,6 +180,9 @@ class PoolArbiter {
   struct Session {
     double weight = 1.0;
     bool live = false;      ///< admitted and not retired
+    bool queued = false;    ///< parked in the admission queue
+    bool shed = false;      ///< dropped by admission-queue pressure
+    bool retired = false;   ///< passed through retire()
     bool waiting = false;   ///< parked in acquire()
     bool aborted = false;
     std::vector<bool> usable;     ///< waiter's usable snapshot
@@ -124,6 +199,7 @@ class PoolArbiter {
                        const std::vector<bool>& free) const;
   bool is_head_locked(int session, const std::vector<bool>& free) const;
   int fair_share_locked(const Session& s) const;
+  void promote_locked();
 
   ArbiterOptions opts_;
   DevicePool pool_;

@@ -1,9 +1,33 @@
 #include "service/encode_service.hpp"
 
+#include <chrono>
+
 namespace feves {
 
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double ms_since(SteadyClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - t0)
+      .count();
+}
+
+/// True if any device in the session's health mask is still usable.
+bool any_usable(const std::vector<bool>& mask) {
+  for (bool b : mask) {
+    if (b) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 EncodeService::EncodeService(const PlatformTopology& topo, ServiceOptions opts)
-    : topo_(topo), opts_(opts), arbiter_(topo.num_devices(), opts.arbiter) {
+    : topo_(topo),
+      opts_(opts),
+      arbiter_(topo.num_devices(), opts.arbiter),
+      breaker_(opts.breaker) {
   topo_.validate();
 }
 
@@ -90,6 +114,9 @@ ServiceStats EncodeService::stats() const {
   out.device_busy_ms = arbiter_.device_busy_ms();
   std::lock_guard lock(mu_);
   out.admitted = static_cast<int>(sessions_.size());
+  out.shed = shed_sessions_;
+  out.resilience = finished_resilience_;
+  out.resilience.breaker_trips = breaker_.trips();
   int utilized_sessions = 0;
   for (const auto& s : sessions_) {
     const SessionStats share = arbiter_.session_stats(s->id);
@@ -119,117 +146,349 @@ int EncodeService::used_devices(const Distribution& dist) {
   return used;
 }
 
+void EncodeService::backoff_sleep(Session* s, double ms, int frame,
+                                  const char* why) {
+  if (ms <= 0.0) return;
+  obs::ResilienceTelemetry& rt = s->result.resilience;
+  rt.backoff_waits += 1;
+  const auto t0 = SteadyClock::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<SteadyClock::duration>(
+               std::chrono::duration<double, std::milli>(ms));
+  // Sliced so a landing abort() cuts the wait short instead of holding the
+  // session (and its joiner) hostage for a full backoff rung.
+  while (!s->abort.load(std::memory_order_relaxed)) {
+    const auto now = SteadyClock::now();
+    if (now >= deadline) break;
+    const auto slice = std::min<SteadyClock::duration>(
+        deadline - now, std::chrono::milliseconds(1));
+    std::this_thread::sleep_for(slice);
+  }
+  const double waited = ms_since(t0);
+  rt.backoff_wait_ms += waited;
+  if (s->cfg.fw.trace != nullptr) {
+    s->cfg.fw.trace->add_host_event(frame, why, obs::EventKind::kMark, waited,
+                                    obs::kLaneResilience);
+  }
+}
+
 void EncodeService::run_session(Session* s) {
   s->result.id = s->id;
+  TerminalReason reason = TerminalReason::kError;
   try {
-    if (s->cfg.source != nullptr) {
-      run_real(s);
-    } else {
-      run_virtual(s);
+    reason = s->cfg.source != nullptr ? run_real(s) : run_virtual(s);
+    // An abort that lands after the last frame still counts: callers that
+    // asked for an abort must never observe a "completed" session.
+    if (reason == TerminalReason::kCompleted &&
+        s->abort.load(std::memory_order_relaxed)) {
+      reason = TerminalReason::kAborted;
     }
-    s->result.state = s->abort.load(std::memory_order_relaxed)
-                          ? SessionResult::State::kAborted
-                          : SessionResult::State::kCompleted;
   } catch (const std::exception& e) {
-    s->result.state = SessionResult::State::kFailed;
+    reason = TerminalReason::kError;
     s->result.error = e.what();
   } catch (...) {
-    s->result.state = SessionResult::State::kFailed;
+    reason = TerminalReason::kError;
     s->result.error = "unknown exception";
+  }
+  s->result.reason = reason;
+  switch (reason) {
+    case TerminalReason::kCompleted:
+      s->result.state = SessionResult::State::kCompleted;
+      break;
+    case TerminalReason::kAborted:
+      s->result.state = SessionResult::State::kAborted;
+      break;
+    case TerminalReason::kShed:
+      s->result.state = SessionResult::State::kShed;
+      s->result.resilience.shed_sessions = 1;
+      break;
+    default:
+      s->result.state = SessionResult::State::kFailed;
+      if (s->result.error.empty()) s->result.error = to_string(reason);
+      break;
   }
   arbiter_.retire(s->id);
   s->result.share = arbiter_.session_stats(s->id);
-}
-
-namespace {
-
-/// True if any device in the session's health mask is still usable.
-bool any_usable(const std::vector<bool>& mask) {
-  for (bool b : mask) {
-    if (b) return true;
+  {
+    std::lock_guard lock(mu_);
+    finished_resilience_.merge(s->result.resilience);
+    if (reason == TerminalReason::kShed) ++shed_sessions_;
   }
-  return false;
 }
 
-}  // namespace
+TerminalReason EncodeService::run_virtual(Session* s) {
+  const ResilienceOptions& ro = s->cfg.resilience;
+  obs::ResilienceTelemetry& rt = s->result.resilience;
+  SessionGovernor gov(ro, &breaker_,
+                      (static_cast<u64>(s->id) + 1) * 0x9E3779B97F4A7C15ull);
 
-void EncodeService::run_virtual(Session* s) {
-  VirtualFramework fw(s->cfg.cfg, topo_, s->cfg.fw, s->cfg.perturbations,
-                      s->cfg.faults);
-  for (int f = 0; f < s->cfg.frames; ++f) {
-    if (s->abort.load(std::memory_order_relaxed)) break;
-    bool encoded = false;
-    while (!encoded) {
-      const std::vector<bool> usable = fw.health().active_mask();
-      auto grant = arbiter_.acquire(s->id, usable);
-      if (!grant.has_value()) return;  // aborted / service shutting down
-      FrameStats stats;
-      try {
-        stats =
-            fw.encode_frame(FrameGrant{&grant->lease.mask(), &grant->lease});
-      } catch (...) {
-        // The grant must flow back even when the frame dies: a leaked
-        // lease would starve every other session.
-        arbiter_.release(s->id, std::move(*grant), 0.0, 0,
-                         /*completed=*/false);
-        // A fault storm can quarantine the whole grant mid-frame. Nothing
-        // was committed, so if the health mask shrank and other devices
-        // remain usable, take a fresh grant and retry this frame on them.
-        if (fw.health().active_mask() != usable &&
-            any_usable(fw.health().active_mask())) {
-          continue;
-        }
-        throw;
-      }
-      arbiter_.release(s->id, std::move(*grant), stats.total_ms,
-                       used_devices(stats.dist));
-      s->result.frames.push_back(std::move(stats));
-      encoded = true;
+  // cp is the last good frame boundary; seeded from cfg.resume so a session
+  // restarted from a predecessor's checkpoint escalates against it too.
+  SessionCheckpoint cp;
+  if (s->cfg.resume != nullptr && s->cfg.resume->valid) cp = *s->cfg.resume;
+
+  // Past the degrade point, restarts rebuild the framework with a reduced
+  // search range — legitimate in virtual mode only (no bitstream to keep
+  // bit-exact); real mode degrades by shrinking its grant instead.
+  auto make_fw = [&] {
+    EncoderConfig cfg = s->cfg.cfg;
+    cfg.search_range = gov.degraded_search_range(cfg.search_range);
+    return std::make_unique<VirtualFramework>(cfg, topo_, s->cfg.fw,
+                                              s->cfg.perturbations,
+                                              s->cfg.faults);
+  };
+
+  auto fw = make_fw();
+  const int base = cp.valid ? static_cast<int>(cp.frames_recorded) : 0;
+  int f = base;  // stream-global count of inter-frames done
+  if (cp.valid) {
+    fw->restore(cp.fw);
+    rt.checkpoints_restored += 1;
+  }
+
+  auto take_checkpoint = [&] {
+    const auto t0 = SteadyClock::now();
+    cp.valid = true;
+    cp.frames_recorded = static_cast<std::size_t>(f);
+    cp.bitstream_bytes = 0;
+    cp.fw = fw->checkpoint();
+    s->result.checkpoint = cp;
+    rt.checkpoints_taken += 1;
+    const double took = ms_since(t0);
+    rt.checkpoint_ms += took;
+    if (s->cfg.fw.trace != nullptr) {
+      s->cfg.fw.trace->add_host_event(f, "checkpoint", obs::EventKind::kMark,
+                                      took, obs::kLaneResilience);
     }
-  }
-}
+  };
 
-void EncodeService::run_real(Session* s) {
-  CollaborativeEncoder enc(s->cfg.cfg, topo_, s->cfg.fw, s->cfg.tier,
-                           s->cfg.faults);
-  Frame420 frame(s->cfg.cfg.width, s->cfg.cfg.height);
-  for (int f = 0; f < s->cfg.frames; ++f) {
-    if (s->abort.load(std::memory_order_relaxed)) break;
-    if (!s->cfg.source->read_frame(f, frame)) break;
-    if (f == 0) {
-      // Bootstrap I frame: host-side intra path, touches no pool device.
-      s->result.frames.push_back(enc.encode_frame(frame, &s->result.bitstream));
+  // Checkpoint-restart rung: back off (jittered), rebuild the framework
+  // (picking up any degradation), rewind to the last good frame.
+  auto do_restart = [&] {
+    backoff_sleep(s, gov.begin_restart(), f + 1, "restart-backoff");
+    rt.restarts += 1;
+    fw = make_fw();
+    int new_f = base;
+    if (cp.valid) {
+      fw->restore(cp.fw);
+      new_f = static_cast<int>(cp.frames_recorded);
+      rt.checkpoints_restored += 1;
+    }
+    rt.frames_replayed += f - new_f;
+    s->result.frames.resize(static_cast<std::size_t>(new_f - base));
+    f = new_f;
+    if (gov.degraded()) {
+      rt.degraded_sessions = 1;
+      s->result.degrade_level = ro.degrade_search_range ? 2 : 1;
+    }
+    if (s->cfg.fw.trace != nullptr) {
+      s->cfg.fw.trace->add_host_event(f + 1, "restart", obs::EventKind::kMark,
+                                      0.0, obs::kLaneResilience);
+    }
+  };
+
+  while (f < s->cfg.frames) {
+    if (s->abort.load(std::memory_order_relaxed)) {
+      return TerminalReason::kAborted;
+    }
+    if (gov.deadline_exceeded()) return TerminalReason::kDeadlineExceeded;
+
+    const std::vector<bool> usable = fw->health().active_mask();
+    if (!any_usable(usable)) {
+      // Every device quarantined from this session's view — the only rung
+      // left is a restart, which restores the pre-storm health state.
+      if (!gov.can_restart()) {
+        return gov.deadline_exceeded() ? TerminalReason::kDeadlineExceeded
+                                       : TerminalReason::kNoUsableDevice;
+      }
+      do_restart();
       continue;
     }
-    bool encoded = false;
-    while (!encoded) {
-      const std::vector<bool> usable = enc.health().active_mask();
-      auto grant = arbiter_.acquire(s->id, usable);
-      if (!grant.has_value()) return;
-      FrameStats stats;
-      try {
-        stats =
-            enc.encode_frame(frame, &s->result.bitstream,
-                             FrameGrant{&grant->lease.mask(), &grant->lease});
-      } catch (...) {
-        arbiter_.release(s->id, std::move(*grant), 0.0, 0,
-                         /*completed=*/false);
-        // Same whole-grant-quarantined recovery as run_virtual: the frame
-        // never committed any state (bitstream and references update only
-        // on success), so retrying it on the surviving devices keeps the
-        // stream bit-exact.
-        if (enc.health().active_mask() != usable &&
-            any_usable(enc.health().active_mask())) {
-          continue;
-        }
-        throw;
+
+    const double brk = gov.breaker_wait_ms();
+    if (brk > 0.0) {
+      backoff_sleep(s, brk, f + 1, "breaker-wait");
+      continue;
+    }
+
+    AcquireOutcome outcome = AcquireOutcome::kGranted;
+    auto grant =
+        arbiter_.acquire(s->id, usable, &outcome, gov.max_devices_hint());
+    if (!grant.has_value()) {
+      return outcome == AcquireOutcome::kShed ? TerminalReason::kShed
+                                              : TerminalReason::kAborted;
+    }
+    FrameStats stats;
+    try {
+      stats = fw->encode_frame(FrameGrant{&grant->lease.mask(), &grant->lease});
+    } catch (...) {
+      // The grant must flow back even when the frame dies: a leaked lease
+      // would starve every other session.
+      arbiter_.release(s->id, std::move(*grant), 0.0, 0, /*completed=*/false);
+      gov.grant_lost();
+      // A fault storm can quarantine the whole grant mid-frame. Nothing was
+      // committed, so if the health mask shrank and other devices remain
+      // usable, take a fresh grant and retry this frame on them.
+      const std::vector<bool> now = fw->health().active_mask();
+      if (now != usable && any_usable(now)) continue;
+      if (gov.deadline_exceeded()) return TerminalReason::kDeadlineExceeded;
+      if (!gov.can_restart()) {
+        if (ro.max_restarts > 0) return TerminalReason::kRestartsExhausted;
+        throw;  // restart rung disabled: legacy fail-with-error
       }
-      arbiter_.release(s->id, std::move(*grant), stats.total_ms,
-                       used_devices(stats.dist));
-      s->result.frames.push_back(std::move(stats));
-      encoded = true;
+      do_restart();
+      continue;
+    }
+    arbiter_.release(s->id, std::move(*grant), stats.total_ms,
+                     used_devices(stats.dist));
+    gov.frame_completed();
+    s->result.frames.push_back(std::move(stats));
+    ++f;
+    if (ro.checkpoint_interval > 0 && f % ro.checkpoint_interval == 0) {
+      take_checkpoint();
     }
   }
+  return TerminalReason::kCompleted;
+}
+
+TerminalReason EncodeService::run_real(Session* s) {
+  const ResilienceOptions& ro = s->cfg.resilience;
+  obs::ResilienceTelemetry& rt = s->result.resilience;
+  SessionGovernor gov(ro, &breaker_,
+                      (static_cast<u64>(s->id) + 1) * 0x9E3779B97F4A7C15ull);
+
+  SessionCheckpoint cp;
+  if (s->cfg.resume != nullptr && s->cfg.resume->valid) cp = *s->cfg.resume;
+
+  auto make_enc = [&] {
+    return std::make_unique<CollaborativeEncoder>(s->cfg.cfg, topo_, s->cfg.fw,
+                                                  s->cfg.tier, s->cfg.faults);
+  };
+
+  auto enc = make_enc();
+  const int base = cp.valid ? static_cast<int>(cp.frames_recorded) : 0;
+  // Resumed sessions emit only the continuation bytes; checkpoints record
+  // stream-global offsets so a chain of resumes keeps composing.
+  const std::size_t base_bytes = cp.valid ? cp.bitstream_bytes : 0;
+  int f = base;  // stream-global count of frames done (incl. the I frame)
+  if (cp.valid) {
+    enc->restore(cp.enc);
+    rt.checkpoints_restored += 1;
+  }
+
+  auto take_checkpoint = [&] {
+    const auto t0 = SteadyClock::now();
+    cp.valid = true;
+    cp.frames_recorded = static_cast<std::size_t>(f);
+    cp.bitstream_bytes = base_bytes + s->result.bitstream.size();
+    cp.enc = enc->checkpoint();
+    cp.fw = cp.enc.fw;
+    s->result.checkpoint = cp;
+    rt.checkpoints_taken += 1;
+    const double took = ms_since(t0);
+    rt.checkpoint_ms += took;
+    if (s->cfg.fw.trace != nullptr) {
+      s->cfg.fw.trace->add_host_event(f, "checkpoint", obs::EventKind::kMark,
+                                      took, obs::kLaneResilience);
+    }
+  };
+
+  auto do_restart = [&] {
+    backoff_sleep(s, gov.begin_restart(), f + 1, "restart-backoff");
+    rt.restarts += 1;
+    enc = make_enc();
+    int new_f = 0;
+    std::size_t keep_bytes = 0;
+    if (cp.valid) {
+      enc->restore(cp.enc);
+      new_f = static_cast<int>(cp.frames_recorded);
+      keep_bytes = cp.bitstream_bytes - base_bytes;
+      rt.checkpoints_restored += 1;
+    }
+    rt.frames_replayed += f - new_f;
+    s->result.frames.resize(static_cast<std::size_t>(new_f - base));
+    s->result.bitstream.resize(keep_bytes);
+    f = new_f;
+    if (gov.degraded()) {
+      rt.degraded_sessions = 1;
+      s->result.degrade_level = 1;  // grant cap only: bits must not change
+    }
+    if (s->cfg.fw.trace != nullptr) {
+      s->cfg.fw.trace->add_host_event(f + 1, "restart", obs::EventKind::kMark,
+                                      0.0, obs::kLaneResilience);
+    }
+  };
+
+  Frame420 frame(s->cfg.cfg.width, s->cfg.cfg.height);
+  while (f < s->cfg.frames) {
+    if (s->abort.load(std::memory_order_relaxed)) {
+      return TerminalReason::kAborted;
+    }
+    if (gov.deadline_exceeded()) return TerminalReason::kDeadlineExceeded;
+    if (!s->cfg.source->read_frame(f, frame)) break;  // short source
+    if (f == 0) {
+      // Bootstrap I frame: host-side intra path, touches no pool device.
+      s->result.frames.push_back(enc->encode_frame(frame, &s->result.bitstream));
+      ++f;
+      // Checkpoint right away so no restart ever has to redo the bootstrap.
+      if (ro.checkpoint_interval > 0) take_checkpoint();
+      continue;
+    }
+
+    const std::vector<bool> usable = enc->health().active_mask();
+    if (!any_usable(usable)) {
+      if (!gov.can_restart()) {
+        return gov.deadline_exceeded() ? TerminalReason::kDeadlineExceeded
+                                       : TerminalReason::kNoUsableDevice;
+      }
+      do_restart();
+      continue;
+    }
+
+    const double brk = gov.breaker_wait_ms();
+    if (brk > 0.0) {
+      backoff_sleep(s, brk, f + 1, "breaker-wait");
+      continue;
+    }
+
+    AcquireOutcome outcome = AcquireOutcome::kGranted;
+    auto grant =
+        arbiter_.acquire(s->id, usable, &outcome, gov.max_devices_hint());
+    if (!grant.has_value()) {
+      return outcome == AcquireOutcome::kShed ? TerminalReason::kShed
+                                              : TerminalReason::kAborted;
+    }
+    FrameStats stats;
+    try {
+      stats = enc->encode_frame(frame, &s->result.bitstream,
+                                FrameGrant{&grant->lease.mask(), &grant->lease});
+    } catch (...) {
+      arbiter_.release(s->id, std::move(*grant), 0.0, 0, /*completed=*/false);
+      gov.grant_lost();
+      // Same whole-grant-quarantined recovery as run_virtual: the frame
+      // never committed any state (bitstream and references update only on
+      // success), so retrying it on the surviving devices keeps the stream
+      // bit-exact.
+      const std::vector<bool> now = enc->health().active_mask();
+      if (now != usable && any_usable(now)) continue;
+      if (gov.deadline_exceeded()) return TerminalReason::kDeadlineExceeded;
+      if (!gov.can_restart()) {
+        if (ro.max_restarts > 0) return TerminalReason::kRestartsExhausted;
+        throw;
+      }
+      do_restart();
+      continue;
+    }
+    arbiter_.release(s->id, std::move(*grant), stats.total_ms,
+                     used_devices(stats.dist));
+    gov.frame_completed();
+    s->result.frames.push_back(std::move(stats));
+    ++f;
+    if (ro.checkpoint_interval > 0 && f % ro.checkpoint_interval == 0) {
+      take_checkpoint();
+    }
+  }
+  return TerminalReason::kCompleted;
 }
 
 }  // namespace feves

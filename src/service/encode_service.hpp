@@ -10,11 +10,24 @@
 // The correctness anchor survives multi-tenancy: a session's bitstream and
 // reconstruction are bit-identical to encoding the same sequence alone,
 // whatever the arbiter grants frame to frame (tests/service/service_test).
+//
+// Resilience (src/service/resilience.hpp): each session climbs an
+// escalation ladder instead of dying on the first escaped exception —
+// per-frame op retries (inside the frameworks), whole-grant re-requests,
+// deadline-budgeted checkpoint-restarts with jittered backoff, and finally
+// an attributed terminal state (SessionResult::reason). Frame-boundary
+// SessionCheckpoints also flow out through SessionResult::checkpoint and
+// back in through SessionConfig::resume, so an aborted or crashed session
+// can be resubmitted and continue bit-identically from its last good frame.
+// Service-wide, a pool-exhaustion circuit breaker paces sessions through
+// quarantine storms and the arbiter's bounded admission queue sheds the
+// lowest-priority overload instead of stalling everyone.
 #pragma once
 
 #include "core/collaborative_encoder.hpp"
 #include "core/framework.hpp"
 #include "service/arbiter.hpp"
+#include "service/resilience.hpp"
 #include "video/sequence.hpp"
 
 #include <atomic>
@@ -33,7 +46,16 @@ struct SessionConfig {
   EncoderConfig cfg;
   FrameworkOptions fw;
   int frames = 8;
-  double weight = 1.0;  ///< fair-share weight (arbiter)
+  double weight = 1.0;  ///< fair-share weight (arbiter + shedding priority)
+  /// Retry / checkpoint / degradation policy for this session.
+  ResilienceOptions resilience;
+  /// Resume from a prior session's checkpoint (same config and source):
+  /// encoding continues at the first frame the snapshot does not cover and
+  /// `frames` still names the stream total, so the session encodes frames
+  /// [checkpoint, frames). The emitted bitstream holds only the
+  /// continuation — append it to the crashed session's first
+  /// `checkpoint->bitstream_bytes` bytes to reassemble the full stream.
+  std::shared_ptr<const SessionCheckpoint> resume;
   // Virtual-mode inputs:
   PerturbationSchedule perturbations;
   FaultSchedule faults;
@@ -43,19 +65,28 @@ struct SessionConfig {
 };
 
 struct SessionResult {
-  enum class State { kCompleted, kAborted, kFailed };
+  enum class State { kCompleted, kAborted, kShed, kFailed };
   int id = -1;
   State state = State::kCompleted;
+  TerminalReason reason = TerminalReason::kCompleted;
   std::string error;               ///< kFailed: what the session threw
   std::vector<FrameStats> frames;  ///< per encoded inter-frame
   std::vector<u8> bitstream;       ///< real mode only
   SessionStats share;              ///< arbiter accounting (virtual times)
+  /// Last frame-boundary checkpoint taken (valid==false when none was) —
+  /// feed it to SessionConfig::resume to restart a dead session elsewhere.
+  SessionCheckpoint checkpoint;
+  obs::ResilienceTelemetry resilience;  ///< this session's recovery counters
+  /// Where the graceful-degradation ladder ended: 0 = intact, 1 = grant
+  /// shrunk to degraded_max_devices, 2 = search range also reduced.
+  int degrade_level = 0;
 };
 
 /// Service-level aggregate over every session submitted so far.
 struct ServiceStats {
   int admitted = 0;
   int rejected = 0;   ///< submissions refused by admission control
+  int shed = 0;       ///< admitted sessions later shed by queue pressure
   long total_frames = 0;
   double makespan_ms = 0.0;      ///< latest session virtual end
   double aggregate_fps = 0.0;    ///< total_frames / makespan
@@ -63,10 +94,14 @@ struct ServiceStats {
   double total_queue_wait_ms = 0.0;
   double mean_grant_utilization = 0.0;
   std::vector<double> device_busy_ms;
+  /// Recovery counters summed over finished sessions (breaker_trips is
+  /// service-wide: the breaker is shared).
+  obs::ResilienceTelemetry resilience;
 };
 
 struct ServiceOptions {
   ArbiterOptions arbiter;
+  CircuitBreakerOptions breaker;
 };
 
 class EncodeService {
@@ -76,8 +111,9 @@ class EncodeService {
   ~EncodeService();
 
   /// Starts a session on its own worker thread. Returns the session id, or
-  /// -1 when admission control refused it (max_sessions live sessions).
-  /// When `cfg.fw.trace` is set, the TraceSession is stamped with the
+  /// -1 when admission control refused it (live sessions and admission
+  /// queue both full, and the session's weight does not beat any queued
+  /// one). When `cfg.fw.trace` is set, the TraceSession is stamped with the
   /// session id (it must outlive the service and not be shared between
   /// sessions).
   int submit(SessionConfig cfg);
@@ -111,17 +147,24 @@ class EncodeService {
   };
 
   void run_session(Session* s);
-  void run_virtual(Session* s);
-  void run_real(Session* s);
+  TerminalReason run_virtual(Session* s);
+  TerminalReason run_real(Session* s);
+  /// Sleeps ~ms (sliced so an abort cuts it short), booking the wait into
+  /// the session's telemetry and trace lane.
+  void backoff_sleep(Session* s, double ms, int frame, const char* why);
   /// Devices the distribution actually assigned work to.
   static int used_devices(const Distribution& dist);
 
   PlatformTopology topo_;
   ServiceOptions opts_;
   PoolArbiter arbiter_;
+  CircuitBreaker breaker_;
   mutable std::mutex mu_;  ///< guards sessions_ vector growth / collection
   std::vector<std::unique_ptr<Session>> sessions_;
   std::atomic<int> rejected_{0};
+  // Aggregated under mu_ as sessions finish (results move out on wait()).
+  obs::ResilienceTelemetry finished_resilience_;
+  int shed_sessions_ = 0;
 };
 
 }  // namespace feves

@@ -1,0 +1,18 @@
+#include "service/resilience.hpp"
+
+namespace feves {
+
+const char* to_string(TerminalReason reason) {
+  switch (reason) {
+    case TerminalReason::kCompleted: return "completed";
+    case TerminalReason::kAborted: return "aborted";
+    case TerminalReason::kShed: return "shed";
+    case TerminalReason::kDeadlineExceeded: return "deadline-exceeded";
+    case TerminalReason::kRestartsExhausted: return "restarts-exhausted";
+    case TerminalReason::kNoUsableDevice: return "no-usable-device";
+    case TerminalReason::kError: return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace feves

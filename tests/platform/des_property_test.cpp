@@ -7,10 +7,12 @@
 #include "common/rng.hpp"
 #include "core/framework.hpp"
 #include "platform/presets.hpp"
+#include "service/arbiter.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
 namespace feves {
 namespace {
@@ -222,6 +224,115 @@ TEST_P(DesProperty, PartitionedPoolMakespansSumAboveFullPool) {
   const double sum_ms = virtual_total_ms(&side_a) + virtual_total_ms(&side_b);
   EXPECT_GE(sum_ms, full_ms - 1e-6)
       << "two pool shares outran the full pool on the same workload";
+}
+
+TEST_P(DesProperty, ArbiterAccountingSurvivesAbortRestartChurn) {
+  // Fairness-accounting property over the encode service's pool arbiter:
+  // any sequence of acquire / release / abandoned-grant (the exception
+  // unwind path) / abort / retire / admit must keep the virtual clocks
+  // monotone (per-device busy horizons, the makespan, and each session's
+  // cumulative service never run backwards) and, once the churn quiesces,
+  // return the free set to the whole pool with no live or queued residue.
+  Rng rng(static_cast<u64>(GetParam()) * 101 + 13);
+  const int ndev = 2 + static_cast<int>(rng.uniform_int(0, 3));
+  ArbiterOptions opts;
+  opts.max_sessions = 3;
+  opts.admission_queue = 2;
+  PoolArbiter arb(ndev, opts);
+  const std::vector<bool> usable(static_cast<std::size_t>(ndev), true);
+
+  // `live` holds sessions known to hold a live share (safe to acquire on
+  // without blocking); `parked` holds ones admitted into the queue — they
+  // may be promoted behind our back, so we never acquire on them, only
+  // retire them during teardown.
+  std::vector<int> live;
+  std::vector<int> parked;
+  auto admit_one = [&]() {
+    const int before = arb.live_sessions();
+    const int id = arb.admit(rng.uniform_real(0.5, 3.0));
+    if (id < 0) return;  // refused: queue full and weight not higher
+    if (arb.live_sessions() > before) {
+      live.push_back(id);
+    } else {
+      parked.push_back(id);
+    }
+  };
+  for (int i = 0; i < opts.max_sessions; ++i) admit_one();
+  ASSERT_EQ(static_cast<int>(live.size()), opts.max_sessions);
+
+  std::vector<double> busy_floor(static_cast<std::size_t>(ndev), 0.0);
+  std::vector<double> vend_floor(64, 0.0);
+  double makespan_floor = 0.0;
+  auto check_monotone = [&](int id) {
+    const auto busy = arb.device_busy_ms();
+    for (int d = 0; d < ndev; ++d) {
+      EXPECT_GE(busy[static_cast<std::size_t>(d)],
+                busy_floor[static_cast<std::size_t>(d)] - 1e-9)
+          << "device " << d << " virtual clock ran backwards";
+      busy_floor[static_cast<std::size_t>(d)] =
+          busy[static_cast<std::size_t>(d)];
+    }
+    EXPECT_GE(arb.makespan_ms(), makespan_floor - 1e-9);
+    makespan_floor = arb.makespan_ms();
+    const auto st = arb.session_stats(id);
+    EXPECT_GE(st.virtual_end_ms, vend_floor[static_cast<std::size_t>(id)] - 1e-9)
+        << "session " << id << " virtual end time ran backwards";
+    vend_floor[static_cast<std::size_t>(id)] = st.virtual_end_ms;
+    EXPECT_GE(st.granted_device_ms, st.used_device_ms - 1e-9)
+        << "session " << id << " used more device time than it was granted";
+  };
+
+  const int steps = 40 + static_cast<int>(rng.uniform_int(0, 40));
+  for (int step = 0; step < steps && !live.empty(); ++step) {
+    const std::size_t pick =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<i64>(live.size()) - 1));
+    const int id = live[pick];
+    const double r = rng.uniform01();
+    if (r < 0.10) {
+      // Abort-then-restart: the aborted acquire must return immediately
+      // (nullopt, attributed), never hang; the slot then retires and a
+      // fresh admission takes its place.
+      arb.abort(id);
+      AcquireOutcome out = AcquireOutcome::kGranted;
+      auto g = arb.acquire(id, usable, &out);
+      EXPECT_FALSE(g.has_value());
+      EXPECT_EQ(out, AcquireOutcome::kAborted);
+      arb.retire(id);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      admit_one();
+    } else if (r < 0.18) {
+      arb.retire(id);  // promotion path: a queued session may go live
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      AcquireOutcome out = AcquireOutcome::kShutdown;
+      auto g = arb.acquire(id, usable, &out);
+      ASSERT_TRUE(g.has_value());
+      EXPECT_EQ(out, AcquireOutcome::kGranted);
+      EXPECT_GT(g->num_devices, 0);
+      EXPECT_LE(g->num_devices, ndev);
+      const double r2 = rng.uniform01();
+      if (r2 < 0.25) {
+        g.reset();  // abandoned grant: exception unwind must leak nothing
+      } else {
+        const int used =
+            static_cast<int>(rng.uniform_int(1, g->num_devices));
+        arb.release(id, std::move(*g), rng.uniform_real(0.5, 4.0), used,
+                    /*completed=*/r2 < 0.85);
+      }
+      // Single-threaded, so every grant round-trips within the step: the
+      // free set must be whole again either way the grant ended.
+      EXPECT_EQ(arb.free_devices(), ndev);
+    }
+    check_monotone(id);
+  }
+
+  // Quiesce: retire everything (idempotent, queued or live) and verify no
+  // accounting residue survives the churn.
+  for (int id : live) arb.retire(id);
+  for (int id : parked) arb.retire(id);
+  EXPECT_EQ(arb.live_sessions(), 0);
+  EXPECT_EQ(arb.queued_sessions(), 0);
+  EXPECT_EQ(arb.free_devices(), ndev);
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomGraphs, DesProperty, ::testing::Range(0, 25));

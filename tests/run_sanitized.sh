@@ -21,21 +21,37 @@ cmake -B "$BUILD" -S "$ROOT" \
   -DFEVES_BUILD_BENCH=OFF \
   -DFEVES_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD" -j "$(nproc)" \
-  --target test_platform test_common test_core test_service test_obs
+  --target test_platform test_common test_core test_service test_obs \
+           test_chaos
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 
+# Every binary runs under a hard wall-clock bound: the failure modes these
+# sweeps hunt (lost condvar wakes, leaked leases, deadlocked session loops)
+# present as hangs, and timeout(1) turns a hang into a bounded nonzero exit
+# instead of a CI job pinned until the runner's global kill.
+run_bounded() {
+  timeout --signal=ABRT "${FEVES_TEST_TIMEOUT:-900}" "$@"
+}
+
 # Executors + fault machinery, the thread pool, and the end-to-end recovery
 # loops (real mode spawns one thread per lane every attempt).
-"$BUILD/tests/test_platform" --gtest_filter='*Executor*:*Fault*:*Schedule*:OpGraph.*:DevicePool.*:DeviceLease.*'
-"$BUILD/tests/test_common" --gtest_filter='ThreadPool*:LogRace*'
-"$BUILD/tests/test_core" --gtest_filter='FaultRecovery*:DeviceHealthMonitor.*'
+run_bounded "$BUILD/tests/test_platform" --gtest_filter='*Executor*:*Fault*:*Schedule*:OpGraph.*:DevicePool.*:DeviceLease.*:*Arbiter*'
+run_bounded "$BUILD/tests/test_common" --gtest_filter='ThreadPool*:LogRace*'
+run_bounded "$BUILD/tests/test_core" --gtest_filter='FaultRecovery*:DeviceHealthMonitor.*'
 
 # Multi-session encode service: session churn / abort races under the
-# arbiter, plus the tracer writer-pool race regression.
-"$BUILD/tests/test_service" --gtest_filter='ServiceStress*'
-"$BUILD/tests/test_obs" --gtest_filter='Tracer.*'
+# arbiter, the resilience ladder (restart/backoff/shed races), plus the
+# tracer writer-pool race regression.
+run_bounded "$BUILD/tests/test_service" --gtest_filter='ServiceStress*:ArbiterGrantRaii.*:ServiceResilience.*'
+run_bounded "$BUILD/tests/test_obs" --gtest_filter='Tracer.*'
+
+# Reduced chaos sweep: randomized fault-storm/abort/overload schedules are
+# exactly the interleavings the sanitizers are here to probe. tools/chaos.sh
+# drives the full 500-schedule sweep; a handful suffices per sanitizer.
+FEVES_CHAOS_ITERS="${FEVES_CHAOS_ITERS:-8}" \
+  run_bounded "$BUILD/tests/test_chaos"
 
 echo "run_sanitized.sh: all $SAN-sanitized tests passed"

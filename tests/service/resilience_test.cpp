@@ -1,0 +1,559 @@
+// Session-level resilience: the deterministic battery. Covers the grant
+// RAII regression (a grant abandoned by an unwinding exception must free
+// its devices AND wake parked waiters), the admission queue with
+// priority-aware shedding, backoff/breaker/governor policy units, and the
+// checkpoint/restart anchor: a session restarted from a frame-boundary
+// checkpoint — in-process or across submissions via SessionConfig::resume —
+// re-encodes only the frames after its last checkpoint and produces a
+// bitstream bit-identical to the uninterrupted encode. The randomized
+// storm counterpart lives in chaos_test.cpp.
+#include "service/encode_service.hpp"
+
+#include "codec/bitstream.hpp"
+#include "platform/presets.hpp"
+#include "video/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+namespace feves {
+namespace {
+
+EncoderConfig small_config(int refs = 2) {
+  EncoderConfig cfg;
+  cfg.width = 96;
+  cfg.height = 64;
+  cfg.search_range = 8;
+  cfg.num_ref_frames = refs;
+  return cfg;
+}
+
+EncoderConfig virtual_config() {
+  EncoderConfig cfg;
+  cfg.width = 1280;
+  cfg.height = 720;
+  cfg.search_range = 8;
+  cfg.num_ref_frames = 1;
+  return cfg;
+}
+
+PlatformTopology test_topo(int accels) {
+  PlatformTopology t;
+  t.devices.push_back(preset_cpu_nehalem());
+  for (int i = 0; i < accels; ++i) {
+    auto g = preset_gpu_fermi();
+    g.name = "GPU#" + std::to_string(i);
+    t.devices.push_back(g);
+  }
+  return t;
+}
+
+SyntheticConfig scene(const EncoderConfig& cfg, int frames, u64 seed) {
+  SyntheticConfig sc;
+  sc.width = cfg.width;
+  sc.height = cfg.height;
+  sc.frames = frames;
+  sc.num_objects = 3;
+  sc.max_object_speed = 3.0;
+  sc.seed = seed;
+  return sc;
+}
+
+std::vector<Frame420> load_frames(const SyntheticConfig& sconf, int count) {
+  SyntheticSequence seq(sconf);
+  std::vector<Frame420> frames;
+  for (int f = 0; f < count; ++f) {
+    frames.emplace_back(sconf.width, sconf.height);
+    EXPECT_TRUE(seq.read_frame(f, frames.back()));
+  }
+  return frames;
+}
+
+std::vector<u8> reference_bits(const EncoderConfig& cfg,
+                               const std::vector<Frame420>& frames) {
+  RefList refs(cfg.num_ref_frames);
+  std::vector<u8> bits;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    refs.push_front(encode_frame_reference(cfg, frames[f], refs,
+                                           static_cast<int>(f), &bits));
+  }
+  return bits;
+}
+
+std::vector<bool> all_usable(int n) {
+  return std::vector<bool>(static_cast<std::size_t>(n), true);
+}
+
+// ---- Grant RAII: the leaked-grant regression -------------------------------
+
+TEST(ArbiterGrantRaii, AbandonedGrantFreesDevicesAndWakesWaiters) {
+  // Session a holds the whole pool; session b parks in acquire(). Dropping
+  // a's grant WITHOUT release() — exactly what an exception unwinding a
+  // session loop does — must hand the devices back and wake b. Before the
+  // RAII grant, the lease destructor freed the pool but never notified the
+  // arbiter's condition variable, so b hung until an unrelated event.
+  PoolArbiter arb(1);  // one device: the waiter genuinely parks
+  const int a = arb.admit();
+  const int b = arb.admit();
+  auto ga = arb.acquire(a, all_usable(1));
+  ASSERT_TRUE(ga.has_value());
+  ASSERT_EQ(arb.free_devices(), 0);
+
+  std::optional<PoolArbiter::Grant> gb;
+  std::thread waiter([&] { gb = arb.acquire(b, all_usable(1)); });
+  ga.reset();  // abandon, not release
+  waiter.join();
+  ASSERT_TRUE(gb.has_value()) << "abandoned grant must wake parked waiters";
+  arb.release(b, std::move(*gb), 1.0, 1);
+  EXPECT_EQ(arb.free_devices(), 1) << "no device may stay reserved";
+  arb.retire(a);
+  arb.retire(b);
+}
+
+TEST(ArbiterGrantRaii, ThrowingMidGrantLeaksNothing) {
+  PoolArbiter arb(3);
+  const int a = arb.admit();
+  try {
+    auto g = arb.acquire(a, all_usable(3));
+    ASSERT_TRUE(g.has_value());
+    ASSERT_LT(arb.free_devices(), 3);
+    throw std::runtime_error("frame died mid-grant");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(arb.free_devices(), 3)
+      << "unwinding past a live grant must return every device";
+  arb.retire(a);
+}
+
+TEST(ArbiterGrantRaii, MovedFromGrantIsInert) {
+  PoolArbiter arb(2);
+  const int a = arb.admit();
+  auto g = arb.acquire(a, all_usable(2));
+  ASSERT_TRUE(g.has_value());
+  PoolArbiter::Grant g2 = std::move(*g);
+  g.reset();  // moved-from grant dies first: must not double-release
+  EXPECT_EQ(arb.free_devices(), 0);
+  arb.release(a, std::move(g2), 1.0, 2);
+  EXPECT_EQ(arb.free_devices(), 2);
+  arb.retire(a);
+}
+
+// ---- Admission queue and priority shedding ---------------------------------
+
+TEST(ArbiterAdmission, QueuedSessionIsPromotedWhenALiveSlotFrees) {
+  ArbiterOptions opts;
+  opts.max_sessions = 1;
+  opts.admission_queue = 2;
+  PoolArbiter arb(2, opts);
+  const int a = arb.admit();
+  const int b = arb.admit();  // queued, not refused
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  EXPECT_EQ(arb.live_sessions(), 1);
+  EXPECT_EQ(arb.queued_sessions(), 1);
+
+  std::optional<PoolArbiter::Grant> gb;
+  AcquireOutcome outcome = AcquireOutcome::kGranted;
+  std::thread waiter([&] { gb = arb.acquire(b, all_usable(2), &outcome); });
+  // b must wait without a share while a is live...
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_FALSE(gb.has_value());
+  arb.retire(a);  // ...and be promoted the moment a leaves.
+  waiter.join();
+  ASSERT_TRUE(gb.has_value());
+  EXPECT_EQ(outcome, AcquireOutcome::kGranted);
+  EXPECT_EQ(arb.queued_sessions(), 0);
+  arb.release(b, std::move(*gb), 1.0, 1);
+  arb.retire(b);
+}
+
+TEST(ArbiterAdmission, QueuePressureShedsTheLowestWeightSession) {
+  ArbiterOptions opts;
+  opts.max_sessions = 1;
+  opts.admission_queue = 1;
+  PoolArbiter arb(2, opts);
+  const int a = arb.admit(/*weight=*/1.0);  // live
+  const int b = arb.admit(/*weight=*/1.0);  // queued
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+
+  AcquireOutcome outcome_b = AcquireOutcome::kGranted;
+  std::optional<PoolArbiter::Grant> gb;
+  std::thread waiter([&] { gb = arb.acquire(b, all_usable(2), &outcome_b); });
+  // An equal-weight newcomer must NOT displace b...
+  EXPECT_EQ(arb.admit(/*weight=*/1.0), -1);
+  // ...but a strictly heavier one sheds it.
+  const int c = arb.admit(/*weight=*/2.0);
+  ASSERT_GE(c, 0);
+  waiter.join();
+  EXPECT_FALSE(gb.has_value());
+  EXPECT_EQ(outcome_b, AcquireOutcome::kShed);
+  EXPECT_EQ(arb.queued_sessions(), 1);  // c took b's queue slot
+  arb.retire(a);
+  arb.retire(b);
+  arb.retire(c);
+  EXPECT_EQ(arb.free_devices(), 2);
+}
+
+// ---- Policy units: backoff, breaker, governor ------------------------------
+
+TEST(Backoff, ClimbsExponentiallyWithinJitterBoundsDeterministically) {
+  ResilienceOptions ro;
+  ro.backoff_initial_ms = 1.0;
+  ro.backoff_factor = 2.0;
+  ro.backoff_max_ms = 8.0;
+  ro.backoff_jitter = 0.25;
+  Backoff b1(ro, /*salt=*/7);
+  Backoff b2(ro, /*salt=*/7);
+  double expected_base = 1.0;
+  for (int i = 0; i < 6; ++i) {
+    const double d1 = b1.next_ms();
+    EXPECT_GE(d1, expected_base * 0.75 - 1e-9);
+    EXPECT_LE(d1, expected_base * 1.25 + 1e-9);
+    EXPECT_DOUBLE_EQ(d1, b2.next_ms()) << "same seed must give same ladder";
+    expected_base = std::min(8.0, expected_base * 2.0);
+  }
+  b1.reset();
+  const double after_reset = b1.next_ms();
+  EXPECT_LE(after_reset, 1.25 + 1e-9) << "reset must drop to the first rung";
+}
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailuresAndProbesHalfOpen) {
+  CircuitBreakerOptions opts;
+  opts.trip_threshold = 3;
+  opts.open_ms = 2.0;
+  CircuitBreaker br(opts);
+  EXPECT_DOUBLE_EQ(br.wait_ms(), 0.0);
+  br.record_failure();
+  br.record_failure();
+  EXPECT_DOUBLE_EQ(br.wait_ms(), 0.0) << "below threshold: still closed";
+  br.record_failure();
+  EXPECT_EQ(br.trips(), 1);
+  EXPECT_GT(br.wait_ms(), 0.0) << "tripped: callers must back off";
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  EXPECT_DOUBLE_EQ(br.wait_ms(), 0.0) << "cool-down over: half-open probe";
+  br.record_failure();  // probe failed
+  EXPECT_EQ(br.trips(), 2);
+  EXPECT_GT(br.wait_ms(), 0.0) << "failed probe re-opens";
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  EXPECT_DOUBLE_EQ(br.wait_ms(), 0.0);
+  br.record_success();  // probe succeeded: closed for good
+  EXPECT_DOUBLE_EQ(br.wait_ms(), 0.0);
+  br.record_failure();
+  EXPECT_DOUBLE_EQ(br.wait_ms(), 0.0) << "one failure after close: no trip";
+  EXPECT_EQ(br.trips(), 2);
+}
+
+TEST(SessionGovernor, DeadlineBoundsRestartsAndTheLadderDegrades) {
+  ResilienceOptions ro;
+  ro.max_restarts = 4;
+  ro.degrade_after_restarts = 1;
+  ro.degraded_max_devices = 1;
+  SessionGovernor gov(ro, nullptr, /*salt=*/1);
+  EXPECT_FALSE(gov.deadline_exceeded()) << "deadline 0 = unbounded";
+  EXPECT_TRUE(gov.can_restart());
+  EXPECT_EQ(gov.max_devices_hint(), 0) << "intact: no grant cap";
+  EXPECT_EQ(gov.degraded_search_range(16), 16);
+
+  gov.begin_restart();
+  EXPECT_FALSE(gov.degraded());
+  gov.begin_restart();
+  EXPECT_TRUE(gov.degraded()) << "past degrade_after_restarts";
+  EXPECT_EQ(gov.max_devices_hint(), 1);
+  EXPECT_EQ(gov.degraded_search_range(16), 8);
+  EXPECT_EQ(gov.degraded_search_range(6), 4) << "floor at 4";
+  gov.begin_restart();
+  gov.begin_restart();
+  EXPECT_FALSE(gov.can_restart()) << "max_restarts exhausted";
+
+  ResilienceOptions tight;
+  tight.deadline_ms = 1.0;
+  SessionGovernor strict(tight, nullptr, /*salt=*/2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(strict.deadline_exceeded());
+  EXPECT_FALSE(strict.can_restart()) << "no budget left to restart into";
+  EXPECT_DOUBLE_EQ(strict.remaining_ms(), 0.0);
+}
+
+// ---- Checkpoint / restart: the bit-exactness anchor ------------------------
+
+TEST(Checkpoint, VirtualFrameworkRestoreResumesTheSameSchedule) {
+  // Encode 3 + 3 frames; checkpoint at the 3-frame boundary, restore into
+  // a FRESH framework and encode the same 3 tail frames: the DES is
+  // deterministic, so the resumed schedule must equal the uninterrupted
+  // one distribution-for-distribution.
+  const EncoderConfig cfg = virtual_config();
+  const PlatformTopology topo = test_topo(2);
+  VirtualFramework fw(cfg, topo);
+  for (int f = 0; f < 3; ++f) fw.encode_frame();
+  const FrameworkCheckpoint cp = fw.checkpoint();
+  std::vector<FrameStats> tail;
+  for (int f = 0; f < 3; ++f) tail.push_back(fw.encode_frame());
+
+  VirtualFramework resumed(cfg, topo);
+  resumed.restore(cp);
+  for (int f = 0; f < 3; ++f) {
+    const FrameStats stats = resumed.encode_frame();
+    const FrameStats& want = tail[static_cast<std::size_t>(f)];
+    EXPECT_EQ(stats.frame_number, want.frame_number);
+    EXPECT_EQ(stats.dist.me, want.dist.me) << "frame " << stats.frame_number;
+    EXPECT_EQ(stats.dist.sme, want.dist.sme);
+    EXPECT_EQ(stats.dist.rstar_device, want.dist.rstar_device);
+  }
+}
+
+TEST(Checkpoint, RealEncoderRestartResumesBitExactly) {
+  // The acceptance criterion, encoder level: checkpoint mid-stream, restore
+  // into a FRESH encoder, continue — the concatenated bitstream must equal
+  // the uninterrupted encode bit for bit.
+  const EncoderConfig cfg = small_config();
+  const PlatformTopology topo = test_topo(2);
+  const int kFrames = 6;
+  const int kCut = 3;
+  const auto frames = load_frames(scene(cfg, kFrames, 41), kFrames);
+  const std::vector<u8> want = reference_bits(cfg, frames);
+
+  CollaborativeEncoder enc(cfg, topo);
+  std::vector<u8> head;
+  for (int f = 0; f < kCut; ++f) {
+    enc.encode_frame(frames[static_cast<std::size_t>(f)], &head);
+  }
+  const EncoderCheckpoint cp = enc.checkpoint();
+  // The original instance dies here; a new one resumes from the snapshot.
+  CollaborativeEncoder resumed(cfg, topo);
+  resumed.restore(cp);
+  EXPECT_EQ(resumed.frames_encoded(), kCut);
+  std::vector<u8> tail;
+  for (int f = kCut; f < kFrames; ++f) {
+    resumed.encode_frame(frames[static_cast<std::size_t>(f)], &tail);
+  }
+  std::vector<u8> spliced = head;
+  spliced.insert(spliced.end(), tail.begin(), tail.end());
+  EXPECT_EQ(spliced, want)
+      << "checkpoint-restart must not perturb a single bit";
+}
+
+TEST(ServiceResilience, AbortedSessionResumesFromItsCheckpointBitExactly) {
+  // Service level, across submissions: abort a real session mid-stream,
+  // resubmit with SessionConfig::resume pointing at its last checkpoint.
+  // The resumed session re-encodes only the frames past the checkpoint and
+  // prefix + continuation reassembles the solo bitstream exactly.
+  const EncoderConfig cfg = small_config();
+  const PlatformTopology topo = test_topo(2);
+  const int kFrames = 40;
+  const auto sconf = scene(cfg, kFrames, 77);
+  const std::vector<u8> want =
+      reference_bits(cfg, load_frames(sconf, kFrames));
+
+  EncodeService svc(topo);
+  SessionConfig sc;
+  sc.cfg = cfg;
+  sc.frames = kFrames;
+  sc.source = std::make_shared<SyntheticSequence>(sconf);
+  const int id = svc.submit(sc);
+  ASSERT_GE(id, 0);
+  while (svc.arbiter().session_stats(id).frames < 2) {
+    std::this_thread::yield();
+  }
+  svc.abort(id);
+  SessionResult crashed = svc.wait(id);
+  ASSERT_EQ(crashed.state, SessionResult::State::kAborted);
+  ASSERT_TRUE(crashed.checkpoint.valid) << "checkpointing is on by default";
+  ASSERT_GT(crashed.checkpoint.frames_recorded, 0u);
+  ASSERT_LT(crashed.checkpoint.frames_recorded,
+            static_cast<std::size_t>(kFrames));
+  ASSERT_LE(crashed.checkpoint.bitstream_bytes, crashed.bitstream.size());
+  EXPECT_GT(crashed.resilience.checkpoints_taken, 0);
+
+  SessionConfig rc = sc;
+  rc.source = std::make_shared<SyntheticSequence>(sconf);
+  rc.resume = std::make_shared<SessionCheckpoint>(crashed.checkpoint);
+  const int rid = svc.submit(rc);
+  ASSERT_GE(rid, 0);
+  SessionResult resumed = svc.wait(rid);
+  ASSERT_EQ(resumed.state, SessionResult::State::kCompleted) << resumed.error;
+  EXPECT_EQ(resumed.resilience.checkpoints_restored, 1);
+  // Resume-at-last-good-frame: strictly fewer frames re-encoded than the
+  // stream holds.
+  EXPECT_EQ(resumed.frames.size(),
+            static_cast<std::size_t>(kFrames) -
+                crashed.checkpoint.frames_recorded);
+  EXPECT_LT(resumed.frames.size(), static_cast<std::size_t>(kFrames));
+
+  std::vector<u8> spliced(
+      crashed.bitstream.begin(),
+      crashed.bitstream.begin() +
+          static_cast<std::ptrdiff_t>(crashed.checkpoint.bitstream_bytes));
+  spliced.insert(spliced.end(), resumed.bitstream.begin(),
+                 resumed.bitstream.end());
+  EXPECT_EQ(spliced, want)
+      << "resumed session's stream must splice bit-exactly onto the prefix";
+}
+
+TEST(ServiceResilience, VirtualResumeContinuesTheFrameCount) {
+  const PlatformTopology topo = test_topo(2);
+  const int kFrames = 300;
+  EncodeService svc(topo);
+  SessionConfig sc;
+  sc.cfg = virtual_config();
+  sc.frames = kFrames;
+  const int id = svc.submit(sc);
+  ASSERT_GE(id, 0);
+  while (svc.arbiter().session_stats(id).frames < 3) {
+    std::this_thread::yield();
+  }
+  svc.abort(id);
+  SessionResult crashed = svc.wait(id);
+  ASSERT_EQ(crashed.state, SessionResult::State::kAborted);
+  ASSERT_TRUE(crashed.checkpoint.valid);
+
+  ASSERT_LT(crashed.checkpoint.frames_recorded,
+            static_cast<std::size_t>(kFrames));
+  SessionConfig rc = sc;
+  rc.resume = std::make_shared<SessionCheckpoint>(crashed.checkpoint);
+  const int rid = svc.submit(rc);
+  ASSERT_GE(rid, 0);
+  SessionResult resumed = svc.wait(rid);
+  ASSERT_EQ(resumed.state, SessionResult::State::kCompleted) << resumed.error;
+  EXPECT_EQ(resumed.frames.size(),
+            static_cast<std::size_t>(kFrames) -
+                crashed.checkpoint.frames_recorded);
+  const FrameStats& first = resumed.frames.front();
+  EXPECT_EQ(first.frame_number,
+            static_cast<int>(crashed.checkpoint.frames_recorded) + 1)
+      << "resumed numbering must continue the stream, not restart it";
+}
+
+// ---- Terminal-state attribution --------------------------------------------
+
+TEST(ServiceResilience, DeadlineExceededIsAttributed) {
+  EncodeService svc(test_topo(2));
+  SessionConfig sc;
+  sc.cfg = virtual_config();
+  sc.frames = 100000;  // far more than the budget allows
+  sc.resilience.deadline_ms = 5.0;
+  const int id = svc.submit(sc);
+  ASSERT_GE(id, 0);
+  SessionResult r = svc.wait(id);
+  EXPECT_EQ(r.state, SessionResult::State::kFailed);
+  EXPECT_EQ(r.reason, TerminalReason::kDeadlineExceeded);
+  EXPECT_EQ(r.error, std::string(to_string(TerminalReason::kDeadlineExceeded)));
+  EXPECT_LT(r.frames.size(), 100000u);
+}
+
+TEST(ServiceResilience, TotalDeviceLossExhaustsRestartsWithAttribution) {
+  // Permanent loss of every device from frame 3 on: rung 2 (fresh grants)
+  // has nothing left to offer, so the session climbs to checkpoint-restart,
+  // replays deterministically into the same wall max_restarts times, and
+  // must come back attributed — not deadlocked, not kError.
+  const PlatformTopology topo = test_topo(2);
+  EncodeService svc(topo);
+  SessionConfig sc;
+  sc.cfg = virtual_config();
+  sc.frames = 10;
+  for (int d = 0; d < topo.num_devices(); ++d) {
+    sc.faults.add({d, /*frame_begin=*/4, kFaultForever, FaultKind::kDeviceLoss});
+  }
+  sc.resilience.max_restarts = 2;
+  // Checkpoint every OTHER frame so the wall at frame 4 sits past the last
+  // checkpoint (frame 2) and each restart demonstrably replays frame 3.
+  sc.resilience.checkpoint_interval = 2;
+  const int id = svc.submit(sc);
+  ASSERT_GE(id, 0);
+  SessionResult r = svc.wait(id);
+  EXPECT_EQ(r.state, SessionResult::State::kFailed);
+  EXPECT_EQ(r.reason, TerminalReason::kRestartsExhausted);
+  EXPECT_EQ(r.resilience.restarts, 2);
+  EXPECT_GT(r.resilience.checkpoints_restored, 0);
+  EXPECT_GT(r.resilience.frames_replayed, 0) << "restarts rewound to the cp";
+  EXPECT_GT(r.resilience.backoff_waits, 0);
+  EXPECT_EQ(svc.arbiter().free_devices(), topo.num_devices())
+      << "failed session must leak no lease";
+}
+
+TEST(ServiceResilience, RestartDisabledKeepsLegacyFailFast) {
+  const PlatformTopology topo = test_topo(2);
+  EncodeService svc(topo);
+  SessionConfig sc;
+  sc.cfg = virtual_config();
+  sc.frames = 10;
+  for (int d = 0; d < topo.num_devices(); ++d) {
+    sc.faults.add({d, /*frame_begin=*/3, kFaultForever, FaultKind::kDeviceLoss});
+  }
+  sc.resilience.max_restarts = 0;  // ladder off: the old throw-out path
+  const int id = svc.submit(sc);
+  ASSERT_GE(id, 0);
+  SessionResult r = svc.wait(id);
+  EXPECT_EQ(r.state, SessionResult::State::kFailed);
+  EXPECT_EQ(r.reason, TerminalReason::kError);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(r.resilience.restarts, 0);
+}
+
+TEST(ServiceResilience, ShedSessionIsAttributedAndQueuePromotes) {
+  ServiceOptions opts;
+  opts.arbiter.max_sessions = 1;
+  opts.arbiter.admission_queue = 1;
+  EncodeService svc(test_topo(2), opts);
+
+  SessionConfig hog;
+  hog.cfg = virtual_config();
+  hog.frames = 500;
+  const int a = svc.submit(hog);
+  ASSERT_GE(a, 0);
+
+  SessionConfig light;
+  light.cfg = virtual_config();
+  light.frames = 3;
+  light.weight = 1.0;
+  const int b = svc.submit(light);  // queued behind the hog
+  ASSERT_GE(b, 0);
+
+  SessionConfig heavy = light;
+  heavy.weight = 3.0;
+  const int c = svc.submit(heavy);  // sheds b out of the queue
+  ASSERT_GE(c, 0);
+
+  SessionResult rb = svc.wait(b);
+  EXPECT_EQ(rb.state, SessionResult::State::kShed);
+  EXPECT_EQ(rb.reason, TerminalReason::kShed);
+  EXPECT_TRUE(rb.frames.empty()) << "shed before ever holding a share";
+
+  svc.abort(a);  // frees the live slot: c must be promoted and finish
+  SessionResult ra = svc.wait(a);
+  EXPECT_EQ(ra.state, SessionResult::State::kAborted);
+  SessionResult rc = svc.wait(c);
+  EXPECT_EQ(rc.state, SessionResult::State::kCompleted) << rc.error;
+  EXPECT_EQ(rc.frames.size(), 3u);
+
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.shed, 1);
+  EXPECT_EQ(stats.resilience.shed_sessions, 1);
+  EXPECT_EQ(svc.arbiter().free_devices(), svc.topology().num_devices());
+}
+
+TEST(ServiceResilience, HealthySessionsReportCheckpointTelemetryOnly) {
+  EncodeService svc(test_topo(2));
+  SessionConfig sc;
+  sc.cfg = small_config();
+  sc.frames = 4;
+  sc.source = std::make_shared<SyntheticSequence>(scene(sc.cfg, 4, 5));
+  const int id = svc.submit(sc);
+  ASSERT_GE(id, 0);
+  SessionResult r = svc.wait(id);
+  ASSERT_EQ(r.state, SessionResult::State::kCompleted) << r.error;
+  EXPECT_EQ(r.reason, TerminalReason::kCompleted);
+  EXPECT_EQ(r.resilience.checkpoints_taken, 4) << "one per frame boundary";
+  EXPECT_EQ(r.resilience.restarts, 0);
+  EXPECT_EQ(r.resilience.frames_replayed, 0);
+  EXPECT_EQ(r.degrade_level, 0);
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.resilience.checkpoints_taken, 4);
+  EXPECT_EQ(stats.resilience.breaker_trips, 0);
+}
+
+}  // namespace
+}  // namespace feves

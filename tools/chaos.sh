@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Chaos sweep driver: hundreds of randomized fault-storm / abort / overload
+# schedules against the EncodeService resilience invariants (no deadlock, no
+# leaked lease or grant, attributed terminal states, completed real sessions
+# bit-exact vs solo). The schedules are seed-deterministic: a failure report
+# names the seed, and rerunning with the same iteration count replays it.
+#
+# Usage:
+#   tools/chaos.sh                 # full sweep, 500 schedules, release build
+#   tools/chaos.sh --iters 2000    # longer soak
+#   tools/chaos.sh --tsan          # reduced sweep under ThreadSanitizer
+#
+# Environment: FEVES_CHAOS_ITERS overrides the schedule count (the flag
+# wins); BUILD_TYPE sets CMAKE_BUILD_TYPE for the non-TSan build.
+set -euo pipefail
+
+ITERS=""
+TSAN=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --iters)
+      [ $# -ge 2 ] || { echo "--iters needs a count" >&2; exit 2; }
+      ITERS="$2"; shift ;;
+    --tsan) TSAN=1 ;;
+    *)
+      echo "usage: $0 [--iters N] [--tsan]" >&2
+      exit 2 ;;
+  esac
+  shift
+done
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [ "$TSAN" -eq 1 ]; then
+  # TSan multiplies runtime ~10x; a reduced sweep still covers the
+  # interleaving space the sanitizer is there to probe.
+  ITERS="${ITERS:-${FEVES_CHAOS_ITERS:-60}}"
+  BUILD="$ROOT/build-thread"
+  cmake -B "$BUILD" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFEVES_SANITIZE=thread \
+    -DFEVES_BUILD_BENCH=OFF \
+    -DFEVES_BUILD_EXAMPLES=OFF
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+else
+  ITERS="${ITERS:-${FEVES_CHAOS_ITERS:-500}}"
+  BUILD="$ROOT/build"
+  args=(-B "$BUILD" -S "$ROOT")
+  [ -n "${BUILD_TYPE:-}" ] && args+=(-DCMAKE_BUILD_TYPE="$BUILD_TYPE")
+  cmake "${args[@]}"
+fi
+
+cmake --build "$BUILD" -j "$(nproc)" --target test_chaos
+
+# A deadlock anywhere in the sweep must surface as a bounded failure, not a
+# wedged terminal: the harness's own per-schedule watchdogs catch session
+# hangs, and this outer timeout catches a wedged harness itself.
+echo "chaos.sh: running $ITERS randomized schedules"
+FEVES_CHAOS_ITERS="$ITERS" timeout 3600 "$BUILD/tests/test_chaos"
+
+echo "chaos.sh: $ITERS schedules clean"

@@ -9,6 +9,7 @@
 #   tools/check.sh --ci sanitize      # nested sanitizer builds (ctest -L)
 #   tools/check.sh --ci format        # clang-format over the source tree
 #   tools/check.sh --ci bench-smoke   # cheap bench runs, JSON to bench-json/
+#   tools/check.sh --ci chaos-smoke   # reduced chaos sweep (FEVES_CHAOS_ITERS)
 #
 # Environment: BUILD_TYPE sets CMAKE_BUILD_TYPE; CC/CXX select the
 # toolchain; BENCH_JSON_DIR overrides the bench artifact directory.
@@ -99,6 +100,15 @@ stage_format() {
   clang-format --dry-run --Werror $files
 }
 
+stage_chaos_smoke() {
+  # Reduced chaos sweep: the CI-sized slice of tools/chaos.sh (which drives
+  # the full 500-schedule soak). Seed-deterministic, so a red run here names
+  # the seeds to replay locally. timeout(1) bounds the one failure mode the
+  # sweep can't report on its own: a wedged harness.
+  FEVES_CHAOS_ITERS="${FEVES_CHAOS_ITERS:-100}" \
+    timeout --signal=ABRT 900 "$BUILD/tests/test_chaos"
+}
+
 stage_bench_smoke() {
   mkdir -p "$BENCH_JSON_DIR"
   local ok=0
@@ -142,9 +152,13 @@ case "$CI_STAGE" in
     run_stage "configure+build" stage_build
     run_stage "bench smoke" stage_bench_smoke
     ;;
+  chaos-smoke)
+    run_stage "configure+build" stage_build
+    run_stage "chaos smoke" stage_chaos_smoke
+    ;;
   *)
     echo "unknown --ci stage: $CI_STAGE" >&2
-    echo "stages: build-test sanitize format bench-smoke" >&2
+    echo "stages: build-test sanitize format bench-smoke chaos-smoke" >&2
     exit 2 ;;
 esac
 
