@@ -1,5 +1,6 @@
 #include "codec/deblock.hpp"
 
+#include "codec/deblock_edge.hpp"
 #include "common/check.hpp"
 
 #include <algorithm>
@@ -31,13 +32,18 @@ constexpr u8 kTc0[52][3] = {
     {4, 6, 9},  {5, 7, 10}, {6, 8, 11}, {6, 8, 13}, {7, 10, 14}, {8, 11, 16},
     {9, 12, 18}, {10, 13, 20}, {11, 15, 23}, {13, 17, 25}};
 
-/// The table only covers bS 1..3; bS 4 takes the strong-filter path where
-/// tc0 is never consulted — return 0 instead of reading past the row.
+/// The table only covers bS 1..3: bS 4 takes the strong-filter path where
+/// tc0 is never consulted, and the vector lane setup asks for bS 0 lanes
+/// (masked off in the filter) — return 0 instead of reading past the row.
 int tc0_of(int index_a, int bs) {
-  return bs < 4 ? kTc0[index_a][bs - 1] : 0;
+  return bs >= 1 && bs < 4 ? kTc0[index_a][bs - 1] : 0;
 }
 
 inline u8 clip255(int v) { return static_cast<u8>(std::clamp(v, 0, 255)); }
+
+}  // namespace
+
+namespace detail {
 
 /// Filters one line of samples across an edge. `p` points at p0 and the
 /// pN samples live at p[-step*N]; qN at p[step*N]... precisely: caller
@@ -99,8 +105,6 @@ void filter_line(u8* q0ptr, std::ptrdiff_t step, int bs, int alpha, int beta,
   }
 }
 
-}  // namespace
-
 /// Chroma line filter: two samples per side.
 void filter_chroma_line(u8* q0ptr, std::ptrdiff_t step, int bs, int alpha,
                         int beta, int tc0) {
@@ -125,6 +129,8 @@ void filter_chroma_line(u8* q0ptr, std::ptrdiff_t step, int bs, int alpha,
   }
 }
 
+}  // namespace detail
+
 int boundary_strength(const Block4x4Info& a, const Block4x4Info& b) {
   if (a.intra || b.intra) return 4;
   if (a.nonzero || b.nonzero) return 2;
@@ -144,12 +150,15 @@ void run_deblock_frame(PlaneU8& luma, int mb_width, int mb_height,
   const int beta = kBeta[index_b];
   if (alpha == 0 || beta == 0) return;  // QP too low: filter disabled
 
+  const SimdTier tier = resolve_tier(KernelId::kDeblock, p.tier);
+  const bool vec = tier == SimdTier::kSse2 || tier == SimdTier::kAvx2;
   const int bw = mb_width * 4;  // 4x4 block grid width
 
   for (int mb_y = 0; mb_y < mb_height; ++mb_y) {
     for (int mb_x = 0; mb_x < mb_width; ++mb_x) {
       // Vertical edges (filtering horizontally across columns
       // x = 16*mb_x + {0,4,8,12}); the x=0 edge needs a left neighbour MB.
+      // The taps run along the row itself, so these stay scalar.
       for (int e = 0; e < 4; ++e) {
         if (e == 0 && mb_x == 0) continue;
         const int px = mb_x * kMbSize + e * 4;
@@ -160,24 +169,46 @@ void run_deblock_frame(PlaneU8& luma, int mb_width, int mb_height,
           const int bs =
               boundary_strength(blocks[by * bw + (bx - 1)], blocks[by * bw + bx]);
           if (bs == 0) continue;
-          filter_line(luma.row(py) + px, 1, bs, alpha, beta,
-                      tc0_of(index_a, bs));
+          detail::filter_line(luma.row(py) + px, 1, bs, alpha, beta,
+                              tc0_of(index_a, bs));
         }
       }
       // Horizontal edges (filtering vertically across rows
       // y = 16*mb_y + {0,4,8,12}); the y=0 edge needs an above neighbour.
+      // The 16 columns are independent line filters: one vector edge call.
       for (int e = 0; e < 4; ++e) {
         if (e == 0 && mb_y == 0) continue;
         const int py = mb_y * kMbSize + e * 4;
+        const int by = py / 4;
+        if (vec) {
+          alignas(16) i16 bs_lanes[16];
+          alignas(16) i16 tc0_lanes[16];
+          bool any = false;
+          for (int seg = 0; seg < 4; ++seg) {
+            const int bx = mb_x * 4 + seg;
+            const int bs = boundary_strength(blocks[(by - 1) * bw + bx],
+                                             blocks[by * bw + bx]);
+            const i16 t = static_cast<i16>(tc0_of(index_a, bs));
+            for (int k = 0; k < 4; ++k) {
+              bs_lanes[seg * 4 + k] = static_cast<i16>(bs);
+              tc0_lanes[seg * 4 + k] = t;
+            }
+            any = any || bs != 0;
+          }
+          if (!any) continue;
+          detail::filter_hedge_luma_simd(luma.row(py) + mb_x * kMbSize,
+                                         luma.stride(), bs_lanes, tc0_lanes,
+                                         alpha, beta);
+          continue;
+        }
         for (int line = 0; line < kMbSize; ++line) {
           const int px = mb_x * kMbSize + line;
           const int bx = px / 4;
-          const int by = py / 4;
           const int bs = boundary_strength(blocks[(by - 1) * bw + bx],
                                            blocks[by * bw + bx]);
           if (bs == 0) continue;
-          filter_line(luma.row(py) + px, luma.stride(), bs, alpha, beta,
-                      tc0_of(index_a, bs));
+          detail::filter_line(luma.row(py) + px, luma.stride(), bs, alpha,
+                              beta, tc0_of(index_a, bs));
         }
       }
     }
@@ -195,6 +226,8 @@ void run_deblock_chroma(PlaneU8& chroma, int mb_width, int mb_height,
   const int beta = kBeta[index_b];
   if (alpha == 0 || beta == 0) return;
 
+  const SimdTier tier = resolve_tier(KernelId::kDeblock, p.tier);
+  const bool vec = tier == SimdTier::kSse2 || tier == SimdTier::kAvx2;
   const int bw = mb_width * 4;  // luma 4x4 block grid width
 
   for (int mb_y = 0; mb_y < mb_height; ++mb_y) {
@@ -212,23 +245,45 @@ void run_deblock_chroma(PlaneU8& chroma, int mb_width, int mb_height,
           const int bs = boundary_strength(blocks[lby * bw + (lbx - 1)],
                                            blocks[lby * bw + lbx]);
           if (bs == 0) continue;
-          filter_chroma_line(chroma.row(cy) + cx, 1, bs, alpha, beta,
-                             tc0_of(index_a, bs));
+          detail::filter_chroma_line(chroma.row(cy) + cx, 1, bs, alpha, beta,
+                                     tc0_of(index_a, bs));
         }
       }
-      // Horizontal chroma edges at y = 8*mb_y + {0, 4}.
+      // Horizontal chroma edges at y = 8*mb_y + {0, 4}; the bs segments are
+      // 2 chroma columns wide (one co-located luma 4x4 block each).
       for (int e = 0; e < 2; ++e) {
         if (e == 0 && mb_y == 0) continue;
         const int cy = mb_y * kCMb + e * 4;
+        const int lby = cy / 2;
+        if (vec) {
+          alignas(16) i16 bs_lanes[8];
+          alignas(16) i16 tc0_lanes[8];
+          bool any = false;
+          for (int seg = 0; seg < 4; ++seg) {
+            const int lbx = mb_x * 4 + seg;
+            const int bs = boundary_strength(blocks[(lby - 1) * bw + lbx],
+                                             blocks[lby * bw + lbx]);
+            const i16 t = static_cast<i16>(tc0_of(index_a, bs));
+            bs_lanes[seg * 2 + 0] = static_cast<i16>(bs);
+            bs_lanes[seg * 2 + 1] = static_cast<i16>(bs);
+            tc0_lanes[seg * 2 + 0] = t;
+            tc0_lanes[seg * 2 + 1] = t;
+            any = any || bs != 0;
+          }
+          if (!any) continue;
+          detail::filter_hedge_chroma_simd(chroma.row(cy) + mb_x * kCMb,
+                                           chroma.stride(), bs_lanes,
+                                           tc0_lanes, alpha, beta);
+          continue;
+        }
         for (int line = 0; line < kCMb; ++line) {
           const int cx = mb_x * kCMb + line;
           const int lbx = cx / 2;
-          const int lby = cy / 2;
           const int bs = boundary_strength(blocks[(lby - 1) * bw + lbx],
                                            blocks[lby * bw + lbx]);
           if (bs == 0) continue;
-          filter_chroma_line(chroma.row(cy) + cx, chroma.stride(), bs, alpha,
-                             beta, tc0_of(index_a, bs));
+          detail::filter_chroma_line(chroma.row(cy) + cx, chroma.stride(), bs,
+                                     alpha, beta, tc0_of(index_a, bs));
         }
       }
     }

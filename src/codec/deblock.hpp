@@ -8,6 +8,7 @@
 // is whole-frame, executed wherever the Dijkstra selector placed R*.
 #pragma once
 
+#include "codec/kernels.hpp"
 #include "codec/mv.hpp"
 #include "video/plane.hpp"
 
@@ -25,6 +26,9 @@ struct DeblockParams {
   int qp = 28;
   int alpha_offset = 0;  ///< slice_alpha_c0_offset (VCEG default 0)
   int beta_offset = 0;   ///< slice_beta_offset
+  /// Kernel tier (registry id kDeblock, ceiling kSse2). Horizontal MB edges
+  /// vectorize 16 columns wide; vertical edges are scalar in every tier.
+  SimdTier tier = SimdTier::kAuto;
 };
 
 /// Boundary strength of the edge between 4x4 blocks `a` (left/above) and

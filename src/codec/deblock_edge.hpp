@@ -1,0 +1,37 @@
+// Internal interface between the deblocking driver (deblock.cpp) and its
+// SSE2 edge kernels (deblock_simd.cpp). Not installed API.
+//
+// Only HORIZONTAL edges vectorize: there the filter taps run down a column
+// (step = stride) and the 16 columns of an MB edge are mutually independent
+// scalar filters, so 16 lanes map exactly onto the scalar loop. Vertical
+// edges tap along the row itself and stay scalar in every tier.
+#pragma once
+
+#include "common/types.hpp"
+
+#include <cstddef>
+
+namespace feves::detail {
+
+/// Scalar line filters (definitions in deblock.cpp) — the oracle the SIMD
+/// edge kernels and their tests pin against, and the body of the
+/// link-satisfying stubs on targets without SSE2.
+void filter_line(u8* q0ptr, std::ptrdiff_t step, int bs, int alpha, int beta,
+                 int tc0);
+void filter_chroma_line(u8* q0ptr, std::ptrdiff_t step, int bs, int alpha,
+                        int beta, int tc0);
+
+/// Filters one horizontal luma MB edge: 16 columns, sample q0 of column k at
+/// q0row[k], taps at +/- n*stride. Per-column bs/tc0 arrive pre-expanded to
+/// i16 lanes (constant within each 4-column segment); lanes with bs == 0 are
+/// left untouched. Bit-exact with 16 filter_line calls.
+void filter_hedge_luma_simd(u8* q0row, std::ptrdiff_t stride,
+                            const i16 bs_lanes[16], const i16 tc0_lanes[16],
+                            int alpha, int beta);
+
+/// Chroma variant: 8 columns, only p1..q1 read and p0/q0 written.
+void filter_hedge_chroma_simd(u8* q0row, std::ptrdiff_t stride,
+                              const i16 bs_lanes[8], const i16 tc0_lanes[8],
+                              int alpha, int beta);
+
+}  // namespace feves::detail

@@ -1,0 +1,266 @@
+// SSE2 tier of the deblocking edge kernels (see deblock_edge.hpp for the
+// vectorization contract). The scalar filter's branches become per-lane
+// masks; all arithmetic fits i16:
+//   delta numerator (q0-p0)*4 + (p1-q1) + 4 in [-1271, 1279],
+//   strong-filter sums <= 8*255 + 4 = 2044,
+// and every stored sample is provably in [0, 255] except p0'/q0' of the
+// normal path, whose saturating u8 pack coincides with the scalar clip255.
+#include "codec/deblock_edge.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define FEVES_CAN_SSE2 1
+#include <emmintrin.h>
+#endif
+
+namespace feves::detail {
+
+#if FEVES_CAN_SSE2
+
+namespace {
+
+inline __m128i loadu(const void* p) {
+  return _mm_loadu_si128(static_cast<const __m128i*>(p));
+}
+
+inline void storeu(void* p, __m128i v) {
+  _mm_storeu_si128(static_cast<__m128i*>(p), v);
+}
+
+/// |a - b| for lanes holding u8-range values.
+inline __m128i absd16(__m128i a, __m128i b) {
+  return _mm_max_epi16(_mm_sub_epi16(a, b), _mm_sub_epi16(b, a));
+}
+
+/// mask ? a : b, mask lanes all-ones or all-zeros.
+inline __m128i sel(__m128i mask, __m128i a, __m128i b) {
+  return _mm_or_si128(_mm_and_si128(mask, a), _mm_andnot_si128(mask, b));
+}
+
+inline __m128i clamp16(__m128i v, __m128i lo, __m128i hi) {
+  return _mm_max_epi16(_mm_min_epi16(v, hi), lo);
+}
+
+struct HedgeHalf {
+  __m128i p2, p1, p0, q0, q1, q2;
+};
+
+/// Eight columns of the luma horizontal-edge filter in i16 lanes. Mirrors
+/// filter_line exactly; lanes that scalar would not write resolve to their
+/// original sample through the masks.
+inline HedgeHalf hedge_luma_half(__m128i p3, __m128i p2, __m128i p1,
+                                 __m128i p0, __m128i q0, __m128i q1,
+                                 __m128i q2, __m128i q3, __m128i bs,
+                                 __m128i tc0, __m128i valpha, __m128i vbeta,
+                                 __m128i vthr) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i one = _mm_set1_epi16(1);
+  const __m128i two = _mm_set1_epi16(2);
+  const __m128i four = _mm_set1_epi16(4);
+
+  const __m128i d_pq = absd16(p0, q0);
+  const __m128i filt = _mm_and_si128(
+      _mm_cmplt_epi16(d_pq, valpha),
+      _mm_and_si128(_mm_cmplt_epi16(absd16(p1, p0), vbeta),
+                    _mm_cmplt_epi16(absd16(q1, q0), vbeta)));
+  const __m128i active = _mm_andnot_si128(_mm_cmpeq_epi16(bs, zero), filt);
+  const __m128i ap = _mm_cmplt_epi16(absd16(p2, p0), vbeta);
+  const __m128i aq = _mm_cmplt_epi16(absd16(q2, q0), vbeta);
+  const __m128i is4 = _mm_cmpeq_epi16(bs, four);
+
+  // Normal path (bS < 4). Mask lanes are 0/-1, so tc0 - (ap + aq) adds one
+  // per satisfied side condition.
+  const __m128i tc = _mm_sub_epi16(tc0, _mm_add_epi16(ap, aq));
+  const __m128i num = _mm_add_epi16(
+      _mm_slli_epi16(_mm_sub_epi16(q0, p0), 2),
+      _mm_add_epi16(_mm_sub_epi16(p1, q1), four));
+  const __m128i delta =
+      clamp16(_mm_srai_epi16(num, 3), _mm_sub_epi16(zero, tc), tc);
+  const __m128i p0n = _mm_add_epi16(p0, delta);
+  const __m128i q0n = _mm_sub_epi16(q0, delta);
+  const __m128i avgpq =
+      _mm_srai_epi16(_mm_add_epi16(_mm_add_epi16(p0, q0), one), 1);
+  const __m128i ntc0 = _mm_sub_epi16(zero, tc0);
+  const __m128i dp1 = clamp16(
+      _mm_srai_epi16(_mm_sub_epi16(_mm_add_epi16(p2, avgpq),
+                                   _mm_slli_epi16(p1, 1)),
+                     1),
+      ntc0, tc0);
+  const __m128i p1n = _mm_add_epi16(p1, dp1);
+  const __m128i dq1 = clamp16(
+      _mm_srai_epi16(_mm_sub_epi16(_mm_add_epi16(q2, avgpq),
+                                   _mm_slli_epi16(q1, 1)),
+                     1),
+      ntc0, tc0);
+  const __m128i q1n = _mm_add_epi16(q1, dq1);
+
+  // Strong path (bS == 4).
+  const __m128i strong = _mm_cmplt_epi16(d_pq, vthr);
+  const __m128i sp = _mm_and_si128(strong, ap);
+  const __m128i sq = _mm_and_si128(strong, aq);
+  const __m128i p0q0 = _mm_add_epi16(p0, q0);
+  const __m128i p0s = _mm_srai_epi16(
+      _mm_add_epi16(_mm_slli_epi16(_mm_add_epi16(p1, p0q0), 1),
+                    _mm_add_epi16(p2, _mm_add_epi16(q1, four))),
+      3);
+  const __m128i p1s = _mm_srai_epi16(
+      _mm_add_epi16(_mm_add_epi16(p2, p1), _mm_add_epi16(p0q0, two)), 2);
+  const __m128i p2s = _mm_srai_epi16(
+      _mm_add_epi16(
+          _mm_add_epi16(_mm_slli_epi16(p3, 1),
+                        _mm_add_epi16(_mm_slli_epi16(p2, 1), p2)),
+          _mm_add_epi16(_mm_add_epi16(p1, p0q0), four)),
+      3);
+  const __m128i p0w = _mm_srai_epi16(
+      _mm_add_epi16(_mm_slli_epi16(p1, 1),
+                    _mm_add_epi16(p0, _mm_add_epi16(q1, two))),
+      2);
+  const __m128i q0s = _mm_srai_epi16(
+      _mm_add_epi16(_mm_slli_epi16(_mm_add_epi16(q1, p0q0), 1),
+                    _mm_add_epi16(q2, _mm_add_epi16(p1, four))),
+      3);
+  const __m128i q1s = _mm_srai_epi16(
+      _mm_add_epi16(_mm_add_epi16(q2, q1), _mm_add_epi16(p0q0, two)), 2);
+  const __m128i q2s = _mm_srai_epi16(
+      _mm_add_epi16(
+          _mm_add_epi16(_mm_slli_epi16(q3, 1),
+                        _mm_add_epi16(_mm_slli_epi16(q2, 1), q2)),
+          _mm_add_epi16(_mm_add_epi16(q1, p0q0), four)),
+      3);
+  const __m128i q0w = _mm_srai_epi16(
+      _mm_add_epi16(_mm_slli_epi16(q1, 1),
+                    _mm_add_epi16(q0, _mm_add_epi16(p1, two))),
+      2);
+
+  HedgeHalf out;
+  out.p0 = sel(active, sel(is4, sel(sp, p0s, p0w), p0n), p0);
+  out.q0 = sel(active, sel(is4, sel(sq, q0s, q0w), q0n), q0);
+  const __m128i p1w = _mm_and_si128(
+      active, sel(is4, sp, ap));
+  out.p1 = sel(p1w, sel(is4, p1s, p1n), p1);
+  const __m128i q1w = _mm_and_si128(
+      active, sel(is4, sq, aq));
+  out.q1 = sel(q1w, sel(is4, q1s, q1n), q1);
+  out.p2 = sel(_mm_and_si128(active, _mm_and_si128(is4, sp)), p2s, p2);
+  out.q2 = sel(_mm_and_si128(active, _mm_and_si128(is4, sq)), q2s, q2);
+  return out;
+}
+
+}  // namespace
+
+void filter_hedge_luma_simd(u8* q0row, std::ptrdiff_t stride,
+                            const i16 bs_lanes[16], const i16 tc0_lanes[16],
+                            int alpha, int beta) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i raw_p3 = loadu(q0row - 4 * stride);
+  const __m128i raw_p2 = loadu(q0row - 3 * stride);
+  const __m128i raw_p1 = loadu(q0row - 2 * stride);
+  const __m128i raw_p0 = loadu(q0row - 1 * stride);
+  const __m128i raw_q0 = loadu(q0row);
+  const __m128i raw_q1 = loadu(q0row + 1 * stride);
+  const __m128i raw_q2 = loadu(q0row + 2 * stride);
+  const __m128i raw_q3 = loadu(q0row + 3 * stride);
+  const __m128i valpha = _mm_set1_epi16(static_cast<short>(alpha));
+  const __m128i vbeta = _mm_set1_epi16(static_cast<short>(beta));
+  const __m128i vthr = _mm_set1_epi16(static_cast<short>((alpha >> 2) + 2));
+
+  const HedgeHalf lo = hedge_luma_half(
+      _mm_unpacklo_epi8(raw_p3, zero), _mm_unpacklo_epi8(raw_p2, zero),
+      _mm_unpacklo_epi8(raw_p1, zero), _mm_unpacklo_epi8(raw_p0, zero),
+      _mm_unpacklo_epi8(raw_q0, zero), _mm_unpacklo_epi8(raw_q1, zero),
+      _mm_unpacklo_epi8(raw_q2, zero), _mm_unpacklo_epi8(raw_q3, zero),
+      loadu(bs_lanes), loadu(tc0_lanes), valpha, vbeta, vthr);
+  const HedgeHalf hi = hedge_luma_half(
+      _mm_unpackhi_epi8(raw_p3, zero), _mm_unpackhi_epi8(raw_p2, zero),
+      _mm_unpackhi_epi8(raw_p1, zero), _mm_unpackhi_epi8(raw_p0, zero),
+      _mm_unpackhi_epi8(raw_q0, zero), _mm_unpackhi_epi8(raw_q1, zero),
+      _mm_unpackhi_epi8(raw_q2, zero), _mm_unpackhi_epi8(raw_q3, zero),
+      loadu(bs_lanes + 8), loadu(tc0_lanes + 8), valpha, vbeta, vthr);
+
+  storeu(q0row - 3 * stride, _mm_packus_epi16(lo.p2, hi.p2));
+  storeu(q0row - 2 * stride, _mm_packus_epi16(lo.p1, hi.p1));
+  storeu(q0row - 1 * stride, _mm_packus_epi16(lo.p0, hi.p0));
+  storeu(q0row, _mm_packus_epi16(lo.q0, hi.q0));
+  storeu(q0row + 1 * stride, _mm_packus_epi16(lo.q1, hi.q1));
+  storeu(q0row + 2 * stride, _mm_packus_epi16(lo.q2, hi.q2));
+}
+
+void filter_hedge_chroma_simd(u8* q0row, std::ptrdiff_t stride,
+                              const i16 bs_lanes[8], const i16 tc0_lanes[8],
+                              int alpha, int beta) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i one = _mm_set1_epi16(1);
+  const __m128i two = _mm_set1_epi16(2);
+  const __m128i four = _mm_set1_epi16(4);
+  const __m128i p1 = _mm_unpacklo_epi8(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q0row - 2 * stride)),
+      zero);
+  const __m128i p0 = _mm_unpacklo_epi8(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q0row - 1 * stride)),
+      zero);
+  const __m128i q0 = _mm_unpacklo_epi8(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q0row)), zero);
+  const __m128i q1 = _mm_unpacklo_epi8(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q0row + 1 * stride)),
+      zero);
+  const __m128i bs = loadu(bs_lanes);
+  const __m128i tc0 = loadu(tc0_lanes);
+  const __m128i valpha = _mm_set1_epi16(static_cast<short>(alpha));
+  const __m128i vbeta = _mm_set1_epi16(static_cast<short>(beta));
+
+  const __m128i filt = _mm_and_si128(
+      _mm_cmplt_epi16(absd16(p0, q0), valpha),
+      _mm_and_si128(_mm_cmplt_epi16(absd16(p1, p0), vbeta),
+                    _mm_cmplt_epi16(absd16(q1, q0), vbeta)));
+  const __m128i active = _mm_andnot_si128(_mm_cmpeq_epi16(bs, zero), filt);
+  const __m128i is4 = _mm_cmpeq_epi16(bs, four);
+
+  const __m128i tc = _mm_add_epi16(tc0, one);
+  const __m128i num = _mm_add_epi16(
+      _mm_slli_epi16(_mm_sub_epi16(q0, p0), 2),
+      _mm_add_epi16(_mm_sub_epi16(p1, q1), four));
+  const __m128i delta =
+      clamp16(_mm_srai_epi16(num, 3), _mm_sub_epi16(zero, tc), tc);
+  const __m128i p0n = _mm_add_epi16(p0, delta);
+  const __m128i q0n = _mm_sub_epi16(q0, delta);
+
+  const __m128i p0c = _mm_srai_epi16(
+      _mm_add_epi16(_mm_slli_epi16(p1, 1),
+                    _mm_add_epi16(p0, _mm_add_epi16(q1, two))),
+      2);
+  const __m128i q0c = _mm_srai_epi16(
+      _mm_add_epi16(_mm_slli_epi16(q1, 1),
+                    _mm_add_epi16(q0, _mm_add_epi16(p1, two))),
+      2);
+
+  const __m128i p0o = sel(active, sel(is4, p0c, p0n), p0);
+  const __m128i q0o = sel(active, sel(is4, q0c, q0n), q0);
+  _mm_storel_epi64(reinterpret_cast<__m128i*>(q0row - 1 * stride),
+                   _mm_packus_epi16(p0o, p0o));
+  _mm_storel_epi64(reinterpret_cast<__m128i*>(q0row),
+                   _mm_packus_epi16(q0o, q0o));
+}
+
+#else  // !FEVES_CAN_SSE2: scalar forwards, never the resolved tier there.
+
+void filter_hedge_luma_simd(u8* q0row, std::ptrdiff_t stride,
+                            const i16 bs_lanes[16], const i16 tc0_lanes[16],
+                            int alpha, int beta) {
+  for (int k = 0; k < 16; ++k) {
+    if (bs_lanes[k] == 0) continue;
+    filter_line(q0row + k, stride, bs_lanes[k], alpha, beta, tc0_lanes[k]);
+  }
+}
+
+void filter_hedge_chroma_simd(u8* q0row, std::ptrdiff_t stride,
+                              const i16 bs_lanes[8], const i16 tc0_lanes[8],
+                              int alpha, int beta) {
+  for (int k = 0; k < 8; ++k) {
+    if (bs_lanes[k] == 0) continue;
+    filter_chroma_line(q0row + k, stride, bs_lanes[k], alpha, beta,
+                       tc0_lanes[k]);
+  }
+}
+
+#endif
+
+}  // namespace feves::detail

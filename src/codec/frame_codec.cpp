@@ -31,18 +31,22 @@ void take4x4(const i16* src, int bx, int by, i16 out[16]) {
 }
 
 /// Transform + quantize one 4x4, returning levels and whether any survive.
+/// The kernel is resolved once per process (kAuto against the host CPU):
+/// the 4x4 geometry is fixed, so there is nothing per-call to re-decide.
 bool tq_4x4(const i16 res[16], int qp, bool intra, i16 levels[16]) {
+  static const Fwd4x4Fn kFwd = forward_transform_4x4_kernel(SimdTier::kAuto);
   i16 coeffs[16];
-  forward_transform_4x4(res, coeffs);
+  kFwd(res, coeffs);
   quantize_4x4(coeffs, qp, intra, levels);
   return any_nonzero(levels);
 }
 
 /// Dequantize + inverse-transform one 4x4 of levels into a residual block.
 void itq_4x4(const i16 levels[16], int qp, i16 res[16]) {
+  static const Inv4x4Fn kInv = inverse_transform_4x4_kernel(SimdTier::kAuto);
   i32 coeffs[16];
   dequantize_4x4(levels, qp, coeffs);
-  inverse_transform_4x4(coeffs, res);
+  kInv(coeffs, res);
 }
 
 /// Reconstructs one plane-block: recon = clip(pred + inverse(levels)).
@@ -120,34 +124,32 @@ void fill_dbl_info(EncodeJob& job, int mb_x, int mb_y) {
 }
 
 /// Shared by encoder and decoder: given final choices + coded levels,
-/// rebuild the MC prediction and reconstruct one MB into job.recon.
-void reconstruct_inter_mb(EncodeJob& job, int mb_x, int mb_y) {
+/// rebuild the MC prediction and reconstruct one MB into job.recon. The
+/// per-reference view vectors are built once per frame by the caller —
+/// constructing them here put three heap allocations on every macroblock
+/// of every frame (~24k allocations per 1080p frame).
+void reconstruct_inter_mb(EncodeJob& job, int mb_x, int mb_y,
+                          const std::vector<const SubPelFrame*>& sfs,
+                          const std::vector<const PlaneU8*>& refs_u,
+                          const std::vector<const PlaneU8*>& refs_v,
+                          SimdTier tier) {
   const int mbw = job.cfg->mb_width();
   const MbModeChoice& choice = job.choices[mb_y * mbw + mb_x];
   const MbCoded& coded = job.coded[mb_y * mbw + mb_x];
   const int qp = job.cfg->qp_p;
   const int qpc = kChromaQp[qp];
 
-  std::vector<const SubPelFrame*> sfs;
-  std::vector<const PlaneU8*> refs_u, refs_v;
-  sfs.reserve(job.refs.size());
-  for (const RefPicture* r : job.refs) {
-    sfs.push_back(&r->sf);
-    refs_u.push_back(&r->recon.u);
-    refs_v.push_back(&r->recon.v);
-  }
-
   u8 pred_y[kMbSize * kMbSize];
   i16 res_y[kMbSize * kMbSize];
   motion_compensate_luma_mb(job.cur->y, sfs, choice, mb_x, mb_y, pred_y,
-                            res_y);
+                            res_y, tier);
 
   u8 pred_u[kCMb * kCMb], pred_v[kCMb * kCMb];
   i16 res_u[kCMb * kCMb], res_v[kCMb * kCMb];
   motion_compensate_chroma_mb(job.cur->u, refs_u, choice, mb_x, mb_y, pred_u,
-                              res_u);
+                              res_u, tier);
   motion_compensate_chroma_mb(job.cur->v, refs_v, choice, mb_x, mb_y, pred_v,
-                              res_v);
+                              res_v, tier);
 
   reconstruct_blocks<kMbSize>(job.recon->recon.y, mb_x * kMbSize,
                               mb_y * kMbSize, pred_y, coded.luma_levels, qp);
@@ -159,10 +161,12 @@ void reconstruct_inter_mb(EncodeJob& job, int mb_x, int mb_y) {
 
 /// Deblocks the finished reconstruction (luma + chroma) and finalizes the
 /// picture.
-void finish_reconstruction(EncodeJob& job) {
+void finish_reconstruction(EncodeJob& job,
+                           SimdTier tier = SimdTier::kAuto) {
   if (job.cfg->enable_deblocking) {
     DeblockParams dp;
     dp.qp = job.is_intra ? job.cfg->qp_i : job.cfg->qp_p;
+    dp.tier = tier;
     run_deblock_frame(job.recon->recon.y, job.cfg->mb_width(),
                       job.cfg->mb_height(), job.dbl_info.data(), dp);
     DeblockParams dc = dp;
@@ -179,7 +183,8 @@ void finish_reconstruction(EncodeJob& job) {
 }  // namespace
 
 void EncodeJob::prepare(const EncoderConfig& config, const Frame420& current,
-                        std::vector<RefPicture*> references, int frame_no) {
+                        std::vector<RefPicture*> references, int frame_no,
+                        std::unique_ptr<RefPicture> recycled) {
   config.validate();
   cfg = &config;
   cur = &current;
@@ -188,12 +193,30 @@ void EncodeJob::prepare(const EncoderConfig& config, const Frame420& current,
   is_intra = refs.empty();
 
   const int mbs = config.total_mbs();
-  fields.assign(refs.size(), MotionField(static_cast<std::size_t>(mbs)));
+  // assign() (not re-construction) everywhere: on a reused EncodeJob the
+  // vectors keep their capacity, so steady-state frames touch the heap only
+  // when the geometry grows.
+  fields.resize(refs.size());
+  for (MotionField& f : fields) {
+    f.assign(static_cast<std::size_t>(mbs), MbMotion{});
+  }
   choices.assign(static_cast<std::size_t>(mbs), MbModeChoice{});
   coded.assign(static_cast<std::size_t>(mbs), MbCoded{});
   dbl_info.assign(static_cast<std::size_t>(mbs) * 16, Block4x4Info{});
-  recon = std::make_unique<RefPicture>(config.width, config.height,
-                                       ref_border(config));
+
+  const int border = ref_border(config);
+  if (recycled != nullptr && recycled->recon.y.width() == config.width &&
+      recycled->recon.y.height() == config.height &&
+      recycled->recon.y.border() == border) {
+    // Adopt the evicted picture's planes: every pixel of recon is written
+    // by reconstruction and every pixel of sf by INT before anyone reads
+    // them, so a scrub of the metadata suffices.
+    recycled->sf_ready = false;
+    recycled->frame_number = -1;
+    recon = std::move(recycled);
+  } else {
+    recon = std::make_unique<RefPicture>(config.width, config.height, border);
+  }
 }
 
 void me_rows(EncodeJob& job, int row_begin, int row_end, SimdTier tier) {
@@ -206,10 +229,10 @@ void me_rows(EncodeJob& job, int row_begin, int row_end, SimdTier tier) {
   }
 }
 
-void int_rows(EncodeJob& job, int row_begin, int row_end) {
+void int_rows(EncodeJob& job, int row_begin, int row_end, SimdTier tier) {
   FEVES_CHECK(!job.refs.empty());
   run_interpolation_rows(job.refs[0]->recon.y, row_begin, row_end,
-                         job.refs[0]->sf);
+                         job.refs[0]->sf, tier);
 }
 
 void finish_interpolation(EncodeJob& job) {
@@ -229,7 +252,7 @@ void sme_rows(EncodeJob& job, int row_begin, int row_end) {
   }
 }
 
-void rstar_frame(EncodeJob& job) {
+void rstar_frame(EncodeJob& job, SimdTier tier) {
   const int mbw = job.cfg->mb_width();
   const int mbh = job.cfg->mb_height();
   const int qp = job.cfg->qp_p;
@@ -240,6 +263,9 @@ void rstar_frame(EncodeJob& job) {
 
   std::vector<const SubPelFrame*> sfs;
   std::vector<const PlaneU8*> refs_u, refs_v;
+  sfs.reserve(job.refs.size());
+  refs_u.reserve(job.refs.size());
+  refs_v.reserve(job.refs.size());
   for (const RefPicture* r : job.refs) {
     sfs.push_back(&r->sf);
     refs_u.push_back(&r->recon.u);
@@ -255,23 +281,23 @@ void rstar_frame(EncodeJob& job) {
       u8 pred_y[kMbSize * kMbSize];
       i16 res_y[kMbSize * kMbSize];
       motion_compensate_luma_mb(job.cur->y, sfs, choice, mb_x, mb_y, pred_y,
-                                res_y);
+                                res_y, tier);
       tq_luma_mb(res_y, qp, /*intra=*/false, coded);
 
       u8 pred_u[kCMb * kCMb], pred_v[kCMb * kCMb];
       i16 res_u[kCMb * kCMb], res_v[kCMb * kCMb];
       motion_compensate_chroma_mb(job.cur->u, refs_u, choice, mb_x, mb_y,
-                                  pred_u, res_u);
+                                  pred_u, res_u, tier);
       motion_compensate_chroma_mb(job.cur->v, refs_v, choice, mb_x, mb_y,
-                                  pred_v, res_v);
+                                  pred_v, res_v, tier);
       tq_chroma_mb(res_u, qpc, false, coded.cb_levels);
       tq_chroma_mb(res_v, qpc, false, coded.cr_levels);
 
-      reconstruct_inter_mb(job, mb_x, mb_y);
+      reconstruct_inter_mb(job, mb_x, mb_y, sfs, refs_u, refs_v, tier);
       fill_dbl_info(job, mb_x, mb_y);
     }
   }
-  finish_reconstruction(job);
+  finish_reconstruction(job, tier);
 }
 
 void intra_frame(EncodeJob& job) {

@@ -52,9 +52,15 @@ struct EncodeJob {
   int frame_number = 0;
   bool is_intra = false;
 
-  /// Allocates fields/choices/coded/recon for `cfg` x `refs`.
+  /// Sizes fields/choices/coded/recon for `cfg` x `refs`. Reusing one
+  /// EncodeJob across frames keeps every vector's capacity, so steady-state
+  /// frames allocate nothing here except `recon` — and even that is elided
+  /// when `recycled` (typically the picture RefList::push_front evicted)
+  /// has matching geometry: it is scrubbed and adopted instead of a fresh
+  /// RefPicture being heap-allocated per frame.
   void prepare(const EncoderConfig& config, const Frame420& current,
-               std::vector<RefPicture*> references, int frame_no);
+               std::vector<RefPicture*> references, int frame_no,
+               std::unique_ptr<RefPicture> recycled = nullptr);
 };
 
 // ---- Row-ranged inter-loop modules (the distribution units) -------------
@@ -63,8 +69,10 @@ struct EncodeJob {
 void me_rows(EncodeJob& job, int row_begin, int row_end,
              SimdTier tier = SimdTier::kAuto);
 
-/// INT over MB rows of the newest reference's SF.
-void int_rows(EncodeJob& job, int row_begin, int row_end);
+/// INT over MB rows of the newest reference's SF. `tier` selects the
+/// interpolation kernel tier (registry id kInterp).
+void int_rows(EncodeJob& job, int row_begin, int row_end,
+              SimdTier tier = SimdTier::kAuto);
 
 /// SME over MB rows against every reference. All SFs must be complete with
 /// extended borders (call finish_interpolation first).
@@ -76,8 +84,10 @@ void finish_interpolation(EncodeJob& job);
 
 // ---- R* block (single device, whole frame) ------------------------------
 
-/// Mode decision + MC + TQ + TQ^-1 + reconstruction + DBL.
-void rstar_frame(EncodeJob& job);
+/// Mode decision + MC + TQ + TQ^-1 + reconstruction + DBL. `tier` feeds the
+/// MC and deblocking kernels (transform kernels resolve kAuto once per
+/// process — they are 4x4-fixed and gain nothing from per-call selection).
+void rstar_frame(EncodeJob& job, SimdTier tier = SimdTier::kAuto);
 
 /// Intra path for the leading I frame: per-MB Intra_16x16 mode decision
 /// (V/H/DC/Plane from reconstructed neighbours), TQ, reconstruction, DBL.

@@ -1,0 +1,44 @@
+// Internal row-kernel table of the interpolator's vector tiers. Each tier
+// provides the same five row passes; run_interpolation_rows assembles the
+// 16 phase planes from them. Not installed API — shared between
+// interpolate.cpp, interpolate_simd.cpp (SSE2) and kernels_avx2.cpp.
+//
+// Value ranges (why the narrow arithmetic below is exact):
+//   htap/vtap un-normalized 6-tap of u8: [-2550, 10710] — fits i16.
+//   (htap + 16) >> 5: [-80, 335] — u8-saturating pack == clip255.
+//   j's double 6-tap jj: [-556920, 556920] — needs i32; (jj+512)>>10 is
+//   [-544, 544], so an i32->i16 saturating pack is lossless and the final
+//   u8 pack == clip255.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace feves::interp {
+
+struct RowKernels {
+  /// out[x] = un-normalized horizontal 6-tap at (row, x + 1/2), x in [0,n).
+  /// Reads row[x-2 .. x+3]; SIMD variants may read up to row[n+13], which
+  /// the caller's >= 4 border plus the plane's 64-byte-aligned padded
+  /// stride always covers.
+  void (*htap_row)(const u8* row, i16* out, int n);
+  /// out[x] = clip255((in[x] + 16) >> 5).
+  void (*half_row)(const i16* in, u8* out, int n);
+  /// out[x] = clip255((v + 16) >> 5), v = vertical 6-tap over rows[0..5]
+  /// (source rows y-2 .. y+3) at column x.
+  void (*vtap_half_row)(const u8* const rows[6], u8* out, int n);
+  /// out[x] = clip255((jj + 512) >> 10), jj = vertical 6-tap over the
+  /// un-normalized htap rows h[0..5] (H.264 centre half-pel j).
+  void (*jrow)(const i16* const h[6], u8* out, int n);
+  /// out[x] = (a[x] + b[x] + 1) >> 1 (quarter-pel bilinear average).
+  void (*avg_row)(const u8* a, const u8* b, u8* out, int n);
+};
+
+/// Plain-C tier (kBlocked): simple loops the auto-vectorizer handles.
+const RowKernels& rows_blocked();
+/// Explicit SSE2 tier (forwards to rows_blocked off x86; never selected
+/// there — the registry resolves tiers against runtime CPU features).
+const RowKernels& rows_sse2();
+/// Explicit AVX2 tier (runtime-gated; forwarding stub when not compilable).
+const RowKernels& rows_avx2();
+
+}  // namespace feves::interp

@@ -1,8 +1,11 @@
 #include "codec/interpolate.hpp"
 
+#include "codec/interp_rows.hpp"
+#include "common/aligned.hpp"
 #include "common/check.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 namespace feves {
 
@@ -27,17 +30,10 @@ inline u8 half(int unnormalized) { return clip255((unnormalized + 16) >> 5); }
 
 inline u8 avg(u8 a, u8 b) { return static_cast<u8>((a + b + 1) >> 1); }
 
-}  // namespace
-
-void run_interpolation_rows(const PlaneU8& ref, int mb_row_begin,
-                            int mb_row_end, SubPelFrame& sf) {
-  FEVES_CHECK(sf.width() == ref.width() && sf.height() == ref.height());
-  FEVES_CHECK(ref.border() >= 4);
-  FEVES_CHECK(mb_row_begin >= 0 && mb_row_begin <= mb_row_end);
-  FEVES_CHECK(mb_row_end * kMbSize <= ref.height());
-
-  const int y_begin = mb_row_begin * kMbSize;
-  const int y_end = mb_row_end * kMbSize;
+/// Scalar oracle: the literal per-pixel H.264 definitions. Every other tier
+/// is pinned bit-for-bit against this in tests/codec/simd_tiers_test.
+void run_rows_scalar(const PlaneU8& ref, int y_begin, int y_end,
+                     SubPelFrame& sf) {
   const int width = ref.width();
 
   // Phase planes, named after the standard's sample letters:
@@ -83,7 +79,7 @@ void run_interpolation_rows(const PlaneU8& ref, int mb_row_begin,
 
     for (int x = 0; x < width; ++x) {
       const u8 G = src[x];
-      const u8 H = src[x + 1];       // next integer sample (border-safe)
+      const u8 H = src[x + 1];         // next integer sample (border-safe)
       const u8 M = ref.row(y + 1)[x];  // integer sample below
 
       const int hh_c = htap(ref, y, x);
@@ -116,6 +112,180 @@ void run_interpolation_rows(const PlaneU8& ref, int mb_row_begin,
       rq[x] = avg(j, s);
       rr[x] = avg(m, s);
     }
+  }
+}
+
+/// Row-based engine shared by the blocked/SSE2/AVX2 tiers. The per-pixel
+/// oracle recomputes each horizontal tap up to six times (for b, s and the
+/// six j terms); here a 6-row ring of un-normalized htap rows computes each
+/// exactly once, and every phase plane becomes one contiguous row pass:
+///
+///   b = half(htap ring row y)          s = half(htap ring row y+1)
+///   h,m = vertical-tap row (width+1 samples; m is the row shifted by one)
+///   j = double-tap over the six ring rows
+///   12 quarter-pel phases = pairwise averages of the rows above.
+///
+/// Bit-exactness holds per construction: each row pass evaluates the same
+/// integer expression as the oracle (ranges in codec/interp_rows.hpp).
+void run_rows_engine(const PlaneU8& ref, int y_begin, int y_end,
+                     SubPelFrame& sf, const interp::RowKernels& k) {
+  const int width = ref.width();
+  if (width == 0 || y_begin >= y_end) return;
+
+  // Scratch: the htap ring (i16), the h/m line (width+1 samples) and the s
+  // line. One allocation per call — calls are per frame-slice, not per MB.
+  const int hpitch = round_up(width, static_cast<int>(kBufferAlign) / 2);
+  const int bpitch = round_up(width + 1, static_cast<int>(kBufferAlign));
+  AlignedVector<i16> ring(static_cast<std::size_t>(6) * hpitch);
+  AlignedVector<u8> hline(static_cast<std::size_t>(bpitch));
+  AlignedVector<u8> srow(static_cast<std::size_t>(bpitch));
+
+  // Ring slot of the htap row of source row r (r may start at -2).
+  const auto hrow = [&](int r) {
+    return ring.data() + static_cast<std::ptrdiff_t>(((r % 6) + 6) % 6) * hpitch;
+  };
+  for (int r = y_begin - 2; r <= y_begin + 3; ++r) {
+    k.htap_row(ref.row(r), hrow(r), width);
+  }
+
+  PlaneU8& pG = sf.phase(0, 0);
+  PlaneU8& pa = sf.phase(0, 1);
+  PlaneU8& pb = sf.phase(0, 2);
+  PlaneU8& pc = sf.phase(0, 3);
+  PlaneU8& pd = sf.phase(1, 0);
+  PlaneU8& pe = sf.phase(1, 1);
+  PlaneU8& pf = sf.phase(1, 2);
+  PlaneU8& pg = sf.phase(1, 3);
+  PlaneU8& ph = sf.phase(2, 0);
+  PlaneU8& pi = sf.phase(2, 1);
+  PlaneU8& pj = sf.phase(2, 2);
+  PlaneU8& pk = sf.phase(2, 3);
+  PlaneU8& pn = sf.phase(3, 0);
+  PlaneU8& pp = sf.phase(3, 1);
+  PlaneU8& pq = sf.phase(3, 2);
+  PlaneU8& pr = sf.phase(3, 3);
+
+  for (int y = y_begin; y < y_end; ++y) {
+    if (y != y_begin) k.htap_row(ref.row(y + 3), hrow(y + 3), width);
+
+    const u8* src = ref.row(y);
+    const u8* below = ref.row(y + 1);
+    u8* rb = pb.row(y);
+    u8* rh = ph.row(y);
+    u8* rj = pj.row(y);
+
+    k.half_row(hrow(y), rb, width);                 // b
+    k.half_row(hrow(y + 1), srow.data(), width);    // s (b one row below —
+                                                    // scratch: row y+1 may
+                                                    // belong to another slice)
+    const u8* vrows[6] = {ref.row(y - 2), ref.row(y - 1), src,
+                          below,          ref.row(y + 2), ref.row(y + 3)};
+    k.vtap_half_row(vrows, hline.data(), width + 1);  // h, and m at x+1
+    const i16* jrows[6] = {hrow(y - 2), hrow(y - 1), hrow(y),
+                           hrow(y + 1), hrow(y + 2), hrow(y + 3)};
+    k.jrow(jrows, rj, width);                       // j
+
+    std::memcpy(pG.row(y), src, static_cast<std::size_t>(width));
+    std::memcpy(rh, hline.data(), static_cast<std::size_t>(width));
+    k.avg_row(src, rb, pa.row(y), width);                      // a = (G,b)
+    k.avg_row(src + 1, rb, pc.row(y), width);                  // c = (H,b)
+    k.avg_row(src, hline.data(), pd.row(y), width);            // d = (G,h)
+    k.avg_row(rb, hline.data(), pe.row(y), width);             // e = (b,h)
+    k.avg_row(rb, rj, pf.row(y), width);                       // f = (b,j)
+    k.avg_row(rb, hline.data() + 1, pg.row(y), width);         // g = (b,m)
+    k.avg_row(hline.data(), rj, pi.row(y), width);             // i = (h,j)
+    k.avg_row(rj, hline.data() + 1, pk.row(y), width);         // k = (j,m)
+    k.avg_row(below, hline.data(), pn.row(y), width);          // n = (M,h)
+    k.avg_row(hline.data(), srow.data(), pp.row(y), width);    // p = (h,s)
+    k.avg_row(rj, srow.data(), pq.row(y), width);              // q = (j,s)
+    k.avg_row(hline.data() + 1, srow.data(), pr.row(y), width);  // r = (m,s)
+  }
+}
+
+}  // namespace
+
+namespace interp {
+
+namespace {
+
+void htap_row_c(const u8* row, i16* out, int n) {
+  for (int x = 0; x < n; ++x) {
+    out[x] = static_cast<i16>(row[x - 2] - 5 * row[x - 1] + 20 * row[x] +
+                              20 * row[x + 1] - 5 * row[x + 2] + row[x + 3]);
+  }
+}
+
+void half_row_c(const i16* in, u8* out, int n) {
+  for (int x = 0; x < n; ++x) out[x] = clip255((in[x] + 16) >> 5);
+}
+
+void vtap_half_row_c(const u8* const rows[6], u8* out, int n) {
+  const u8* r0 = rows[0];
+  const u8* r1 = rows[1];
+  const u8* r2 = rows[2];
+  const u8* r3 = rows[3];
+  const u8* r4 = rows[4];
+  const u8* r5 = rows[5];
+  for (int x = 0; x < n; ++x) {
+    const int v = r0[x] - 5 * r1[x] + 20 * r2[x] + 20 * r3[x] - 5 * r4[x] +
+                  r5[x];
+    out[x] = clip255((v + 16) >> 5);
+  }
+}
+
+void jrow_c(const i16* const h[6], u8* out, int n) {
+  const i16* h0 = h[0];
+  const i16* h1 = h[1];
+  const i16* h2 = h[2];
+  const i16* h3 = h[3];
+  const i16* h4 = h[4];
+  const i16* h5 = h[5];
+  for (int x = 0; x < n; ++x) {
+    const int jj = h0[x] - 5 * h1[x] + 20 * h2[x] + 20 * h3[x] - 5 * h4[x] +
+                   h5[x];
+    out[x] = clip255((jj + 512) >> 10);
+  }
+}
+
+void avg_row_c(const u8* a, const u8* b, u8* out, int n) {
+  for (int x = 0; x < n; ++x) out[x] = static_cast<u8>((a[x] + b[x] + 1) >> 1);
+}
+
+}  // namespace
+
+const RowKernels& rows_blocked() {
+  static const RowKernels k = {&htap_row_c, &half_row_c, &vtap_half_row_c,
+                               &jrow_c, &avg_row_c};
+  return k;
+}
+
+}  // namespace interp
+
+void run_interpolation_rows(const PlaneU8& ref, int mb_row_begin,
+                            int mb_row_end, SubPelFrame& sf, SimdTier tier) {
+  FEVES_CHECK(sf.width() == ref.width() && sf.height() == ref.height());
+  FEVES_CHECK(ref.border() >= 4);
+  FEVES_CHECK(mb_row_begin >= 0 && mb_row_begin <= mb_row_end);
+  FEVES_CHECK(mb_row_end * kMbSize <= ref.height());
+
+  const int y_begin = mb_row_begin * kMbSize;
+  const int y_end = mb_row_end * kMbSize;
+
+  switch (resolve_tier(KernelId::kInterp, tier)) {
+    case SimdTier::kScalar:
+      run_rows_scalar(ref, y_begin, y_end, sf);
+      break;
+    case SimdTier::kBlocked:
+      run_rows_engine(ref, y_begin, y_end, sf, interp::rows_blocked());
+      break;
+    case SimdTier::kSse2:
+      run_rows_engine(ref, y_begin, y_end, sf, interp::rows_sse2());
+      break;
+    case SimdTier::kAvx2:
+      run_rows_engine(ref, y_begin, y_end, sf, interp::rows_avx2());
+      break;
+    case SimdTier::kAuto:
+      break;  // resolve_tier never returns kAuto
   }
 }
 

@@ -5,19 +5,26 @@
 //
 // Like ME/SME, the API is row-ranged: the l_i distribution vector of
 // Algorithm 2 assigns each device a span of MB rows to interpolate.
+//
+// Tiers: kScalar is the literal per-pixel oracle; kBlocked restructures the
+// work into row passes over a 6-row ring of horizontal-tap intermediates
+// (each htap is computed once instead of six times); kSse2/kAvx2 run the
+// same row passes with explicit intrinsics. All tiers are bit-exact.
 #pragma once
 
+#include "codec/kernels.hpp"
 #include "video/frame.hpp"
 
 namespace feves {
 
 /// Interpolates MB rows [mb_row_begin, mb_row_end) of `ref` into `sf`.
-/// `ref` must have extended borders (>= 3 px margin for the 6-tap taps,
+/// `ref` must have extended borders (>= 4 px margin for the 6-tap taps,
 /// which every frame border in this codebase satisfies). Only interior SF
 /// pixels are written; call `extend_subpel_borders` once the whole frame
 /// has been assembled.
 void run_interpolation_rows(const PlaneU8& ref, int mb_row_begin,
-                            int mb_row_end, SubPelFrame& sf);
+                            int mb_row_end, SubPelFrame& sf,
+                            SimdTier tier = SimdTier::kAuto);
 
 /// Replicates edge pixels into the borders of all 16 phase planes. Must run
 /// after the full SF has been gathered (host-side in collaborative mode).

@@ -1,0 +1,186 @@
+// SSE2 tier of the interpolation row kernels. Compilable-on-x86 guard only;
+// runtime tier selection happens in the kernel registry (codec/kernels.hpp).
+// All arithmetic is exact per the range analysis in codec/interp_rows.hpp:
+// taps fit i16 (20*v and 5*v built from shifts), the saturating u8 packs
+// coincide with clip255 on the reachable ranges, and PAVGB is exactly
+// (a+b+1)>>1.
+#include "codec/interp_rows.hpp"
+
+#include <algorithm>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define FEVES_CAN_SSE2 1
+#include <emmintrin.h>
+#endif
+
+namespace feves::interp {
+
+#if FEVES_CAN_SSE2
+
+namespace {
+
+inline __m128i loadu(const void* p) {
+  return _mm_loadu_si128(static_cast<const __m128i*>(p));
+}
+
+inline void storeu(void* p, __m128i v) {
+  _mm_storeu_si128(static_cast<__m128i*>(p), v);
+}
+
+inline u8 clip255(int v) { return static_cast<u8>(std::clamp(v, 0, 255)); }
+
+/// Un-normalized 6-tap over i16 lanes: a - 5b + 20c + 20d - 5e + f,
+/// with 20v = (v<<4)+(v<<2) and 5v = (v<<2)+v. All partials fit i16.
+inline __m128i tap6_epi16(__m128i a, __m128i b, __m128i c, __m128i d,
+                          __m128i e, __m128i f) {
+  const __m128i cd = _mm_add_epi16(c, d);
+  const __m128i be = _mm_add_epi16(b, e);
+  __m128i t = _mm_add_epi16(a, f);
+  t = _mm_add_epi16(
+      t, _mm_add_epi16(_mm_slli_epi16(cd, 4), _mm_slli_epi16(cd, 2)));
+  return _mm_sub_epi16(t, _mm_add_epi16(_mm_slli_epi16(be, 2), be));
+}
+
+void htap_row_sse2(const u8* row, i16* out, int n) {
+  const __m128i zero = _mm_setzero_si128();
+  int x = 0;
+  for (; x + 16 <= n; x += 16) {
+    const __m128i a8 = loadu(row + x - 2);
+    const __m128i b8 = loadu(row + x - 1);
+    const __m128i c8 = loadu(row + x);
+    const __m128i d8 = loadu(row + x + 1);
+    const __m128i e8 = loadu(row + x + 2);
+    const __m128i f8 = loadu(row + x + 3);
+    storeu(out + x,
+           tap6_epi16(_mm_unpacklo_epi8(a8, zero), _mm_unpacklo_epi8(b8, zero),
+                      _mm_unpacklo_epi8(c8, zero), _mm_unpacklo_epi8(d8, zero),
+                      _mm_unpacklo_epi8(e8, zero),
+                      _mm_unpacklo_epi8(f8, zero)));
+    storeu(out + x + 8,
+           tap6_epi16(_mm_unpackhi_epi8(a8, zero), _mm_unpackhi_epi8(b8, zero),
+                      _mm_unpackhi_epi8(c8, zero), _mm_unpackhi_epi8(d8, zero),
+                      _mm_unpackhi_epi8(e8, zero),
+                      _mm_unpackhi_epi8(f8, zero)));
+  }
+  for (; x < n; ++x) {
+    out[x] = static_cast<i16>(row[x - 2] - 5 * row[x - 1] + 20 * row[x] +
+                              20 * row[x + 1] - 5 * row[x + 2] + row[x + 3]);
+  }
+}
+
+void half_row_sse2(const i16* in, u8* out, int n) {
+  const __m128i k16 = _mm_set1_epi16(16);
+  int x = 0;
+  for (; x + 16 <= n; x += 16) {
+    const __m128i lo = _mm_srai_epi16(_mm_add_epi16(loadu(in + x), k16), 5);
+    const __m128i hi = _mm_srai_epi16(_mm_add_epi16(loadu(in + x + 8), k16), 5);
+    storeu(out + x, _mm_packus_epi16(lo, hi));
+  }
+  for (; x < n; ++x) out[x] = clip255((in[x] + 16) >> 5);
+}
+
+void vtap_half_row_sse2(const u8* const rows[6], u8* out, int n) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i k16 = _mm_set1_epi16(16);
+  int x = 0;
+  for (; x + 16 <= n; x += 16) {
+    const __m128i a8 = loadu(rows[0] + x);
+    const __m128i b8 = loadu(rows[1] + x);
+    const __m128i c8 = loadu(rows[2] + x);
+    const __m128i d8 = loadu(rows[3] + x);
+    const __m128i e8 = loadu(rows[4] + x);
+    const __m128i f8 = loadu(rows[5] + x);
+    const __m128i lo = _mm_srai_epi16(
+        _mm_add_epi16(
+            tap6_epi16(_mm_unpacklo_epi8(a8, zero),
+                       _mm_unpacklo_epi8(b8, zero),
+                       _mm_unpacklo_epi8(c8, zero),
+                       _mm_unpacklo_epi8(d8, zero),
+                       _mm_unpacklo_epi8(e8, zero),
+                       _mm_unpacklo_epi8(f8, zero)),
+            k16),
+        5);
+    const __m128i hi = _mm_srai_epi16(
+        _mm_add_epi16(
+            tap6_epi16(_mm_unpackhi_epi8(a8, zero),
+                       _mm_unpackhi_epi8(b8, zero),
+                       _mm_unpackhi_epi8(c8, zero),
+                       _mm_unpackhi_epi8(d8, zero),
+                       _mm_unpackhi_epi8(e8, zero),
+                       _mm_unpackhi_epi8(f8, zero)),
+            k16),
+        5);
+    storeu(out + x, _mm_packus_epi16(lo, hi));
+  }
+  for (; x < n; ++x) {
+    const int v = rows[0][x] - 5 * rows[1][x] + 20 * rows[2][x] +
+                  20 * rows[3][x] - 5 * rows[4][x] + rows[5][x];
+    out[x] = clip255((v + 16) >> 5);
+  }
+}
+
+/// Eight (jj + 512) >> 10 values as i16 lanes. Pairs symmetric taps through
+/// PMADDWD so the wide accumulation happens in i32: (1,1), (-5,-5), (20,20).
+/// The final i32->i16 saturating pack is lossless ([-544, 544]).
+inline __m128i jj8(const i16* const h[6], int x, __m128i c1, __m128i c5,
+                   __m128i c20, __m128i k512) {
+  const __m128i a = loadu(h[0] + x);
+  const __m128i b = loadu(h[1] + x);
+  const __m128i c = loadu(h[2] + x);
+  const __m128i d = loadu(h[3] + x);
+  const __m128i e = loadu(h[4] + x);
+  const __m128i f = loadu(h[5] + x);
+  __m128i lo = _mm_add_epi32(
+      _mm_add_epi32(_mm_madd_epi16(_mm_unpacklo_epi16(a, f), c1),
+                    _mm_madd_epi16(_mm_unpacklo_epi16(b, e), c5)),
+      _mm_madd_epi16(_mm_unpacklo_epi16(c, d), c20));
+  __m128i hi = _mm_add_epi32(
+      _mm_add_epi32(_mm_madd_epi16(_mm_unpackhi_epi16(a, f), c1),
+                    _mm_madd_epi16(_mm_unpackhi_epi16(b, e), c5)),
+      _mm_madd_epi16(_mm_unpackhi_epi16(c, d), c20));
+  lo = _mm_srai_epi32(_mm_add_epi32(lo, k512), 10);
+  hi = _mm_srai_epi32(_mm_add_epi32(hi, k512), 10);
+  return _mm_packs_epi32(lo, hi);
+}
+
+void jrow_sse2(const i16* const h[6], u8* out, int n) {
+  const __m128i c1 = _mm_set1_epi16(1);
+  const __m128i c5 = _mm_set1_epi16(-5);
+  const __m128i c20 = _mm_set1_epi16(20);
+  const __m128i k512 = _mm_set1_epi32(512);
+  int x = 0;
+  for (; x + 16 <= n; x += 16) {
+    const __m128i lo = jj8(h, x, c1, c5, c20, k512);
+    const __m128i hi = jj8(h, x + 8, c1, c5, c20, k512);
+    storeu(out + x, _mm_packus_epi16(lo, hi));
+  }
+  for (; x < n; ++x) {
+    const int jj = h[0][x] - 5 * h[1][x] + 20 * h[2][x] + 20 * h[3][x] -
+                   5 * h[4][x] + h[5][x];
+    out[x] = clip255((jj + 512) >> 10);
+  }
+}
+
+void avg_row_sse2(const u8* a, const u8* b, u8* out, int n) {
+  int x = 0;
+  for (; x + 16 <= n; x += 16) {
+    storeu(out + x, _mm_avg_epu8(loadu(a + x), loadu(b + x)));
+  }
+  for (; x < n; ++x) out[x] = static_cast<u8>((a[x] + b[x] + 1) >> 1);
+}
+
+}  // namespace
+
+const RowKernels& rows_sse2() {
+  static const RowKernels k = {&htap_row_sse2, &half_row_sse2,
+                               &vtap_half_row_sse2, &jrow_sse2, &avg_row_sse2};
+  return k;
+}
+
+#else  // !FEVES_CAN_SSE2: link-satisfying forward, never selected at runtime.
+
+const RowKernels& rows_sse2() { return rows_blocked(); }
+
+#endif
+
+}  // namespace feves::interp

@@ -1,0 +1,290 @@
+// AVX2 tier of the kernel library: SAD (grid + rectangular) and the
+// interpolation row passes. Built without -mavx2 — every function carries a
+// target("avx2") attribute, so the TU compiles into any x86-64 binary and
+// the kernel registry only selects these entry points after CPUID confirms
+// AVX2 (codec/kernels.hpp). On toolchains/targets where the attribute is
+// unavailable the stubs at the bottom forward to the SSE2 tier; they always
+// link and are never the resolved tier.
+//
+// Exactness mirrors the SSE2 tier (ranges in codec/interp_rows.hpp); VPSADBW
+// and VPAVGB are exact by definition.
+#include "codec/interp_rows.hpp"
+#include "codec/sad.hpp"
+
+#include <algorithm>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define FEVES_CAN_AVX2 1
+#include <immintrin.h>
+#define FEVES_AVX2_FN __attribute__((target("avx2")))
+#endif
+
+namespace feves {
+
+// SSE2 siblings (sad_simd.cpp / interpolate_simd.cpp) used for tails and as
+// the forwarding targets of the no-AVX2 stubs.
+void sad_grid_simd(const u8* cur, std::ptrdiff_t cur_stride, const u8* ref,
+                   std::ptrdiff_t ref_stride, u16 out[16]);
+u32 sad_block_simd(const u8* a, std::ptrdiff_t stride_a, const u8* b,
+                   std::ptrdiff_t stride_b, int width, int height);
+
+#if FEVES_CAN_AVX2
+
+namespace {
+
+FEVES_AVX2_FN inline __m256i loadu256(const void* p) {
+  return _mm256_loadu_si256(static_cast<const __m256i*>(p));
+}
+
+FEVES_AVX2_FN inline void storeu256(void* p, __m256i v) {
+  _mm256_storeu_si256(static_cast<__m256i*>(p), v);
+}
+
+FEVES_AVX2_FN inline __m128i loadu128(const void* p) {
+  return _mm_loadu_si128(static_cast<const __m128i*>(p));
+}
+
+/// Two 128-bit rows packed into one 256-bit register (lane0 = `lo` row).
+FEVES_AVX2_FN inline __m256i pack_rows(__m128i lo, __m128i hi) {
+  return _mm256_inserti128_si256(_mm256_castsi128_si256(lo), hi, 1);
+}
+
+FEVES_AVX2_FN inline __m256i absdiff_u8_256(__m256i a, __m256i b) {
+  return _mm256_or_si256(_mm256_subs_epu8(a, b), _mm256_subs_epu8(b, a));
+}
+
+FEVES_AVX2_FN inline u32 hsum_sad_256(__m256i acc) {
+  const __m128i s = _mm_add_epi64(_mm256_castsi256_si128(acc),
+                                  _mm256_extracti128_si256(acc, 1));
+  return static_cast<u32>(_mm_cvtsi128_si64(s)) +
+         static_cast<u32>(_mm_cvtsi128_si64(_mm_unpackhi_epi64(s, s)));
+}
+
+}  // namespace
+
+FEVES_AVX2_FN void sad_grid_avx2(const u8* cur, std::ptrdiff_t cur_stride,
+                                 const u8* ref, std::ptrdiff_t ref_stride,
+                                 u16 out[16]) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m128i ones16 = _mm_set1_epi16(1);
+
+  for (int by = 0; by < 4; ++by) {
+    // Two pixel rows per iteration, one in each 128-bit lane; lane-wise
+    // per-column 16-bit accumulators (max 4 * 255 per column).
+    __m256i acc_lo = zero;  // columns 0..7 of both lane rows
+    __m256i acc_hi = zero;  // columns 8..15
+    for (int y = 0; y < 4; y += 2) {
+      const u8* c0 = cur + (by * 4 + y) * cur_stride;
+      const u8* r0 = ref + (by * 4 + y) * ref_stride;
+      const __m256i c = pack_rows(loadu128(c0), loadu128(c0 + cur_stride));
+      const __m256i r = pack_rows(loadu128(r0), loadu128(r0 + ref_stride));
+      const __m256i d = absdiff_u8_256(c, r);
+      acc_lo = _mm256_add_epi16(acc_lo, _mm256_unpacklo_epi8(d, zero));
+      acc_hi = _mm256_add_epi16(acc_hi, _mm256_unpackhi_epi8(d, zero));
+    }
+    // Fold the two lane rows together, then reduce groups of 4 columns
+    // exactly like the SSE2 tier.
+    const __m128i col_lo = _mm_add_epi16(_mm256_castsi256_si128(acc_lo),
+                                         _mm256_extracti128_si256(acc_lo, 1));
+    const __m128i col_hi = _mm_add_epi16(_mm256_castsi256_si128(acc_hi),
+                                         _mm256_extracti128_si256(acc_hi, 1));
+    alignas(16) u32 pairs_lo[4], pairs_hi[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(pairs_lo),
+                    _mm_madd_epi16(col_lo, ones16));
+    _mm_store_si128(reinterpret_cast<__m128i*>(pairs_hi),
+                    _mm_madd_epi16(col_hi, ones16));
+    out[by * 4 + 0] = static_cast<u16>(pairs_lo[0] + pairs_lo[1]);
+    out[by * 4 + 1] = static_cast<u16>(pairs_lo[2] + pairs_lo[3]);
+    out[by * 4 + 2] = static_cast<u16>(pairs_hi[0] + pairs_hi[1]);
+    out[by * 4 + 3] = static_cast<u16>(pairs_hi[2] + pairs_hi[3]);
+  }
+}
+
+FEVES_AVX2_FN u32 sad_block_avx2(const u8* a, std::ptrdiff_t stride_a,
+                                 const u8* b, std::ptrdiff_t stride_b,
+                                 int width, int height) {
+  u32 total = 0;
+  int x = 0;
+  for (; x + 32 <= width; x += 32) {
+    __m256i acc = _mm256_setzero_si256();
+    for (int y = 0; y < height; ++y) {
+      acc = _mm256_add_epi64(
+          acc, _mm256_sad_epu8(loadu256(a + y * stride_a + x),
+                               loadu256(b + y * stride_b + x)));
+    }
+    total += hsum_sad_256(acc);
+  }
+  if (x + 16 <= width) {
+    // 16-wide span, two rows per VPSADBW via the two lanes.
+    __m256i acc = _mm256_setzero_si256();
+    int y = 0;
+    for (; y + 2 <= height; y += 2) {
+      const __m256i va = pack_rows(loadu128(a + y * stride_a + x),
+                                   loadu128(a + (y + 1) * stride_a + x));
+      const __m256i vb = pack_rows(loadu128(b + y * stride_b + x),
+                                   loadu128(b + (y + 1) * stride_b + x));
+      acc = _mm256_add_epi64(acc, _mm256_sad_epu8(va, vb));
+    }
+    total += hsum_sad_256(acc);
+    for (; y < height; ++y) {
+      __m128i s = _mm_sad_epu8(loadu128(a + y * stride_a + x),
+                               loadu128(b + y * stride_b + x));
+      total += static_cast<u32>(_mm_cvtsi128_si64(s)) +
+               static_cast<u32>(_mm_cvtsi128_si64(_mm_unpackhi_epi64(s, s)));
+    }
+    x += 16;
+  }
+  if (x < width) {
+    total += sad_block_simd(a + x, stride_a, b + x, stride_b, width - x,
+                            height);
+  }
+  return total;
+}
+
+namespace interp {
+
+namespace {
+
+FEVES_AVX2_FN inline u8 clip255(int v) {
+  return static_cast<u8>(std::clamp(v, 0, 255));
+}
+
+/// Un-normalized 6-tap over 16 i16 lanes (same shift decomposition as SSE2).
+FEVES_AVX2_FN inline __m256i tap6_epi16_256(__m256i a, __m256i b, __m256i c,
+                                            __m256i d, __m256i e, __m256i f) {
+  const __m256i cd = _mm256_add_epi16(c, d);
+  const __m256i be = _mm256_add_epi16(b, e);
+  __m256i t = _mm256_add_epi16(a, f);
+  t = _mm256_add_epi16(
+      t, _mm256_add_epi16(_mm256_slli_epi16(cd, 4), _mm256_slli_epi16(cd, 2)));
+  return _mm256_sub_epi16(t, _mm256_add_epi16(_mm256_slli_epi16(be, 2), be));
+}
+
+/// 16 bytes of u8 widened to 16 in-order i16 lanes.
+FEVES_AVX2_FN inline __m256i widen16(const u8* p) {
+  return _mm256_cvtepu8_epi16(loadu128(p));
+}
+
+/// Saturating u8 pack of 16 in-order i16 lanes back to 16 in-order bytes.
+FEVES_AVX2_FN inline __m128i pack16(__m256i v) {
+  const __m256i p = _mm256_packus_epi16(v, v);
+  return _mm256_castsi256_si128(_mm256_permute4x64_epi64(p, 0xD8));
+}
+
+FEVES_AVX2_FN void htap_row_avx2(const u8* row, i16* out, int n) {
+  int x = 0;
+  for (; x + 16 <= n; x += 16) {
+    storeu256(out + x,
+              tap6_epi16_256(widen16(row + x - 2), widen16(row + x - 1),
+                             widen16(row + x), widen16(row + x + 1),
+                             widen16(row + x + 2), widen16(row + x + 3)));
+  }
+  for (; x < n; ++x) {
+    out[x] = static_cast<i16>(row[x - 2] - 5 * row[x - 1] + 20 * row[x] +
+                              20 * row[x + 1] - 5 * row[x + 2] + row[x + 3]);
+  }
+}
+
+FEVES_AVX2_FN void half_row_avx2(const i16* in, u8* out, int n) {
+  const __m256i k16 = _mm256_set1_epi16(16);
+  int x = 0;
+  for (; x + 16 <= n; x += 16) {
+    const __m256i v =
+        _mm256_srai_epi16(_mm256_add_epi16(loadu256(in + x), k16), 5);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + x), pack16(v));
+  }
+  for (; x < n; ++x) out[x] = clip255((in[x] + 16) >> 5);
+}
+
+FEVES_AVX2_FN void vtap_half_row_avx2(const u8* const rows[6], u8* out,
+                                      int n) {
+  const __m256i k16 = _mm256_set1_epi16(16);
+  int x = 0;
+  for (; x + 16 <= n; x += 16) {
+    const __m256i t = tap6_epi16_256(
+        widen16(rows[0] + x), widen16(rows[1] + x), widen16(rows[2] + x),
+        widen16(rows[3] + x), widen16(rows[4] + x), widen16(rows[5] + x));
+    const __m256i v = _mm256_srai_epi16(_mm256_add_epi16(t, k16), 5);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + x), pack16(v));
+  }
+  for (; x < n; ++x) {
+    const int v = rows[0][x] - 5 * rows[1][x] + 20 * rows[2][x] +
+                  20 * rows[3][x] - 5 * rows[4][x] + rows[5][x];
+    out[x] = clip255((v + 16) >> 5);
+  }
+}
+
+FEVES_AVX2_FN void jrow_avx2(const i16* const h[6], u8* out, int n) {
+  const __m256i c1 = _mm256_set1_epi16(1);
+  const __m256i c5 = _mm256_set1_epi16(-5);
+  const __m256i c20 = _mm256_set1_epi16(20);
+  const __m256i k512 = _mm256_set1_epi32(512);
+  int x = 0;
+  for (; x + 16 <= n; x += 16) {
+    const __m256i a = loadu256(h[0] + x);
+    const __m256i b = loadu256(h[1] + x);
+    const __m256i c = loadu256(h[2] + x);
+    const __m256i d = loadu256(h[3] + x);
+    const __m256i e = loadu256(h[4] + x);
+    const __m256i f = loadu256(h[5] + x);
+    // PMADDWD pairs of symmetric taps; unpack/pack are lane-local on AVX2,
+    // so composing unpacklo/hi + packs keeps lanes in order.
+    __m256i lo = _mm256_add_epi32(
+        _mm256_add_epi32(
+            _mm256_madd_epi16(_mm256_unpacklo_epi16(a, f), c1),
+            _mm256_madd_epi16(_mm256_unpacklo_epi16(b, e), c5)),
+        _mm256_madd_epi16(_mm256_unpacklo_epi16(c, d), c20));
+    __m256i hi = _mm256_add_epi32(
+        _mm256_add_epi32(
+            _mm256_madd_epi16(_mm256_unpackhi_epi16(a, f), c1),
+            _mm256_madd_epi16(_mm256_unpackhi_epi16(b, e), c5)),
+        _mm256_madd_epi16(_mm256_unpackhi_epi16(c, d), c20));
+    lo = _mm256_srai_epi32(_mm256_add_epi32(lo, k512), 10);
+    hi = _mm256_srai_epi32(_mm256_add_epi32(hi, k512), 10);
+    const __m256i v = _mm256_packs_epi32(lo, hi);  // lossless: [-544, 544]
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + x), pack16(v));
+  }
+  for (; x < n; ++x) {
+    const int jj = h[0][x] - 5 * h[1][x] + 20 * h[2][x] + 20 * h[3][x] -
+                   5 * h[4][x] + h[5][x];
+    out[x] = clip255((jj + 512) >> 10);
+  }
+}
+
+FEVES_AVX2_FN void avg_row_avx2(const u8* a, const u8* b, u8* out, int n) {
+  int x = 0;
+  for (; x + 32 <= n; x += 32) {
+    storeu256(out + x, _mm256_avg_epu8(loadu256(a + x), loadu256(b + x)));
+  }
+  for (; x < n; ++x) out[x] = static_cast<u8>((a[x] + b[x] + 1) >> 1);
+}
+
+}  // namespace
+
+const RowKernels& rows_avx2() {
+  static const RowKernels k = {&htap_row_avx2, &half_row_avx2,
+                               &vtap_half_row_avx2, &jrow_avx2, &avg_row_avx2};
+  return k;
+}
+
+}  // namespace interp
+
+#else  // !FEVES_CAN_AVX2: link-satisfying forwards, never selected at runtime.
+
+void sad_grid_avx2(const u8* cur, std::ptrdiff_t cur_stride, const u8* ref,
+                   std::ptrdiff_t ref_stride, u16 out[16]) {
+  sad_grid_simd(cur, cur_stride, ref, ref_stride, out);
+}
+
+u32 sad_block_avx2(const u8* a, std::ptrdiff_t stride_a, const u8* b,
+                   std::ptrdiff_t stride_b, int width, int height) {
+  return sad_block_simd(a, stride_a, b, stride_b, width, height);
+}
+
+namespace interp {
+const RowKernels& rows_avx2() { return rows_sse2(); }
+}  // namespace interp
+
+#endif
+
+}  // namespace feves

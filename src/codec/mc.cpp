@@ -80,11 +80,27 @@ void run_mode_decision_rows(const std::vector<MotionField>& fields,
   }
 }
 
+namespace detail {
+// Implemented in mc_simd.cpp (scalar forwards off x86; never the resolved
+// tier there). pred/res are kMbSize-stride MB-local tiles (prstride
+// parameterized so the chroma 8x8 tile reuses the luma kernel shape).
+void mc_luma_block_simd(const u8* src, std::ptrdiff_t sstride, const u8* orig,
+                        std::ptrdiff_t ostride, u8* pred, i16* res,
+                        std::ptrdiff_t prstride, int w, int h);
+void mc_chroma_block_simd(const u8* ref0, std::ptrdiff_t ref_stride,
+                          const u8* orig, std::ptrdiff_t ostride, u8* pred,
+                          i16* res, std::ptrdiff_t prstride, int w, int h,
+                          int xf, int yf);
+}  // namespace detail
+
 void motion_compensate_luma_mb(const PlaneU8& cur,
                                const std::vector<const SubPelFrame*>& sfs,
                                const MbModeChoice& choice, int mb_x, int mb_y,
                                u8 pred[kMbSize * kMbSize],
-                               i16 residual[kMbSize * kMbSize]) {
+                               i16 residual[kMbSize * kMbSize],
+                               SimdTier tier) {
+  const SimdTier got = resolve_tier(KernelId::kMc, tier);
+  const bool vec = got == SimdTier::kSse2 || got == SimdTier::kAvx2;
   const PartitionGeometry& g = geometry(choice.mode);
   for (int b = 0; b < g.num_blocks(); ++b) {
     int bx0, by0;
@@ -99,6 +115,14 @@ void motion_compensate_luma_mb(const PlaneU8& cur,
     const int ix = bc.mv.x >> 2;
     const PlaneU8& phase = sf.phase(bc.mv.y & 3, bc.mv.x & 3);
 
+    if (vec) {
+      detail::mc_luma_block_simd(phase.row(py0 + iy) + px0 + ix,
+                                 phase.stride(), cur.row(py0) + px0,
+                                 cur.stride(), pred + by0 * kMbSize + bx0,
+                                 residual + by0 * kMbSize + bx0, kMbSize,
+                                 g.block_w, g.block_h);
+      continue;
+    }
     for (int y = 0; y < g.block_h; ++y) {
       const u8* src = phase.row(py0 + iy + y) + px0 + ix;
       const u8* orig = cur.row(py0 + y) + px0;
@@ -115,8 +139,11 @@ void motion_compensate_luma_mb(const PlaneU8& cur,
 void motion_compensate_chroma_mb(const PlaneU8& cur_c,
                                  const std::vector<const PlaneU8*>& refs_c,
                                  const MbModeChoice& choice, int mb_x,
-                                 int mb_y, u8 pred[64], i16 residual[64]) {
+                                 int mb_y, u8 pred[64], i16 residual[64],
+                                 SimdTier tier) {
   constexpr int kCMb = kMbSize / 2;  // 8x8 chroma block per MB in 4:2:0
+  const SimdTier got = resolve_tier(KernelId::kMc, tier);
+  const bool vec = got == SimdTier::kSse2 || got == SimdTier::kAvx2;
   const PartitionGeometry& g = geometry(choice.mode);
 
   for (int b = 0; b < g.num_blocks(); ++b) {
@@ -137,6 +164,14 @@ void motion_compensate_chroma_mb(const PlaneU8& cur_c,
     const int xf = bc.mv.x & 7;
     const int yf = bc.mv.y & 7;
 
+    if (vec) {
+      detail::mc_chroma_block_simd(ref.row(cy0 + iy) + cx0 + ix, ref.stride(),
+                                   cur_c.row(cy0) + cx0, cur_c.stride(),
+                                   pred + (by0 / 2) * kCMb + bx0 / 2,
+                                   residual + (by0 / 2) * kCMb + bx0 / 2,
+                                   kCMb, cw, ch, xf, yf);
+      continue;
+    }
     for (int y = 0; y < ch; ++y) {
       const u8* r0 = ref.row(cy0 + iy + y) + cx0 + ix;
       const u8* r1 = ref.row(cy0 + iy + y + 1) + cx0 + ix;

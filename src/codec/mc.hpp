@@ -6,6 +6,7 @@
 #pragma once
 
 #include "common/config.hpp"
+#include "codec/kernels.hpp"
 #include "codec/me.hpp"
 #include "video/frame.hpp"
 
@@ -39,12 +40,15 @@ void run_mode_decision_rows(const std::vector<MotionField>& fields,
 
 /// Builds the luma prediction + residual for one macroblock.
 /// `sfs[r]` is the sub-pel frame of reference r. Outputs `pred` (16x16) and
-/// `residual` (16x16, i16), both row-major.
+/// `residual` (16x16, i16), both row-major. `tier` dispatches the per-block
+/// copy/subtract kernel (registry id kMc, ceiling kSse2 — partitions are at
+/// most 16 wide).
 void motion_compensate_luma_mb(const PlaneU8& cur,
                                const std::vector<const SubPelFrame*>& sfs,
                                const MbModeChoice& choice, int mb_x, int mb_y,
                                u8 pred[kMbSize * kMbSize],
-                               i16 residual[kMbSize * kMbSize]);
+                               i16 residual[kMbSize * kMbSize],
+                               SimdTier tier = SimdTier::kAuto);
 
 /// Chroma prediction + residual for one 8x8 chroma block of a macroblock
 /// (H.264 eighth-pel bilinear weighting derived from the luma quarter-pel
@@ -53,6 +57,7 @@ void motion_compensate_luma_mb(const PlaneU8& cur,
 void motion_compensate_chroma_mb(const PlaneU8& cur_c,
                                  const std::vector<const PlaneU8*>& refs_c,
                                  const MbModeChoice& choice, int mb_x,
-                                 int mb_y, u8 pred[64], i16 residual[64]);
+                                 int mb_y, u8 pred[64], i16 residual[64],
+                                 SimdTier tier = SimdTier::kAuto);
 
 }  // namespace feves

@@ -1,0 +1,175 @@
+// SSE2 tier of the motion-compensation block kernels: prediction copy +
+// i16 residual for luma, eighth-pel bilinear blend for chroma. Compilable-
+// on-x86 guard only; runtime selection is the registry's.
+//
+// Exactness: the luma path is a copy and a widening subtract. The chroma
+// blend v = w00*r0[x] + w01*r0[x+1] + w10*r1[x] + w11*r1[x+1] has weights
+// summing to 64, so v <= 64*255 = 16320 and every product <= 64*255 — all
+// within i16, making PMULLW exact; (v+32)>>6 lands in [0,255] so the final
+// pack never saturates.
+#include "common/types.hpp"
+
+#include <cstddef>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define FEVES_CAN_SSE2 1
+#include <emmintrin.h>
+#endif
+
+namespace feves::detail {
+
+#if FEVES_CAN_SSE2
+
+namespace {
+
+inline __m128i loadu(const void* p) {
+  return _mm_loadu_si128(static_cast<const __m128i*>(p));
+}
+
+inline void storeu(void* p, __m128i v) {
+  _mm_storeu_si128(static_cast<__m128i*>(p), v);
+}
+
+}  // namespace
+
+void mc_luma_block_simd(const u8* src, std::ptrdiff_t sstride, const u8* orig,
+                        std::ptrdiff_t ostride, u8* pred, i16* res,
+                        std::ptrdiff_t prstride, int w, int h) {
+  const __m128i zero = _mm_setzero_si128();
+  if (w == 16) {
+    for (int y = 0; y < h; ++y) {
+      const __m128i s = loadu(src + y * sstride);
+      const __m128i o = loadu(orig + y * ostride);
+      storeu(pred + y * prstride, s);
+      i16* r = res + y * prstride;
+      storeu(r, _mm_sub_epi16(_mm_unpacklo_epi8(o, zero),
+                              _mm_unpacklo_epi8(s, zero)));
+      storeu(r + 8, _mm_sub_epi16(_mm_unpackhi_epi8(o, zero),
+                                  _mm_unpackhi_epi8(s, zero)));
+    }
+    return;
+  }
+  if (w == 8) {
+    for (int y = 0; y < h; ++y) {
+      const __m128i s =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + y * sstride));
+      const __m128i o = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(orig + y * ostride));
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(pred + y * prstride), s);
+      storeu(res + y * prstride,
+             _mm_sub_epi16(_mm_unpacklo_epi8(o, zero),
+                           _mm_unpacklo_epi8(s, zero)));
+    }
+    return;
+  }
+  for (int y = 0; y < h; ++y) {  // w == 4 partitions (and any odd caller)
+    const u8* s = src + y * sstride;
+    const u8* o = orig + y * ostride;
+    u8* p = pred + y * prstride;
+    i16* r = res + y * prstride;
+    for (int x = 0; x < w; ++x) {
+      p[x] = s[x];
+      r[x] = static_cast<i16>(static_cast<int>(o[x]) - s[x]);
+    }
+  }
+}
+
+void mc_chroma_block_simd(const u8* ref0, std::ptrdiff_t ref_stride,
+                          const u8* orig, std::ptrdiff_t ostride, u8* pred,
+                          i16* res, std::ptrdiff_t prstride, int w, int h,
+                          int xf, int yf) {
+  const int w00 = (8 - xf) * (8 - yf);
+  const int w01 = xf * (8 - yf);
+  const int w10 = (8 - xf) * yf;
+  const int w11 = xf * yf;
+  if (w == 8) {
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i v00 = _mm_set1_epi16(static_cast<short>(w00));
+    const __m128i v01 = _mm_set1_epi16(static_cast<short>(w01));
+    const __m128i v10 = _mm_set1_epi16(static_cast<short>(w10));
+    const __m128i v11 = _mm_set1_epi16(static_cast<short>(w11));
+    const __m128i k32 = _mm_set1_epi16(32);
+    for (int y = 0; y < h; ++y) {
+      const u8* r0 = ref0 + y * ref_stride;
+      const u8* r1 = r0 + ref_stride;
+      const __m128i a = _mm_unpacklo_epi8(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(r0)), zero);
+      const __m128i b = _mm_unpacklo_epi8(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(r0 + 1)), zero);
+      const __m128i c = _mm_unpacklo_epi8(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(r1)), zero);
+      const __m128i d = _mm_unpacklo_epi8(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(r1 + 1)), zero);
+      __m128i v = _mm_add_epi16(
+          _mm_add_epi16(_mm_mullo_epi16(a, v00), _mm_mullo_epi16(b, v01)),
+          _mm_add_epi16(_mm_mullo_epi16(c, v10), _mm_mullo_epi16(d, v11)));
+      const __m128i pv = _mm_srli_epi16(_mm_add_epi16(v, k32), 6);
+      const __m128i o = _mm_unpacklo_epi8(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(orig + y * ostride)),
+          zero);
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(pred + y * prstride),
+                       _mm_packus_epi16(pv, pv));
+      storeu(res + y * prstride, _mm_sub_epi16(o, pv));
+    }
+    return;
+  }
+  for (int y = 0; y < h; ++y) {  // 4- and 2-wide chroma partitions
+    const u8* r0 = ref0 + y * ref_stride;
+    const u8* r1 = r0 + ref_stride;
+    const u8* o = orig + y * ostride;
+    u8* p = pred + y * prstride;
+    i16* r = res + y * prstride;
+    for (int x = 0; x < w; ++x) {
+      const int v =
+          w00 * r0[x] + w01 * r0[x + 1] + w10 * r1[x] + w11 * r1[x + 1];
+      const u8 pv = static_cast<u8>((v + 32) >> 6);
+      p[x] = pv;
+      r[x] = static_cast<i16>(static_cast<int>(o[x]) - pv);
+    }
+  }
+}
+
+#else  // !FEVES_CAN_SSE2: scalar forwards, never the resolved tier there.
+
+void mc_luma_block_simd(const u8* src, std::ptrdiff_t sstride, const u8* orig,
+                        std::ptrdiff_t ostride, u8* pred, i16* res,
+                        std::ptrdiff_t prstride, int w, int h) {
+  for (int y = 0; y < h; ++y) {
+    const u8* s = src + y * sstride;
+    const u8* o = orig + y * ostride;
+    u8* p = pred + y * prstride;
+    i16* r = res + y * prstride;
+    for (int x = 0; x < w; ++x) {
+      p[x] = s[x];
+      r[x] = static_cast<i16>(static_cast<int>(o[x]) - s[x]);
+    }
+  }
+}
+
+void mc_chroma_block_simd(const u8* ref0, std::ptrdiff_t ref_stride,
+                          const u8* orig, std::ptrdiff_t ostride, u8* pred,
+                          i16* res, std::ptrdiff_t prstride, int w, int h,
+                          int xf, int yf) {
+  const int w00 = (8 - xf) * (8 - yf);
+  const int w01 = xf * (8 - yf);
+  const int w10 = (8 - xf) * yf;
+  const int w11 = xf * yf;
+  for (int y = 0; y < h; ++y) {
+    const u8* r0 = ref0 + y * ref_stride;
+    const u8* r1 = r0 + ref_stride;
+    const u8* o = orig + y * ostride;
+    u8* p = pred + y * prstride;
+    i16* r = res + y * prstride;
+    for (int x = 0; x < w; ++x) {
+      const int v =
+          w00 * r0[x] + w01 * r0[x + 1] + w10 * r1[x] + w11 * r1[x + 1];
+      const u8 pv = static_cast<u8>((v + 32) >> 6);
+      p[x] = pv;
+      r[x] = static_cast<i16>(static_cast<int>(o[x]) - pv);
+    }
+  }
+}
+
+#endif
+
+}  // namespace feves::detail

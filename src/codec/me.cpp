@@ -33,10 +33,12 @@ void run_me_rows(const PlaneU8& cur, const PlaneU8& ref, int mb_width,
       u32 agg[kEntriesPerMb];
       // Deterministic raster candidate order: ties keep the first (lowest
       // dy, then dx) candidate, so the result is independent of how rows
-      // were distributed across devices.
-      for (int dy = -r; dy < r; ++dy) {
+      // were distributed across devices. The range is inclusive on both
+      // ends — (2R+1)^2 candidates — so the search area is symmetric and
+      // matches the microbench's items accounting.
+      for (int dy = -r; dy <= r; ++dy) {
         const u8* ref_row = ref.row(mb_y * kMbSize + dy) + mb_x * kMbSize;
-        for (int dx = -r; dx < r; ++dx) {
+        for (int dx = -r; dx <= r; ++dx) {
           kernel(cur_mb, cs, ref_row + dx, rs, grid);
           aggregate_sad_grid(grid, agg);
           const Mv mv{static_cast<i16>(dx * kSubPel),

@@ -22,7 +22,8 @@ namespace feves {
 using MotionField = std::vector<MbMotion>;
 
 struct MeParams {
-  int search_range = 16;  ///< candidates in [-R, R) both axes (SA = 2R x 2R)
+  /// Candidates in [-R, +R] both axes, inclusive: (2R+1) x (2R+1) per MB.
+  int search_range = 16;
   SimdTier tier = SimdTier::kAuto;
 };
 

@@ -43,10 +43,18 @@ class RefList {
   const RefPicture& ref(int i) const { return *refs_[i]; }
 
   /// Pushes a freshly reconstructed picture as refs[0]; evicts the oldest
-  /// when the window is full. Takes ownership.
-  void push_front(std::unique_ptr<RefPicture> pic) {
+  /// when the window is full. Takes ownership. Returns the evicted picture
+  /// (nullptr while the window is still filling) so steady-state callers
+  /// can recycle its ~tens-of-MB allocation into the next frame's recon
+  /// instead of round-tripping the heap every frame.
+  std::unique_ptr<RefPicture> push_front(std::unique_ptr<RefPicture> pic) {
     refs_.push_front(std::move(pic));
-    if (static_cast<int>(refs_.size()) > capacity_) refs_.pop_back();
+    std::unique_ptr<RefPicture> evicted;
+    if (static_cast<int>(refs_.size()) > capacity_) {
+      evicted = std::move(refs_.back());
+      refs_.pop_back();
+    }
+    return evicted;
   }
 
   void clear() { refs_.clear(); }

@@ -55,21 +55,33 @@ void sad_grid_blocked(const u8* cur, std::ptrdiff_t cur_stride, const u8* ref,
 
 }  // namespace
 
-// Implemented in sad_simd.cpp when the target has SSE2.
+// Implemented in sad_simd.cpp (SSE2) and kernels_avx2.cpp (AVX2); both TUs
+// provide forwarding stubs on targets where the ISA cannot be compiled, so
+// these symbols always link — the registry's runtime resolution guarantees
+// a stub is never the selected tier.
 void sad_grid_simd(const u8* cur, std::ptrdiff_t cur_stride, const u8* ref,
                    std::ptrdiff_t ref_stride, u16 out[16]);
 u32 sad_block_simd(const u8* a, std::ptrdiff_t stride_a, const u8* b,
                    std::ptrdiff_t stride_b, int width, int height);
+void sad_grid_avx2(const u8* cur, std::ptrdiff_t cur_stride, const u8* ref,
+                   std::ptrdiff_t ref_stride, u16 out[16]);
+u32 sad_block_avx2(const u8* a, std::ptrdiff_t stride_a, const u8* b,
+                   std::ptrdiff_t stride_b, int width, int height);
 
-SadGrid16Fn sad_grid_16x16_kernel(SimdTier tier) {
-  switch (tier) {
+SadGrid16Fn sad_grid_16x16_kernel(SimdTier tier, SimdTier* resolved) {
+  const SimdTier got = resolve_tier(KernelId::kSadGrid, tier);
+  if (resolved != nullptr) *resolved = got;
+  switch (got) {
     case SimdTier::kScalar:
       return &sad_grid_scalar;
     case SimdTier::kBlocked:
       return &sad_grid_blocked;
-    case SimdTier::kSimd:
+    case SimdTier::kSse2:
+      return &sad_grid_simd;
+    case SimdTier::kAvx2:
+      return &sad_grid_avx2;
     case SimdTier::kAuto:
-      return simd_tier_available() ? &sad_grid_simd : &sad_grid_blocked;
+      break;  // resolve_tier never returns kAuto
   }
   return &sad_grid_scalar;
 }
@@ -89,12 +101,27 @@ u32 sad_block_scalar(const u8* a, std::ptrdiff_t stride_a, const u8* b,
   return acc;
 }
 
+SadBlockFn sad_block_kernel(SimdTier tier, SimdTier* resolved) {
+  const SimdTier got = resolve_tier(KernelId::kSadBlock, tier);
+  if (resolved != nullptr) *resolved = got;
+  switch (got) {
+    case SimdTier::kScalar:
+    case SimdTier::kBlocked:  // no distinct blocked shape for arbitrary rects
+      return &sad_block_scalar;
+    case SimdTier::kSse2:
+      return &sad_block_simd;
+    case SimdTier::kAvx2:
+      return &sad_block_avx2;
+    case SimdTier::kAuto:
+      break;
+  }
+  return &sad_block_scalar;
+}
+
 u32 sad_block(const u8* a, std::ptrdiff_t stride_a, const u8* b,
               std::ptrdiff_t stride_b, int width, int height) {
-  if (simd_tier_available()) {
-    return sad_block_simd(a, stride_a, b, stride_b, width, height);
-  }
-  return sad_block_scalar(a, stride_a, b, stride_b, width, height);
+  static const SadBlockFn kFn = sad_block_kernel(SimdTier::kAuto);
+  return kFn(a, stride_a, b, stride_b, width, height);
 }
 
 void aggregate_sad_grid(const u16 grid[16], u32 out[kEntriesPerMb]) {

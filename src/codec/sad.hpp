@@ -1,29 +1,19 @@
 // Sum-of-absolute-differences kernels — the inner loop of full-search
 // block-matching ME. Mirrors the paper's multi-tier Parallel Modules library
 // (Sec. III-B1: per-microarchitecture SSE4.2/AVX/AVX2 variants) with a
-// runtime-dispatched kernel table: a scalar reference tier and a blocked
-// tier written so the compiler's auto-vectorizer emits SIMD for the target
-// -march. Tests pin the tiers against each other.
+// runtime-dispatched kernel table: a scalar reference tier, a blocked tier
+// written so the compiler's auto-vectorizer emits SIMD, and explicit
+// SSE2/AVX2 tiers selected through the kernel registry's CPUID resolution
+// (codec/kernels.hpp). Tests pin the tiers against each other.
 #pragma once
 
 #include "common/types.hpp"
+#include "codec/kernels.hpp"
 #include "codec/partition.hpp"
 
 #include <cstddef>
 
 namespace feves {
-
-/// Kernel tiers, in increasing order of expected throughput.
-enum class SimdTier {
-  kScalar,   ///< straightforward reference implementation
-  kBlocked,  ///< unrolled / auto-vectorizable implementation
-  kSimd,     ///< explicit x86-64 SSE2 intrinsics (falls back to kBlocked
-             ///< on targets without them)
-  kAuto,     ///< best tier available for this build
-};
-
-/// True when the explicit-intrinsics tier was compiled in.
-bool simd_tier_available();
 
 /// Computes the 16 SADs of the 4x4 sub-blocks of one 16x16 macroblock
 /// against a candidate at the same geometry. `out[by*4+bx]` is the SAD of
@@ -32,11 +22,21 @@ using SadGrid16Fn = void (*)(const u8* cur, std::ptrdiff_t cur_stride,
                              const u8* ref, std::ptrdiff_t ref_stride,
                              u16 out[16]);
 
-/// Returns the grid kernel for `tier` (kAuto picks the fastest).
-SadGrid16Fn sad_grid_16x16_kernel(SimdTier tier);
+/// Returns the grid kernel for `tier` (kAuto picks the fastest available).
+/// When `resolved` is non-null it receives what the request resolved to —
+/// the tier a caller actually got, never silently degraded (satellite of
+/// the registry: `resolve_tier` also logs explicit-request degrades once).
+SadGrid16Fn sad_grid_16x16_kernel(SimdTier tier,
+                                  SimdTier* resolved = nullptr);
 
-/// Generic rectangular SAD (used by SME on arbitrary partition blocks).
-/// Dispatches to the SIMD path for 8/16-wide blocks when available.
+/// Generic rectangular SAD, tier-dispatched like the grid kernel. Handles
+/// every width (16/8-wide vector chunks plus a scalar tail), so all SME
+/// partition shapes (4..16 wide) are covered by one entry point.
+using SadBlockFn = u32 (*)(const u8* a, std::ptrdiff_t stride_a, const u8* b,
+                           std::ptrdiff_t stride_b, int width, int height);
+SadBlockFn sad_block_kernel(SimdTier tier, SimdTier* resolved = nullptr);
+
+/// Convenience wrapper: the kAuto-resolved rectangular SAD (used by SME).
 u32 sad_block(const u8* a, std::ptrdiff_t stride_a, const u8* b,
               std::ptrdiff_t stride_b, int width, int height);
 

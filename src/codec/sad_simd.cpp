@@ -1,17 +1,19 @@
-// SIMD tier of the SAD kernel library (the paper's SSE4.2/AVX/AVX2
-// Parallel Modules variants, Sec. III-B1). x86-64 SSE2 intrinsics — the
-// baseline every x86-64 ships — with the same contract as the scalar tier;
-// tests pin all tiers against each other bit-for-bit.
+// SSE2 tier of the SAD kernel library (the paper's SSE4.2/AVX/AVX2
+// Parallel Modules variants, Sec. III-B1). The preprocessor guard below is
+// only about whether this TU *can be compiled* for the target; whether the
+// tier *runs* is decided at runtime by the kernel registry's CPUID
+// resolution (codec/kernels.hpp) — on non-x86 targets the stubs forward to
+// the scalar tier and the registry never selects them.
 #include "codec/sad.hpp"
 
-#if defined(__SSE2__) || defined(_M_X64) || defined(__x86_64__)
-#define FEVES_HAVE_SSE2 1
+#if defined(__x86_64__) || defined(_M_X64)
+#define FEVES_CAN_SSE2 1
 #include <emmintrin.h>
 #endif
 
 namespace feves {
 
-#if FEVES_HAVE_SSE2
+#if FEVES_CAN_SSE2
 
 namespace {
 
@@ -19,6 +21,11 @@ namespace {
 /// both ways and OR (one side is always zero).
 inline __m128i absdiff_u8(__m128i a, __m128i b) {
   return _mm_or_si128(_mm_subs_epu8(a, b), _mm_subs_epu8(b, a));
+}
+
+inline u32 hsum_sad(__m128i acc) {
+  return static_cast<u32>(_mm_cvtsi128_si64(acc)) +
+         static_cast<u32>(_mm_cvtsi128_si64(_mm_unpackhi_epi64(acc, acc)));
 }
 
 }  // namespace
@@ -58,47 +65,53 @@ void sad_grid_simd(const u8* cur, std::ptrdiff_t cur_stride, const u8* ref,
 
 u32 sad_block_simd(const u8* a, std::ptrdiff_t stride_a, const u8* b,
                    std::ptrdiff_t stride_b, int width, int height) {
-  if (width == 16) {
+  // Vector chunks cover any width: 16-wide PSADBW spans, then an 8-wide
+  // span, then a scalar tail — so every partition shape SME probes (and
+  // any odd width a future caller brings) is handled by one entry point.
+  u32 total = 0;
+  int x = 0;
+  for (; x + 16 <= width; x += 16) {
     __m128i acc = _mm_setzero_si128();
     for (int y = 0; y < height; ++y) {
-      const __m128i va =
-          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + y * stride_a));
-      const __m128i vb =
-          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + y * stride_b));
+      const __m128i va = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(a + y * stride_a + x));
+      const __m128i vb = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(b + y * stride_b + x));
       acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
     }
-    return static_cast<u32>(_mm_cvtsi128_si64(acc)) +
-           static_cast<u32>(
-               _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc, acc)));
+    total += hsum_sad(acc);
   }
-  if (width == 8) {
+  if (x + 8 <= width) {
     __m128i acc = _mm_setzero_si128();
     for (int y = 0; y < height; ++y) {
       const __m128i va = _mm_loadl_epi64(
-          reinterpret_cast<const __m128i*>(a + y * stride_a));
+          reinterpret_cast<const __m128i*>(a + y * stride_a + x));
       const __m128i vb = _mm_loadl_epi64(
-          reinterpret_cast<const __m128i*>(b + y * stride_b));
+          reinterpret_cast<const __m128i*>(b + y * stride_b + x));
       acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
     }
-    return static_cast<u32>(_mm_cvtsi128_si64(acc));
+    total += static_cast<u32>(_mm_cvtsi128_si64(acc));
+    x += 8;
   }
-  // width == 4: too narrow for a SIMD win; scalar.
-  u32 acc = 0;
-  for (int y = 0; y < height; ++y) {
-    const u8* ra = a + y * stride_a;
-    const u8* rb = b + y * stride_b;
-    for (int x = 0; x < width; ++x) {
-      acc += static_cast<u32>(ra[x] > rb[x] ? ra[x] - rb[x] : rb[x] - ra[x]);
-    }
+  if (x < width) {
+    total += sad_block_scalar(a + x, stride_a, b + x, stride_b, width - x,
+                              height);
   }
-  return acc;
+  return total;
 }
 
-bool simd_tier_available() { return true; }
+#else  // !FEVES_CAN_SSE2: link-satisfying stubs, never selected at runtime.
 
-#else  // !FEVES_HAVE_SSE2
+void sad_grid_simd(const u8* cur, std::ptrdiff_t cur_stride, const u8* ref,
+                   std::ptrdiff_t ref_stride, u16 out[16]) {
+  sad_grid_16x16_kernel(SimdTier::kBlocked)(cur, cur_stride, ref, ref_stride,
+                                            out);
+}
 
-bool simd_tier_available() { return false; }
+u32 sad_block_simd(const u8* a, std::ptrdiff_t stride_a, const u8* b,
+                   std::ptrdiff_t stride_b, int width, int height) {
+  return sad_block_scalar(a, stride_a, b, stride_b, width, height);
+}
 
 #endif
 

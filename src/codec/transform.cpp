@@ -62,6 +62,35 @@ void forward_transform_4x4(const i16 in[16], i16 out[16]) {
   }
 }
 
+// Implemented in transform_simd.cpp; forwarding stubs on non-x86 targets
+// (always link, never the resolved tier there).
+void forward_transform_4x4_sse2(const i16 in[16], i16 out[16]);
+void inverse_transform_4x4_sse2(const i32 in[16], i16 out[16]);
+
+Fwd4x4Fn forward_transform_4x4_kernel(SimdTier tier, SimdTier* resolved) {
+  const SimdTier got = resolve_tier(KernelId::kTransform, tier);
+  if (resolved != nullptr) *resolved = got;
+  switch (got) {
+    case SimdTier::kSse2:
+    case SimdTier::kAvx2:  // ceiling is kSse2; unreachable, but total
+      return &forward_transform_4x4_sse2;
+    default:
+      return &forward_transform_4x4;
+  }
+}
+
+Inv4x4Fn inverse_transform_4x4_kernel(SimdTier tier, SimdTier* resolved) {
+  const SimdTier got = resolve_tier(KernelId::kTransform, tier);
+  if (resolved != nullptr) *resolved = got;
+  switch (got) {
+    case SimdTier::kSse2:
+    case SimdTier::kAvx2:
+      return &inverse_transform_4x4_sse2;
+    default:
+      return &inverse_transform_4x4;
+  }
+}
+
 void quantize_4x4(const i16 coeffs[16], int qp, bool intra, i16 levels[16]) {
   FEVES_CHECK(qp >= 0 && qp <= 51);
   const int qbits = 15 + qp / 6;

@@ -4,13 +4,27 @@
 // position classes, qbits = 15 + QP/6, inverse butterfly with (x+32)>>6.
 #pragma once
 
+#include "codec/kernels.hpp"
 #include "common/types.hpp"
 
 namespace feves {
 
 /// Forward core transform of a 4x4 residual block (row-major).
 /// Input range [-255, 255]; output magnitudes bounded by 255*36 < 2^15.
+/// This is the scalar oracle; tier-dispatched variants come from
+/// `forward_transform_4x4_kernel`.
 void forward_transform_4x4(const i16 in[16], i16 out[16]);
+
+/// Tier-dispatched forward/inverse transform kernels (registry id
+/// kTransform — capped at SSE2: the 4x4 butterflies are 128-bit shaped, a
+/// 256-bit variant would spend its cycles in cross-lane shuffles). kScalar
+/// and kBlocked both resolve to the scalar oracle.
+using Fwd4x4Fn = void (*)(const i16 in[16], i16 out[16]);
+using Inv4x4Fn = void (*)(const i32 in[16], i16 out[16]);
+Fwd4x4Fn forward_transform_4x4_kernel(SimdTier tier,
+                                      SimdTier* resolved = nullptr);
+Inv4x4Fn inverse_transform_4x4_kernel(SimdTier tier,
+                                      SimdTier* resolved = nullptr);
 
 /// Quantizes transform coefficients. `intra` selects the deadzone constant
 /// (f = 2^qbits/3 intra, 2^qbits/6 inter, JM convention).

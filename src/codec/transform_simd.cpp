@@ -1,0 +1,144 @@
+// SSE2 tier of the 4x4 transform pair. One 4x4 block per call: load, two
+// transpose+butterfly passes in registers, store. Compilable-on-x86 guard
+// only; runtime selection is the registry's (codec/kernels.hpp).
+//
+// Exactness: the forward path stays in i16 (intermediates bounded by
+// |2d + c| <= 7650 after both passes, see transform.hpp range note); the
+// inverse works in i32 like the oracle and the final narrowing uses a
+// sign-extend-of-low-16 sequence, matching the oracle's static_cast<i16>
+// TRUNCATION — a plain saturating pack would differ on the extreme inputs
+// the tier tests probe.
+#include "codec/transform.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define FEVES_CAN_SSE2 1
+#include <emmintrin.h>
+#endif
+
+namespace feves {
+
+#if FEVES_CAN_SSE2
+
+namespace {
+
+/// Transposes a 4x4 i16 tile held in the low 4 lanes of r0..r3.
+inline void transpose4x4_lo_epi16(__m128i& r0, __m128i& r1, __m128i& r2,
+                                  __m128i& r3) {
+  const __m128i t01 = _mm_unpacklo_epi16(r0, r1);
+  const __m128i t23 = _mm_unpacklo_epi16(r2, r3);
+  const __m128i lo = _mm_unpacklo_epi32(t01, t23);
+  const __m128i hi = _mm_unpackhi_epi32(t01, t23);
+  r0 = lo;
+  r1 = _mm_srli_si128(lo, 8);
+  r2 = hi;
+  r3 = _mm_srli_si128(hi, 8);
+}
+
+inline void transpose4x4_epi32(__m128i& r0, __m128i& r1, __m128i& r2,
+                               __m128i& r3) {
+  const __m128i t0 = _mm_unpacklo_epi32(r0, r1);
+  const __m128i t1 = _mm_unpacklo_epi32(r2, r3);
+  const __m128i t2 = _mm_unpackhi_epi32(r0, r1);
+  const __m128i t3 = _mm_unpackhi_epi32(r2, r3);
+  r0 = _mm_unpacklo_epi64(t0, t1);
+  r1 = _mm_unpackhi_epi64(t0, t1);
+  r2 = _mm_unpacklo_epi64(t2, t3);
+  r3 = _mm_unpackhi_epi64(t2, t3);
+}
+
+/// Cf butterfly on i16 lanes: (s0..s3) -> (a+b, 2d+c, a-b, d-2c).
+inline void fwd_butterfly_epi16(__m128i s0, __m128i s1, __m128i s2, __m128i s3,
+                                __m128i& o0, __m128i& o1, __m128i& o2,
+                                __m128i& o3) {
+  const __m128i a = _mm_add_epi16(s0, s3);
+  const __m128i b = _mm_add_epi16(s1, s2);
+  const __m128i c = _mm_sub_epi16(s1, s2);
+  const __m128i d = _mm_sub_epi16(s0, s3);
+  o0 = _mm_add_epi16(a, b);
+  o1 = _mm_add_epi16(_mm_slli_epi16(d, 1), c);
+  o2 = _mm_sub_epi16(a, b);
+  o3 = _mm_sub_epi16(d, _mm_slli_epi16(c, 1));
+}
+
+/// Inverse butterfly on i32 lanes: (s0..s3) -> (e0+e3, e1+e2, e1-e2, e0-e3).
+inline void inv_butterfly_epi32(__m128i s0, __m128i s1, __m128i s2, __m128i s3,
+                                __m128i& o0, __m128i& o1, __m128i& o2,
+                                __m128i& o3) {
+  const __m128i e0 = _mm_add_epi32(s0, s2);
+  const __m128i e1 = _mm_sub_epi32(s0, s2);
+  const __m128i e2 = _mm_sub_epi32(_mm_srai_epi32(s1, 1), s3);
+  const __m128i e3 = _mm_add_epi32(s1, _mm_srai_epi32(s3, 1));
+  o0 = _mm_add_epi32(e0, e3);
+  o1 = _mm_add_epi32(e1, e2);
+  o2 = _mm_sub_epi32(e1, e2);
+  o3 = _mm_sub_epi32(e0, e3);
+}
+
+/// Truncating i32 -> i16 (keeps the low 16 bits, sign irrelevant after the
+/// sign-extension round-trip), packing two vectors into 8 lanes.
+inline __m128i trunc_pack_epi32(__m128i a, __m128i b) {
+  a = _mm_srai_epi32(_mm_slli_epi32(a, 16), 16);
+  b = _mm_srai_epi32(_mm_slli_epi32(b, 16), 16);
+  return _mm_packs_epi32(a, b);  // lossless: inputs are in i16 range now
+}
+
+}  // namespace
+
+void forward_transform_4x4_sse2(const i16 in[16], i16 out[16]) {
+  __m128i r0 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(in));
+  __m128i r1 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(in + 4));
+  __m128i r2 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(in + 8));
+  __m128i r3 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(in + 12));
+
+  // Row pass: transpose so lane = row, vector = s0..s3.
+  transpose4x4_lo_epi16(r0, r1, r2, r3);
+  __m128i c0, c1, c2, c3;
+  fwd_butterfly_epi16(r0, r1, r2, r3, c0, c1, c2, c3);
+  // c0..c3 are tmp columns (lane = row); transpose back to tmp rows.
+  transpose4x4_lo_epi16(c0, c1, c2, c3);
+  __m128i f0, f1, f2, f3;
+  fwd_butterfly_epi16(c0, c1, c2, c3, f0, f1, f2, f3);
+
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out),
+                   _mm_unpacklo_epi64(f0, f1));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 8),
+                   _mm_unpacklo_epi64(f2, f3));
+}
+
+void inverse_transform_4x4_sse2(const i32 in[16], i16 out[16]) {
+  __m128i r0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  __m128i r1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 4));
+  __m128i r2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 8));
+  __m128i r3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 12));
+
+  transpose4x4_epi32(r0, r1, r2, r3);
+  __m128i c0, c1, c2, c3;
+  inv_butterfly_epi32(r0, r1, r2, r3, c0, c1, c2, c3);
+  transpose4x4_epi32(c0, c1, c2, c3);
+  __m128i f0, f1, f2, f3;
+  inv_butterfly_epi32(c0, c1, c2, c3, f0, f1, f2, f3);
+
+  const __m128i k32 = _mm_set1_epi32(32);
+  f0 = _mm_srai_epi32(_mm_add_epi32(f0, k32), 6);
+  f1 = _mm_srai_epi32(_mm_add_epi32(f1, k32), 6);
+  f2 = _mm_srai_epi32(_mm_add_epi32(f2, k32), 6);
+  f3 = _mm_srai_epi32(_mm_add_epi32(f3, k32), 6);
+
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), trunc_pack_epi32(f0, f1));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 8),
+                   trunc_pack_epi32(f2, f3));
+}
+
+#else  // !FEVES_CAN_SSE2: link-satisfying forwards, never selected at runtime.
+
+void forward_transform_4x4_sse2(const i16 in[16], i16 out[16]) {
+  forward_transform_4x4(in, out);
+}
+
+void inverse_transform_4x4_sse2(const i32 in[16], i16 out[16]) {
+  inverse_transform_4x4(in, out);
+}
+
+#endif
+
+}  // namespace feves

@@ -29,9 +29,9 @@ struct EncoderConfig {
   int height = 1088;  ///< Coded luma height (1080p codes 68 MB rows = 1088
                       ///< pixels and crops; must be a multiple of 16).
 
-  /// Full-search range: candidates span [-search_range, +search_range) in
-  /// both dimensions, i.e. the paper's "SA size" of 32x32 corresponds to
-  /// search_range = 16 (a 32-pixel-wide window).
+  /// Full-search range: candidates span [-search_range, +search_range],
+  /// inclusive, in both dimensions — (2R+1)^2 candidates per MB. The
+  /// paper's "SA size" of 32x32 corresponds to search_range = 16.
   int search_range = 16;
 
   int num_ref_frames = 1;  ///< RFs kept for ME (paper sweeps 1..8).

@@ -1,0 +1,40 @@
+#include "common/cpu_features.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace feves {
+
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(_M_X64)
+#if defined(__GNUC__) || defined(__clang__)
+  f.sse2 = true;  // architectural baseline of x86-64
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+#else
+  f.sse2 = true;
+#endif
+#endif
+  // Optional cap for testing the fallback ladder on capable hardware.
+  if (const char* cap = std::getenv("FEVES_CPU_CAP")) {
+    if (std::strcmp(cap, "scalar") == 0) {
+      f.sse2 = false;
+      f.avx2 = false;
+    } else if (std::strcmp(cap, "sse2") == 0) {
+      f.avx2 = false;
+    }
+    // "avx2" (or anything else) leaves the detected set untouched.
+  }
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+}  // namespace feves

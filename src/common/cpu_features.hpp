@@ -1,0 +1,20 @@
+// Runtime CPU feature detection for the kernel library's tier dispatch.
+// One binary carries every vector tier; the machine it lands on picks the
+// best one at startup (paper Sec. III-B1's per-microarchitecture Parallel
+// Modules, selected by CPUID instead of compile-time -m flags).
+#pragma once
+
+namespace feves {
+
+struct CpuFeatures {
+  bool sse2 = false;
+  bool avx2 = false;
+};
+
+/// Detected features of the executing CPU, probed once and cached.
+/// The FEVES_CPU_CAP environment variable ("scalar", "sse2", "avx2") caps
+/// the reported features below what the hardware offers — the tests use it
+/// to exercise the degraded dispatch paths on machines that have everything.
+const CpuFeatures& cpu_features();
+
+}  // namespace feves

@@ -4,6 +4,7 @@
 #include "common/timer.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <future>
 
 namespace feves {
@@ -83,10 +84,14 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
   FrameStats stats;
   stats.frame_number = frame;
 
-  EncodeJob job;
-  std::vector<RefPicture*> borrowed;
+  // The job is a member purely as an allocation arena: every frame fully
+  // re-prepares it, and ping-ponging the borrowed-refs vector through
+  // prepare() keeps even that small buffer alive across frames.
+  EncodeJob& job = job_;
+  std::vector<RefPicture*> borrowed = std::move(job.refs);
+  borrowed.clear();
   for (int i = 0; i < refs_.size(); ++i) borrowed.push_back(&refs_.ref(i));
-  job.prepare(cfg_, cur, std::move(borrowed), frame);
+  job.prepare(cfg_, cur, std::move(borrowed), frame, std::move(recycled_));
 
   if (job.is_intra) {
     // Bootstrap I frame: host-only (paper Fig 1's intra path; the inter
@@ -126,11 +131,14 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
       if (attempt > 0) {
         // The failed attempt may have partially written MVs, SF planes or
         // the reconstruction; rebuild the job from the untouched inputs.
-        std::vector<RefPicture*> reborrowed;
+        // Its own recon is recycled — every pixel is rewritten anyway.
+        std::vector<RefPicture*> reborrowed = std::move(job.refs);
+        reborrowed.clear();
         for (int i = 0; i < refs_.size(); ++i) {
           reborrowed.push_back(&refs_.ref(i));
         }
-        job.prepare(cfg_, cur, std::move(reborrowed), frame);
+        job.prepare(cfg_, cur, std::move(reborrowed), frame,
+                    std::move(job.recon));
       }
 
       const int rf_holder = active[rf_holder_] ? rf_holder_ : -1;
@@ -214,7 +222,10 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
       // warm cache, a DAM clone and staged_), so no synchronization beyond
       // the join. std::async's future joins on destruction, keeping
       // exception unwinds safe.
-      PipelineSlot next;
+      // Recycled from the consumed slot: params capacity and the DAM copy
+      // survive, so steady-state speculation allocates nothing up front.
+      PipelineSlot next = std::move(slot_);
+      next.valid = false;
       std::future<void> spec;
       if (opts_.enable_pipeline && perf_.initialized(&active)) {
         next.frame = frame + 1;
@@ -227,7 +238,11 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
         }
         spec = std::async(std::launch::async, [this, &next, &active] {
           Timer spec_timer;
-          next.dam.emplace(dam_);
+          if (next.dam.has_value()) {
+            *next.dam = dam_;  // plan against a copy; commit only on a hit
+          } else {
+            next.dam.emplace(dam_);
+          }
           next.sched =
               compute_schedule(opts_, balancer_, perf_, health_, *next.dam,
                                next.active, next.rf_holder, next.active_refs);
@@ -268,6 +283,21 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
       // Telemetry snapshots the K parameters the scheduler consumed, so it
       // must fill before this frame's measurements fold in.
       fill_device_telemetry(topo_, dist, ids, result, perf_, &stats.telemetry);
+      // Surface the per-kernel SIMD tier the frame's pixel kernels ran at
+      // (requested vs. registry-resolved) — and mark it in the trace once
+      // per session, so a capture is self-describing about the ISA level.
+      for (const KernelTierChoice& k : kernel_tier_report(tier_)) {
+        stats.telemetry.kernel_tiers.push_back(
+            {kernel_name(k.id), tier_name(k.requested), tier_name(k.resolved)});
+      }
+      if (trace != nullptr && !tiers_traced_) {
+        tiers_traced_ = true;
+        for (const obs::KernelTierInfo& k : stats.telemetry.kernel_tiers) {
+          char label[obs::TraceEvent::kNameCapacity + 1];
+          std::snprintf(label, sizeof label, "k:%s=%s", k.kernel, k.resolved);
+          trace->add_host_event(frame, label, obs::EventKind::kMark, 0.0);
+        }
+      }
       stats.telemetry.predicted_tau1_ms = dist.tau1_ms;
       stats.telemetry.predicted_tau2_ms = dist.tau2_ms;
       stats.telemetry.predicted_tau_tot_ms = dist.tau_tot_ms;
@@ -314,7 +344,7 @@ FrameStats CollaborativeEncoder::encode_frame(const Frame420& cur,
     const auto& bytes = bw.bytes();
     bitstream_out->insert(bitstream_out->end(), bytes.begin(), bytes.end());
   }
-  refs_.push_front(std::move(job.recon));
+  recycled_ = refs_.push_front(std::move(job.recon));
   ++next_frame_;
   return stats;
 }

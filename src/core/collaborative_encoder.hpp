@@ -75,6 +75,13 @@ class CollaborativeEncoder {
   PerfCharacterization perf_;
   DeviceHealthMonitor health_;
   RefList refs_;
+  /// Per-frame working state, persistent so its vectors (motion fields,
+  /// choices, coded levels, deblock info) keep their capacity across
+  /// frames — prepare() then touches the heap only on geometry changes.
+  EncodeJob job_;
+  /// Reference picture evicted from refs_ last frame, recycled into the
+  /// next frame's recon allocation (RefPicture is tens of MB at 1080p).
+  std::unique_ptr<RefPicture> recycled_;
   std::vector<DeviceMirror> mirrors_;
   /// Mirrors whose incremental per-frame contract is broken (device sat out
   /// a frame, or an attempt failed mid-flight) — restaged whole before use.
@@ -86,6 +93,8 @@ class CollaborativeEncoder {
   PipelineSlot slot_;
   /// Per-device prestaged mirror buffers (the pipeline's double buffer).
   std::vector<MirrorStage> staged_;
+  /// Kernel-tier marks are emitted into the trace once per session.
+  bool tiers_traced_ = false;
 };
 
 }  // namespace feves

@@ -208,12 +208,11 @@ FrameStats VirtualFramework::encode_frame(const FrameGrant& grant) {
     }
 
     // ---- Orchestration + execution (lines 4 / 9) ------------------------
-    std::vector<double> slowdown(
-        static_cast<std::size_t>(topo_.num_devices()));
+    slowdown_.assign(static_cast<std::size_t>(topo_.num_devices()), 1.0);
     for (int i = 0; i < topo_.num_devices(); ++i) {
-      slowdown[i] = perturbations_.factor(i, frame);
+      slowdown_[i] = perturbations_.factor(i, frame);
     }
-    VirtualBackend backend(cfg_, topo_, active_refs, slowdown);
+    VirtualBackend backend(cfg_, topo_, active_refs, slowdown_);
     FrameOpIds ids;
     const OpGraph graph =
         build_frame_graph(topo_, dist, sd.plans, backend, &ids);
@@ -284,7 +283,11 @@ void VirtualFramework::precompute_next(int frame,
     return;
   }
   Timer t;
-  PipelineSlot next;
+  // Recycle the consumed slot's storage (params vector, the DAM planning
+  // copy and its interval vectors) — precompute runs every frame, and
+  // rebuilding the slot from scratch put a dozen allocations on each one.
+  PipelineSlot next = std::move(slot_);
+  next.valid = false;
   next.frame = frame + 1;
   next.active_refs = std::min(frame + 1, cfg_.num_ref_frames);
   // Speculate that next frame runs on the same schedulable set; probation
@@ -295,7 +298,12 @@ void VirtualFramework::precompute_next(int frame,
   for (int i = 0; i < topo_.num_devices(); ++i) {
     next.params[i] = perf_.params(i);
   }
-  next.dam.emplace(dam_);  // plan against a copy; commit only on a hit
+  // Plan against a copy; commit only on a hit.
+  if (next.dam.has_value()) {
+    *next.dam = dam_;
+  } else {
+    next.dam.emplace(dam_);
+  }
   next.sched = compute_schedule(opts_, balancer_, perf_, health_, *next.dam,
                                 next.active, next.rf_holder, next.active_refs);
   next.cost_ms = t.elapsed_ms();

@@ -222,6 +222,7 @@ class VirtualFramework {
   int next_frame_ = 1;   ///< next inter-frame number (frame 0 is the I frame)
   int rf_holder_ = 0;    ///< device that produced the newest RF
   PipelineSlot slot_;    ///< next frame's speculative schedule
+  std::vector<double> slowdown_;  ///< per-attempt scratch (capacity reused)
 
   /// Precomputes `slot_` for frame+1 from the pre-fold characterization
   /// (honestly modelling the overlap: the speculative solve cannot see the

@@ -56,12 +56,27 @@ void copy_field_rows(const std::vector<MotionField>& src,
 void prestage_mirror(MirrorStage& stage, const EncoderConfig& cfg,
                      int active_refs) {
   const int border = ref_border(cfg);
-  stage.fresh = std::make_unique<DeviceMirror::RefMirror>(cfg.width,
-                                                          cfg.height, border);
-  for (auto& plane : stage.fresh->sf.phases) plane.fill(DeviceMirror::kPoison);
-  stage.fields.assign(static_cast<std::size_t>(active_refs),
-                      MotionField(static_cast<std::size_t>(cfg.total_mbs())));
-  stage.refined = stage.fields;
+  // Recycle, in preference order: an unconsumed fresh slot from a discarded
+  // stage, or the spare that begin_frame_mirror trimmed off the mirror
+  // window last frame. Either way the SF poison below re-establishes the
+  // exact cold-path state; a geometry change falls through to allocation.
+  std::unique_ptr<DeviceMirror::RefMirror> fresh = std::move(stage.fresh);
+  if (fresh == nullptr) fresh = std::move(stage.spare);
+  if (fresh == nullptr || fresh->recon_y.width() != cfg.width ||
+      fresh->recon_y.height() != cfg.height ||
+      fresh->recon_y.border() != border) {
+    fresh = std::make_unique<DeviceMirror::RefMirror>(cfg.width, cfg.height,
+                                                      border);
+  }
+  for (auto& plane : fresh->sf.phases) plane.fill(DeviceMirror::kPoison);
+  stage.fresh = std::move(fresh);
+  stage.spare = nullptr;
+
+  const std::size_t mbs = static_cast<std::size_t>(cfg.total_mbs());
+  stage.fields.resize(static_cast<std::size_t>(active_refs));
+  for (MotionField& f : stage.fields) f.assign(mbs, MbMotion{});
+  stage.refined.resize(static_cast<std::size_t>(active_refs));
+  for (MotionField& f : stage.refined) f.assign(mbs, MbMotion{});
   stage.active_refs = active_refs;
   stage.valid = true;
 }
@@ -81,21 +96,29 @@ void begin_frame_mirror(DeviceMirror& mirror, const EncoderConfig& cfg,
       staged->fresh->recon_y.width() == cfg.width &&
       staged->fresh->recon_y.height() == cfg.height) {
     fresh = std::move(staged->fresh);
-    mirror.fields = std::move(staged->fields);
-    mirror.refined = std::move(staged->refined);
+    // Swap rather than move: the mirror's last-frame field vectors return
+    // to the stage, where the next prestage recycles their capacity.
+    std::swap(mirror.fields, staged->fields);
+    std::swap(mirror.refined, staged->refined);
     staged->valid = false;
   } else {
     fresh = std::make_unique<DeviceMirror::RefMirror>(cfg.width, cfg.height,
                                                       border);
     for (auto& plane : fresh->sf.phases) plane.fill(DeviceMirror::kPoison);
-    mirror.fields.assign(
-        static_cast<std::size_t>(active_refs),
-        MotionField(static_cast<std::size_t>(cfg.total_mbs())));
-    mirror.refined = mirror.fields;
+    const std::size_t mbs = static_cast<std::size_t>(cfg.total_mbs());
+    mirror.fields.resize(static_cast<std::size_t>(active_refs));
+    for (MotionField& f : mirror.fields) f.assign(mbs, MbMotion{});
+    mirror.refined.resize(static_cast<std::size_t>(active_refs));
+    for (MotionField& f : mirror.refined) f.assign(mbs, MbMotion{});
   }
   copy_full_plane(newest_recon_y, fresh->recon_y);
   mirror.refs.push_front(std::move(fresh));
   while (static_cast<int>(mirror.refs.size()) > active_refs) {
+    // Hand the trimmed slot to the stage as the spare the next prestage
+    // adopts — the window is steady-state, so this closes the alloc loop.
+    if (staged != nullptr && staged->spare == nullptr) {
+      staged->spare = std::move(mirror.refs.back());
+    }
     mirror.refs.pop_back();
   }
 }
@@ -167,12 +190,13 @@ OpPayload RealBackend::op_me(int device, RowInterval rows) {
 
 OpPayload RealBackend::op_int(int device, RowInterval rows) {
   if (!is_accel(device)) {
-    return {0.0, 0.0, [this, rows] { int_rows(job_, rows.begin, rows.end); }};
+    return {0.0, 0.0,
+            [this, rows] { int_rows(job_, rows.begin, rows.end, tier_); }};
   }
   return {0.0, 0.0, [this, device, rows] {
             DeviceMirror& m = mirrors_[device];
             run_interpolation_rows(m.refs[0]->recon_y, rows.begin, rows.end,
-                                   m.refs[0]->sf);
+                                   m.refs[0]->sf, tier_);
             // Local slices must carry valid horizontal borders for SME's
             // out-of-frame motion vectors.
             for (auto& plane : m.refs[0]->sf.phases) {
@@ -237,7 +261,7 @@ OpPayload RealBackend::op_rstar(int device) {
                               s_iv[device], job_.cfg->mb_width());
             }
             ensure_sf_assembled();
-            rstar_frame(job_);
+            rstar_frame(job_, tier_);
           }};
 }
 

@@ -91,6 +91,11 @@ struct MirrorStage {
   std::unique_ptr<DeviceMirror::RefMirror> fresh;
   std::vector<MotionField> fields;
   std::vector<MotionField> refined;
+  /// RefMirror trimmed off the mirror window by the previous
+  /// begin_frame_mirror, held for the next prestage to recycle (at steady
+  /// state one slot leaves the window every frame and one enters, so this
+  /// makes the per-frame RefMirror allocation a wash).
+  std::unique_ptr<DeviceMirror::RefMirror> spare;
 };
 
 /// Prepares `stage` for a frame with `active_refs` references: allocates

@@ -59,6 +59,16 @@ struct ResilienceTelemetry {
   }
 };
 
+/// Resolved kernel tier of one kernel family: what the session requested
+/// and what the codec's kernel registry resolved it to on this machine
+/// (CPUID + per-kernel ceiling). Names point at the registry's static
+/// strings, so the struct stays trivially copyable.
+struct KernelTierInfo {
+  const char* kernel = "";
+  const char* requested = "";
+  const char* resolved = "";
+};
+
 /// Everything measured about one frame's scheduling decision.
 struct SchedTelemetry {
   // LP solver effort (summed over the ∆ fix-point and any retry attempts).
@@ -98,6 +108,10 @@ struct SchedTelemetry {
   double predicted_tau_tot_ms = 0.0, measured_tau_tot_ms = 0.0;
 
   std::vector<DeviceTelemetry> dev;  ///< per-device module breakdown
+
+  /// Per-kernel SIMD tier the frame's host-side kernels ran at (real mode;
+  /// empty in the virtual framework, which executes no pixel kernels).
+  std::vector<KernelTierInfo> kernel_tiers;
 
   /// Relative τtot misprediction — the headline number feeding FrameStats.
   double misprediction() const {

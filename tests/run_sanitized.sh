@@ -22,7 +22,7 @@ cmake -B "$BUILD" -S "$ROOT" \
   -DFEVES_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD" -j "$(nproc)" \
   --target test_platform test_common test_core test_service test_obs \
-           test_chaos
+           test_chaos test_codec
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
@@ -41,6 +41,13 @@ run_bounded() {
 run_bounded "$BUILD/tests/test_platform" --gtest_filter='*Executor*:*Fault*:*Schedule*:OpGraph.*:DevicePool.*:DeviceLease.*:*Arbiter*'
 run_bounded "$BUILD/tests/test_common" --gtest_filter='ThreadPool*:LogRace*'
 run_bounded "$BUILD/tests/test_core" --gtest_filter='FaultRecovery*:DeviceHealthMonitor.*'
+
+# Kernel-registry oracle battery: the explicit SSE2/AVX2 tiers' loads and
+# stores under ASan/UBSan, then again with the CPU capped at SSE2 so the
+# degraded dispatch ladder (AVX2 request resolving down) is the path taken.
+run_bounded "$BUILD/tests/test_codec" --gtest_filter='SimdTiers*'
+FEVES_CPU_CAP=sse2 \
+  run_bounded "$BUILD/tests/test_codec" --gtest_filter='SimdTiers*'
 
 # Multi-session encode service: session churn / abort races under the
 # arbiter, the resilience ladder (restart/backoff/shed races), plus the

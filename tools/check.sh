@@ -118,6 +118,8 @@ stage_bench_smoke() {
       --json "$BENCH_JSON_DIR/ext_trace_overhead.json" || ok=1
   "$BUILD/bench/ext_pipeline_overhead" --smoke \
       --json "$BENCH_JSON_DIR/ext_pipeline_overhead.json" || ok=1
+  "$BUILD/bench/micro_kernels" --smoke \
+      --json "$BENCH_JSON_DIR/micro_kernels.json" || ok=1
   return $ok
 }
 
