@@ -1,0 +1,36 @@
+// RPC vocabulary of the cluster tier. Every WorkerProxy call is
+// deadline-bounded and returns one of these statuses instead of throwing —
+// a remote node crashing, hanging or partitioning away must be an ordinary
+// return value the manager can attribute and retry, never an exception
+// escaping the dispatch loop.
+#pragma once
+
+namespace feves::cluster {
+
+enum class RpcStatus {
+  kOk,
+  kDeadlineExceeded,  ///< request (probably) arrived; reply missed deadline
+  kUnreachable,       ///< request never reached the node (partition)
+  kWorkerCrashed,     ///< node process is down
+  kRejected,          ///< node refused the request (overload / shutdown)
+};
+
+inline const char* to_string(RpcStatus s) {
+  switch (s) {
+    case RpcStatus::kOk: return "ok";
+    case RpcStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case RpcStatus::kUnreachable: return "unreachable";
+    case RpcStatus::kWorkerCrashed: return "worker-crashed";
+    case RpcStatus::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+/// Retryable = the node might answer next attempt; kRejected is a policy
+/// decision and retrying it immediately would hammer an overloaded node.
+inline bool retryable(RpcStatus s) {
+  return s == RpcStatus::kDeadlineExceeded || s == RpcStatus::kUnreachable ||
+         s == RpcStatus::kWorkerCrashed;
+}
+
+}  // namespace feves::cluster

@@ -61,6 +61,8 @@ const char* lane_name(int lane) {
       return "pipeline";
     case kLaneResilience:
       return "resilience";
+    case kLaneCluster:
+      return "cluster";
   }
   return "lane?";
 }

@@ -44,6 +44,8 @@ struct ResilienceTelemetry {
   int shed_sessions = 0;       ///< sessions shed by admission control
   int breaker_trips = 0;       ///< pool-exhaustion circuit-breaker opens
   int degraded_sessions = 0;   ///< sessions that stepped down the ladder
+  int probation_relapses = 0;  ///< retries burned on all-probation grants
+                               ///< that failed again (churn attribution)
 
   void merge(const ResilienceTelemetry& o) {
     checkpoints_taken += o.checkpoints_taken;
@@ -56,6 +58,48 @@ struct ResilienceTelemetry {
     shed_sessions += o.shed_sessions;
     breaker_trips += o.breaker_trips;
     degraded_sessions += o.degraded_sessions;
+    probation_relapses += o.probation_relapses;
+  }
+};
+
+/// Cluster-tier counters: the WorkerManager's view of node liveness and
+/// work movement. Scoped by the holder — per session in a
+/// ClusterSessionResult (only the work-movement counters are meaningful
+/// there), whole-manager in WorkerManager::telemetry() (which adds the
+/// node-liveness counters; heartbeats are manager-wide, not per session).
+struct NodeTelemetry {
+  // Work movement.
+  int dispatches = 0;      ///< shard submissions acknowledged by a worker
+  int completions = 0;     ///< shard results committed (epoch matched)
+  int fenced_replies = 0;  ///< stale-epoch results dropped (zombie nodes,
+                           ///< healed partitions, false-positive deaths)
+  int lease_expiries = 0;  ///< leases that timed out before completing
+  int reassigns = 0;       ///< shards re-dispatched after a fence
+  int steals = 0;          ///< reassigns that landed on a different node
+  int epoch_fences = 0;    ///< outstanding-lease invalidations (epoch bumps
+                           ///< beyond the one every dispatch performs)
+  int rpc_retries = 0;     ///< deadline/unreachable RPC attempts retried
+  // Node liveness (manager-wide).
+  int heartbeats = 0;        ///< heartbeat RPCs attempted
+  int heartbeat_misses = 0;  ///< heartbeats that timed out / went unreachable
+  int nodes_suspected = 0;   ///< alive/probation -> suspect transitions
+  int nodes_died = 0;        ///< suspect -> dead declarations
+  int nodes_rejoined = 0;    ///< dead nodes re-admitted (new incarnation)
+
+  void merge(const NodeTelemetry& o) {
+    dispatches += o.dispatches;
+    completions += o.completions;
+    fenced_replies += o.fenced_replies;
+    lease_expiries += o.lease_expiries;
+    reassigns += o.reassigns;
+    steals += o.steals;
+    epoch_fences += o.epoch_fences;
+    rpc_retries += o.rpc_retries;
+    heartbeats += o.heartbeats;
+    heartbeat_misses += o.heartbeat_misses;
+    nodes_suspected += o.nodes_suspected;
+    nodes_died += o.nodes_died;
+    nodes_rejoined += o.nodes_rejoined;
   }
 };
 

@@ -47,6 +47,8 @@ inline constexpr int kLanePipeline = 4;  ///< scheduling overlapped with the
                                          ///< previous frame's execution
 inline constexpr int kLaneResilience = 5;  ///< checkpoint / restart / backoff
                                            ///< activity of the encode service
+inline constexpr int kLaneCluster = 6;  ///< cluster tier: dispatch / fence /
+                                        ///< reassign / node-death marks
 
 /// One traced interval. Fixed-size (no heap) so ring emission is a memcpy.
 struct TraceEvent {

@@ -78,4 +78,89 @@ class FaultSchedule {
   std::vector<FaultEvent> events_;
 };
 
+// ---------------------------------------------------------------------------
+// Node-level faults (the cluster tier's failure unit). Where a FaultEvent
+// makes one device's ops fail, a NodeFaultEvent takes out a whole worker
+// node: its RPCs, its heartbeats, or the node itself. Windows are measured
+// in the node's own heartbeat clock — the loopback transport counts every
+// heartbeat *attempt* (delivered or not), and the manager beats every node
+// every tick, so window edges line up with manager ticks and a partition
+// heals deterministically once enough beats have been attempted.
+
+enum class NodeFaultKind {
+  kCrash,          ///< node dies: queue and in-flight work lost, RPCs fail;
+                   ///< a bounded window models an operator restart
+  kHang,           ///< RPCs are received but never answered in time, and the
+                   ///< node's executor stalls — work resumes after the
+                   ///< window as a zombie (late replies must be fenced)
+  kPartition,      ///< no RPC or heartbeat crosses; work continues and its
+                   ///< replies buffer node-side until the partition heals
+  kHeartbeatLoss,  ///< only heartbeats are lost: work RPCs and completions
+                   ///< still flow, so a false-positive death declaration
+                   ///< exercises epoch fencing against a healthy node
+};
+
+const char* to_string(NodeFaultKind kind);
+
+struct NodeFaultEvent {
+  int node = 0;
+  int beat_begin = 0;            ///< first affected heartbeat (inclusive)
+  int beat_end = kFaultForever;  ///< last affected heartbeat (exclusive)
+  NodeFaultKind kind = NodeFaultKind::kCrash;
+};
+
+/// What is wrong with one node at one heartbeat instant.
+struct NodeFaultState {
+  bool crashed = false;
+  bool hang = false;
+  bool partitioned = false;
+  bool heartbeat_loss = false;
+
+  bool any() const { return crashed || hang || partitioned || heartbeat_loss; }
+};
+
+/// Deterministic node-fault schedule: the cluster-tier mirror of
+/// FaultSchedule. Pure function of (schedule, beat) so chaos runs replay
+/// exactly from their seed.
+class NodeFaultSchedule {
+ public:
+  NodeFaultSchedule() = default;
+
+  void add(const NodeFaultEvent& e) {
+    FEVES_CHECK(e.node >= 0);
+    FEVES_CHECK(e.beat_begin <= e.beat_end);
+    events_.push_back(e);
+  }
+
+  bool empty() const { return events_.empty(); }
+
+  NodeFaultState at(int node, int beat) const {
+    NodeFaultState s;
+    for (const NodeFaultEvent& e : events_) {
+      if (e.node != node) continue;
+      if (beat < e.beat_begin || beat >= e.beat_end) continue;
+      switch (e.kind) {
+        case NodeFaultKind::kCrash: s.crashed = true; break;
+        case NodeFaultKind::kHang: s.hang = true; break;
+        case NodeFaultKind::kPartition: s.partitioned = true; break;
+        case NodeFaultKind::kHeartbeatLoss: s.heartbeat_loss = true; break;
+      }
+    }
+    return s;
+  }
+
+ private:
+  std::vector<NodeFaultEvent> events_;
+};
+
+inline const char* to_string(NodeFaultKind kind) {
+  switch (kind) {
+    case NodeFaultKind::kCrash: return "crash";
+    case NodeFaultKind::kHang: return "hang";
+    case NodeFaultKind::kPartition: return "partition";
+    case NodeFaultKind::kHeartbeatLoss: return "heartbeat-loss";
+  }
+  return "?";
+}
+
 }  // namespace feves

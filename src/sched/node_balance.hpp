@@ -1,0 +1,58 @@
+// Inter-node dispatch policy: the top tier of the cluster's two-tier
+// balance. The WorkerManager scores each worker node by measured capability
+// over outstanding load and dispatches the next work quantum to the best
+// dispatchable node; *within* the node, the existing Algorithm-2 LP then
+// splits the frame across that node's private devices. Kept header-only and
+// side-effect free so the policy is unit-testable without any cluster
+// machinery.
+#pragma once
+
+#include "platform/device.hpp"
+
+#include <vector>
+
+namespace feves {
+
+/// One node's standing in the dispatch decision.
+struct NodeScore {
+  double capability = 0.0;  ///< throughput proxy (static estimate until the
+                            ///< manager has measured shard rates to EWMA in)
+  int outstanding = 0;      ///< shards currently leased to the node
+  bool dispatchable = false;  ///< heartbeat state alive or probation
+};
+
+/// Static capability estimate of a node from its topology alone: the sum of
+/// per-device module throughputs (the same units the virtual cost model
+/// consumes). Deliberately coarse — it only has to rank nodes until the
+/// manager's measured per-shard rates take over.
+inline double topology_capability(const PlatformTopology& topo) {
+  double cap = 0.0;
+  for (const DeviceSpec& d : topo.devices) {
+    cap += d.tput.me_ops_per_ms + d.tput.int_pix_per_ms +
+           d.tput.sme_ops_per_ms;
+  }
+  return cap;
+}
+
+/// Picks the node for the next work quantum: the dispatchable node with the
+/// highest capability per queued shard, i.e. capability / (1 + outstanding)
+/// — measured node capability feeding a least-loaded tie-break. `affinity`
+/// (the node that ran the session's previous quantum, -1 for none) wins
+/// exact ties so a healthy placement sticks and worker-side framework
+/// caches stay warm. Returns -1 when no node is dispatchable.
+inline int pick_node(const std::vector<NodeScore>& nodes, int affinity = -1) {
+  int best = -1;
+  double best_score = -1.0;
+  for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+    const NodeScore& n = nodes[static_cast<std::size_t>(i)];
+    if (!n.dispatchable) continue;
+    const double score = n.capability / (1.0 + n.outstanding);
+    if (score > best_score || (score == best_score && i == affinity)) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace feves

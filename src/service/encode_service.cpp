@@ -21,6 +21,23 @@ bool any_usable(const std::vector<bool>& mask) {
   return false;
 }
 
+/// True when the usable mask is non-empty but consists ENTIRELY of
+/// probation devices: the grant can only draw from half-trusted hardware.
+/// A frame failure on such a grant is a probation relapse, not pool
+/// exhaustion, and the terminal attribution must say so — an operator
+/// reacts to "devices flapping through probation" (cap re-admission, drain
+/// the node) very differently from "pool drained" (add capacity).
+bool all_probation(const DeviceHealthMonitor& health,
+                   const std::vector<bool>& usable) {
+  bool any = false;
+  for (int d = 0; d < static_cast<int>(usable.size()); ++d) {
+    if (!usable[static_cast<std::size_t>(d)]) continue;
+    if (health.state(d) != DeviceHealth::kProbation) return false;
+    any = true;
+  }
+  return any;
+}
+
 }  // namespace
 
 EncodeService::EncodeService(const PlatformTopology& topo, ServiceOptions opts)
@@ -298,12 +315,14 @@ TerminalReason EncodeService::run_virtual(Session* s) {
       // Every device quarantined from this session's view — the only rung
       // left is a restart, which restores the pre-storm health state.
       if (!gov.can_restart()) {
-        return gov.deadline_exceeded() ? TerminalReason::kDeadlineExceeded
-                                       : TerminalReason::kNoUsableDevice;
+        if (gov.deadline_exceeded()) return TerminalReason::kDeadlineExceeded;
+        return rt.probation_relapses > 0 ? TerminalReason::kProbationChurn
+                                         : TerminalReason::kNoUsableDevice;
       }
       do_restart();
       continue;
     }
+    const bool probation_grant = all_probation(fw->health(), usable);
 
     const double brk = gov.breaker_wait_ms();
     if (brk > 0.0) {
@@ -326,6 +345,7 @@ TerminalReason EncodeService::run_virtual(Session* s) {
       // would starve every other session.
       arbiter_.release(s->id, std::move(*grant), 0.0, 0, /*completed=*/false);
       gov.grant_lost();
+      if (probation_grant) rt.probation_relapses += 1;
       // A fault storm can quarantine the whole grant mid-frame. Nothing was
       // committed, so if the health mask shrank and other devices remain
       // usable, take a fresh grant and retry this frame on them.
@@ -333,7 +353,13 @@ TerminalReason EncodeService::run_virtual(Session* s) {
       if (now != usable && any_usable(now)) continue;
       if (gov.deadline_exceeded()) return TerminalReason::kDeadlineExceeded;
       if (!gov.can_restart()) {
-        if (ro.max_restarts > 0) return TerminalReason::kRestartsExhausted;
+        if (ro.max_restarts > 0) {
+          // Retry budget burned on relapsing probation devices is its own
+          // failure mode: the pool was never exhausted, trust was.
+          return rt.probation_relapses > 0
+                     ? TerminalReason::kProbationChurn
+                     : TerminalReason::kRestartsExhausted;
+        }
         throw;  // restart rung disabled: legacy fail-with-error
       }
       do_restart();
@@ -438,12 +464,14 @@ TerminalReason EncodeService::run_real(Session* s) {
     const std::vector<bool> usable = enc->health().active_mask();
     if (!any_usable(usable)) {
       if (!gov.can_restart()) {
-        return gov.deadline_exceeded() ? TerminalReason::kDeadlineExceeded
-                                       : TerminalReason::kNoUsableDevice;
+        if (gov.deadline_exceeded()) return TerminalReason::kDeadlineExceeded;
+        return rt.probation_relapses > 0 ? TerminalReason::kProbationChurn
+                                         : TerminalReason::kNoUsableDevice;
       }
       do_restart();
       continue;
     }
+    const bool probation_grant = all_probation(enc->health(), usable);
 
     const double brk = gov.breaker_wait_ms();
     if (brk > 0.0) {
@@ -465,6 +493,7 @@ TerminalReason EncodeService::run_real(Session* s) {
     } catch (...) {
       arbiter_.release(s->id, std::move(*grant), 0.0, 0, /*completed=*/false);
       gov.grant_lost();
+      if (probation_grant) rt.probation_relapses += 1;
       // Same whole-grant-quarantined recovery as run_virtual: the frame
       // never committed any state (bitstream and references update only on
       // success), so retrying it on the surviving devices keeps the stream
@@ -473,7 +502,11 @@ TerminalReason EncodeService::run_real(Session* s) {
       if (now != usable && any_usable(now)) continue;
       if (gov.deadline_exceeded()) return TerminalReason::kDeadlineExceeded;
       if (!gov.can_restart()) {
-        if (ro.max_restarts > 0) return TerminalReason::kRestartsExhausted;
+        if (ro.max_restarts > 0) {
+          return rt.probation_relapses > 0
+                     ? TerminalReason::kProbationChurn
+                     : TerminalReason::kRestartsExhausted;
+        }
         throw;
       }
       do_restart();

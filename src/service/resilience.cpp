@@ -10,6 +10,8 @@ const char* to_string(TerminalReason reason) {
     case TerminalReason::kDeadlineExceeded: return "deadline-exceeded";
     case TerminalReason::kRestartsExhausted: return "restarts-exhausted";
     case TerminalReason::kNoUsableDevice: return "no-usable-device";
+    case TerminalReason::kProbationChurn: return "probation-churn";
+    case TerminalReason::kNoLiveWorker: return "no-live-worker";
     case TerminalReason::kError: return "error";
   }
   return "unknown";

@@ -34,6 +34,10 @@ enum class TerminalReason {
   kDeadlineExceeded,   ///< per-session deadline_ms budget ran out
   kRestartsExhausted,  ///< ladder reached max_restarts without recovering
   kNoUsableDevice,     ///< no device left and restarting is disabled
+  kProbationChurn,     ///< retries burned re-probing probation devices that
+                       ///< kept relapsing — distinct from a drained pool
+  kNoLiveWorker,       ///< cluster tier: every worker node stayed dead past
+                       ///< the reassignment grace window
   kError,              ///< unexpected exception (bug, not policy)
 };
 

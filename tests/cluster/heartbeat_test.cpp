@@ -1,0 +1,134 @@
+// Unit coverage of the cluster tier's pure pieces: the node-liveness state
+// machine, the inter-node dispatch policy and the node fault schedule.
+#include "cluster/heartbeat.hpp"
+
+#include "cluster/rpc.hpp"
+#include "platform/fault.hpp"
+#include "platform/presets.hpp"
+#include "sched/node_balance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace feves::cluster {
+namespace {
+
+HeartbeatOptions fast_hb() {
+  HeartbeatOptions o;
+  o.suspect_misses = 2;
+  o.dead_misses = 4;
+  o.probation_clean_beats = 2;
+  return o;
+}
+
+TEST(HeartbeatMonitor, MissLadderAliveSuspectDead) {
+  HeartbeatMonitor m(2, fast_hb());
+  EXPECT_EQ(m.state(0), NodeLiveness::kAlive);
+  EXPECT_TRUE(m.dispatchable(0));
+
+  EXPECT_FALSE(m.record_miss(0));
+  EXPECT_EQ(m.state(0), NodeLiveness::kAlive);
+  EXPECT_FALSE(m.record_miss(0));
+  EXPECT_EQ(m.state(0), NodeLiveness::kSuspect);
+  EXPECT_FALSE(m.dispatchable(0)) << "suspects get no new work";
+  EXPECT_FALSE(m.dead(0));
+
+  EXPECT_FALSE(m.record_miss(0));
+  EXPECT_TRUE(m.record_miss(0)) << "4th miss: newly dead, exactly once";
+  EXPECT_TRUE(m.dead(0));
+  EXPECT_FALSE(m.record_miss(0)) << "already dead: no second death edge";
+
+  // The other node is untouched.
+  EXPECT_EQ(m.state(1), NodeLiveness::kAlive);
+  EXPECT_EQ(m.num_dispatchable(), 1);
+  EXPECT_EQ(m.num_dead(), 1);
+}
+
+TEST(HeartbeatMonitor, SuspectRecoversThroughProbation) {
+  HeartbeatMonitor m(1, fast_hb());
+  m.record_miss(0);
+  m.record_miss(0);
+  ASSERT_EQ(m.state(0), NodeLiveness::kSuspect);
+
+  EXPECT_FALSE(m.record_beat(0));
+  EXPECT_EQ(m.state(0), NodeLiveness::kProbation);
+  EXPECT_TRUE(m.dispatchable(0)) << "probation nodes may take work";
+  EXPECT_FALSE(m.record_beat(0));
+  EXPECT_EQ(m.state(0), NodeLiveness::kAlive);
+  EXPECT_EQ(m.incarnation(0), 0) << "never died: same incarnation";
+}
+
+TEST(HeartbeatMonitor, RejoinBumpsIncarnationAndFlappingGrowsWindow) {
+  HeartbeatMonitor m(1, fast_hb());
+  for (int i = 0; i < 4; ++i) m.record_miss(0);
+  ASSERT_TRUE(m.dead(0));
+
+  EXPECT_TRUE(m.record_beat(0)) << "first beat after death = rejoin";
+  EXPECT_EQ(m.incarnation(0), 1);
+  ASSERT_EQ(m.state(0), NodeLiveness::kProbation);
+
+  // Relapse in probation: straight back to suspect with a longer window,
+  // and the death countdown resumes from the suspect threshold.
+  EXPECT_FALSE(m.record_miss(0));
+  EXPECT_EQ(m.state(0), NodeLiveness::kSuspect);
+  EXPECT_FALSE(m.record_miss(0));
+  EXPECT_TRUE(m.record_miss(0)) << "a relapsed node dies fast";
+
+  // Rejoining now requires the grown window: 2 -> 4 clean beats.
+  EXPECT_TRUE(m.record_beat(0));
+  EXPECT_EQ(m.incarnation(0), 2);
+  m.record_beat(0);
+  m.record_beat(0);
+  EXPECT_EQ(m.state(0), NodeLiveness::kProbation) << "window grew to 4";
+  m.record_beat(0);
+  EXPECT_EQ(m.state(0), NodeLiveness::kAlive);
+}
+
+TEST(NodeBalance, PicksCapabilityPerOutstandingWithAffinityTieBreak) {
+  std::vector<NodeScore> nodes(3);
+  nodes[0] = {10.0, 0, true};
+  nodes[1] = {30.0, 2, true};  // 30/3 = 10: ties node 0
+  nodes[2] = {50.0, 0, false};
+  EXPECT_EQ(pick_node(nodes), 0) << "first of the tied pair without affinity";
+  EXPECT_EQ(pick_node(nodes, /*affinity=*/1), 1) << "affinity wins the tie";
+  nodes[2].dispatchable = true;
+  EXPECT_EQ(pick_node(nodes), 2);
+  nodes[0].dispatchable = nodes[1].dispatchable = nodes[2].dispatchable =
+      false;
+  EXPECT_EQ(pick_node(nodes), -1);
+}
+
+TEST(NodeBalance, TopologyCapabilityRanksBiggerNodes) {
+  PlatformTopology one;
+  one.devices.push_back(preset_cpu_nehalem());
+  const PlatformTopology big = make_sys_nf();
+  EXPECT_GT(topology_capability(big), topology_capability(one));
+}
+
+TEST(NodeFaults, ScheduleIsPureFunctionOfBeat) {
+  NodeFaultSchedule sched;
+  sched.add({/*node=*/1, /*beat_begin=*/3, /*beat_end=*/5,
+             NodeFaultKind::kCrash});
+  sched.add({/*node=*/1, /*beat_begin=*/4, /*beat_end=*/8,
+             NodeFaultKind::kPartition});
+
+  EXPECT_FALSE(sched.at(1, 2).any());
+  EXPECT_FALSE(sched.at(0, 3).any()) << "faults are per-node";
+  EXPECT_TRUE(sched.at(1, 3).crashed);
+  NodeFaultState both = sched.at(1, 4);
+  EXPECT_TRUE(both.crashed);
+  EXPECT_TRUE(both.partitioned);
+  EXPECT_FALSE(sched.at(1, 5).crashed) << "beat_end is exclusive";
+  EXPECT_TRUE(sched.at(1, 7).partitioned);
+  EXPECT_FALSE(sched.at(1, 8).any());
+}
+
+TEST(Rpc, RetryableClassification) {
+  EXPECT_FALSE(retryable(RpcStatus::kOk));
+  EXPECT_TRUE(retryable(RpcStatus::kDeadlineExceeded));
+  EXPECT_TRUE(retryable(RpcStatus::kUnreachable));
+  EXPECT_TRUE(retryable(RpcStatus::kWorkerCrashed));
+  EXPECT_FALSE(retryable(RpcStatus::kRejected));
+}
+
+}  // namespace
+}  // namespace feves::cluster

@@ -1,0 +1,237 @@
+// Node-level chaos: seed-deterministic storms of whole-node faults —
+// crashes, hangs, partitions, heartbeat-only loss — thrown at a fleet of
+// LoopbackWorkers, with one guaranteed fault-free survivor per storm.
+// Invariants checked every iteration:
+//
+//   * liveness: every session reaches a terminal state (a wedged manager
+//     fails as a ctest timeout);
+//   * completion: with >= 1 fault-free survivor, every session completes
+//     and commits exactly the requested frames;
+//   * no double commit: the manager FEVES_CHECKs that every accepted
+//     quantum starts at the committed frontier (a violation aborts the
+//     test), and real sessions must splice bit-identical to a solo encode
+//     no matter how many fenced zombie replies raced the commit path;
+//   * attribution: telemetry counters are consistent with what the storm
+//     could have caused.
+//
+// Iteration count comes from FEVES_NODE_CHAOS_ITERS (default keeps plain
+// ctest fast; the sanitizer battery and tools/check.sh raise it).
+#include "cluster/worker_manager.hpp"
+
+#include "cluster/loopback_worker.hpp"
+#include "codec/frame_codec.hpp"
+#include "common/rng.hpp"
+#include "platform/presets.hpp"
+#include "video/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+namespace feves::cluster {
+namespace {
+
+int chaos_iters(int fallback) {
+  const char* env = std::getenv("FEVES_NODE_CHAOS_ITERS");
+  if (env == nullptr) return fallback;
+  const int n = std::atoi(env);
+  return n > 0 ? n : fallback;
+}
+
+PlatformTopology node_topo(Rng& rng) {
+  PlatformTopology t;
+  t.devices.push_back(preset_cpu_nehalem());
+  const int accels = static_cast<int>(rng.uniform_int(0, 2));
+  for (int i = 0; i < accels; ++i) {
+    auto g = preset_gpu_fermi();
+    g.name = "GPU#" + std::to_string(i);
+    t.devices.push_back(g);
+  }
+  return t;
+}
+
+EncoderConfig chaos_virtual_config() {
+  EncoderConfig cfg;
+  cfg.width = 640;
+  cfg.height = 384;
+  cfg.search_range = 8;
+  return cfg;
+}
+
+EncoderConfig chaos_real_config() {
+  EncoderConfig cfg;
+  cfg.width = 96;
+  cfg.height = 64;
+  cfg.search_range = 8;
+  cfg.num_ref_frames = 2;
+  return cfg;
+}
+
+std::vector<u8> solo_reference(const EncoderConfig& cfg,
+                               const SyntheticConfig& sconf, int frames) {
+  SyntheticSequence seq(sconf);
+  Frame420 frame(cfg.width, cfg.height);
+  RefList refs(cfg.num_ref_frames);
+  std::vector<u8> bits;
+  for (int f = 0; f < frames; ++f) {
+    EXPECT_TRUE(seq.read_frame(f, frame));
+    refs.push_front(encode_frame_reference(cfg, frame, refs, f, &bits));
+  }
+  return bits;
+}
+
+/// A randomized storm for one node: 0-2 fault windows, any kind. Windows
+/// are bounded so hung/partitioned nodes eventually come back as zombies
+/// (the interesting case for fencing); crashes may be forever.
+void add_node_storm(Rng& rng, int node, NodeFaultSchedule* sched) {
+  const int events = static_cast<int>(rng.uniform_int(0, 2));
+  for (int e = 0; e < events; ++e) {
+    NodeFaultEvent ev;
+    ev.node = node;
+    ev.kind = static_cast<NodeFaultKind>(rng.uniform_int(0, 3));
+    ev.beat_begin = 1 + static_cast<int>(rng.uniform_int(0, 40));
+    ev.beat_end = ev.beat_begin + 2 +
+                  static_cast<int>(rng.uniform_int(0, 60));
+    if (ev.kind == NodeFaultKind::kCrash && rng.uniform_int(0, 3) == 0) {
+      ev.beat_end = kFaultForever;  // some crashes are permanent
+    }
+    sched->add(ev);
+  }
+}
+
+TEST(NodeChaos, StormsWithSurvivorCompleteBitExact) {
+  const int iters = chaos_iters(/*fallback=*/6);
+  std::map<std::pair<u64, int>, std::vector<u8>> ref_cache;
+
+  for (int iter = 0; iter < iters; ++iter) {
+    const u64 seed = 0xFEEDull + static_cast<u64>(iter) * 7919;
+    Rng rng(seed);
+    SCOPED_TRACE(testing::Message() << "iter=" << iter << " seed=" << seed);
+
+    const int nnodes = 2 + static_cast<int>(rng.uniform_int(0, 2));
+    // One node is guaranteed fault-free: whatever the storm does to the
+    // rest, a survivor set exists, so every session MUST complete.
+    const int survivor = static_cast<int>(rng.uniform_int(0, nnodes - 1));
+
+    WorkerManagerOptions opts;
+    opts.tick_sleep_ms = 0.3;
+    opts.backoff.backoff_initial_ms = 0.1;
+    opts.backoff.backoff_max_ms = 1.0;
+    WorkerManager mgr(opts);
+    for (int n = 0; n < nnodes; ++n) {
+      NodeFaultSchedule storm;
+      if (n != survivor) add_node_storm(rng, n, &storm);
+      mgr.register_worker(std::make_unique<LoopbackWorker>(
+          n, "node" + std::to_string(n), node_topo(rng), storm));
+    }
+
+    struct Submitted {
+      int id = -1;
+      int frames = 0;
+      bool real = false;
+      u64 scene_seed = 0;
+      EncoderConfig cfg;
+    };
+    std::vector<Submitted> subs;
+    const int nsessions = 1 + static_cast<int>(rng.uniform_int(0, 1));
+    for (int k = 0; k < nsessions; ++k) {
+      Submitted sub;
+      sub.real = rng.uniform_int(0, 2) == 0;
+      ClusterSessionConfig sc;
+      if (sub.real) {
+        sub.cfg = chaos_real_config();
+        sub.frames = 3 + static_cast<int>(rng.uniform_int(0, 2));
+        sub.scene_seed = 0x5EEDull + rng.uniform_int(0, 3);
+        SyntheticConfig sconf;
+        sconf.width = sub.cfg.width;
+        sconf.height = sub.cfg.height;
+        sconf.frames = sub.frames;
+        sconf.num_objects = 3;
+        sconf.seed = sub.scene_seed;
+        sc.source = std::make_shared<SyntheticSequence>(sconf);
+      } else {
+        sub.cfg = chaos_virtual_config();
+        sub.frames = 4 + static_cast<int>(rng.uniform_int(0, 4));
+      }
+      sc.cfg = sub.cfg;
+      sc.frames = sub.frames;
+      sc.chunk_frames = 1 + static_cast<int>(rng.uniform_int(0, 2));
+      sub.id = mgr.submit(sc);
+      subs.push_back(sub);
+    }
+
+    const std::vector<ClusterSessionResult> results = mgr.drain();
+    ASSERT_EQ(results.size(), subs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const ClusterSessionResult& r = results[i];
+      const Submitted& sub = subs[i];
+      EXPECT_EQ(r.reason, TerminalReason::kCompleted)
+          << "session " << r.id << ": " << to_string(r.reason) << " ("
+          << r.error << ")";
+      if (r.reason != TerminalReason::kCompleted) continue;
+      EXPECT_EQ(r.committed_frames, sub.frames);
+      EXPECT_EQ(r.frames.size(), static_cast<std::size_t>(sub.frames));
+      if (sub.real) {
+        const auto key = std::make_pair(sub.scene_seed, sub.frames);
+        auto it = ref_cache.find(key);
+        if (it == ref_cache.end()) {
+          SyntheticConfig sconf;
+          sconf.width = sub.cfg.width;
+          sconf.height = sub.cfg.height;
+          sconf.frames = sub.frames;
+          sconf.num_objects = 3;
+          sconf.seed = sub.scene_seed;
+          it = ref_cache
+                   .emplace(key,
+                            solo_reference(sub.cfg, sconf, sub.frames))
+                   .first;
+        }
+        EXPECT_EQ(r.bitstream, it->second)
+            << "spliced bitstream diverged from solo (session " << r.id
+            << ", epochs " << r.final_epoch << ")";
+      }
+    }
+
+    // Counter consistency: commits never outnumber dispatches, and every
+    // reassignment implies a fence.
+    const obs::NodeTelemetry t = mgr.telemetry();
+    EXPECT_LE(t.completions, t.dispatches);
+    EXPECT_LE(t.steals, t.reassigns);
+    EXPECT_GE(t.epoch_fences, t.reassigns);
+    EXPECT_GE(t.heartbeats, t.heartbeat_misses);
+    EXPECT_GE(t.nodes_died, t.nodes_rejoined);
+  }
+}
+
+TEST(NodeChaos, PermanentTotalCrashIsAttributedNotHung) {
+  // Counter-case to the survivor guarantee: when EVERY node crashes for
+  // good, sessions must fail with kNoLiveWorker — attributed, not wedged.
+  NodeFaultSchedule storm;
+  storm.add({0, 1, kFaultForever, NodeFaultKind::kCrash});
+  storm.add({1, 3, kFaultForever, NodeFaultKind::kCrash});
+
+  WorkerManagerOptions opts;
+  opts.tick_sleep_ms = 0.3;
+  opts.all_dead_grace_ticks = 60;
+  WorkerManager mgr(opts);
+  PlatformTopology topo;
+  topo.devices.push_back(preset_cpu_nehalem());
+  mgr.register_worker(
+      std::make_unique<LoopbackWorker>(0, "a", topo, storm));
+  mgr.register_worker(
+      std::make_unique<LoopbackWorker>(1, "b", topo, storm));
+
+  ClusterSessionConfig sc;
+  sc.cfg = chaos_virtual_config();
+  sc.frames = 8;
+  sc.chunk_frames = 1;
+  const ClusterSessionResult r = mgr.wait(mgr.submit(sc));
+  EXPECT_EQ(r.reason, TerminalReason::kNoLiveWorker);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(mgr.telemetry().nodes_died, 2);
+}
+
+}  // namespace
+}  // namespace feves::cluster

@@ -335,6 +335,113 @@ TEST_P(DesProperty, ArbiterAccountingSurvivesAbortRestartChurn) {
   EXPECT_EQ(arb.free_devices(), ndev);
 }
 
+TEST_P(DesProperty, ArbiterSurvivesNodeBlockRevocationChurn) {
+  // Node-revocation property, mirroring the cluster tier's failure view:
+  // a worker node owns a contiguous block of the device pool, and node
+  // death revokes that whole block from every session's usable mask at
+  // once — possibly while a grant spanning it is in flight. The arbiter
+  // must (a) never grant a revoked device once the mask says so, (b) hand
+  // every granted device back to the free set no matter whether the grant
+  // is released or abandoned mid-revocation, and (c) keep serving waiters
+  // from the surviving devices — a starved acquire() here shows up as a
+  // hang, which the suite's ctest TIMEOUT turns into a failure.
+  Rng rng(static_cast<u64>(GetParam()) * 211 + 29);
+  const int ndev = 4 + static_cast<int>(rng.uniform_int(0, 4));
+  ArbiterOptions opts;
+  opts.max_sessions = 3;
+  PoolArbiter arb(ndev, opts);
+  std::vector<bool> usable(static_cast<std::size_t>(ndev), true);
+
+  std::vector<int> live;
+  for (int i = 0; i < opts.max_sessions; ++i) {
+    const int id = arb.admit(rng.uniform_real(0.5, 3.0));
+    ASSERT_GE(id, 0);
+    live.push_back(id);
+  }
+
+  auto expect_grant_within_usable = [&](const PoolArbiter::Grant& g) {
+    const std::vector<bool>& mask = g.lease.mask();
+    int granted = 0;
+    for (int d = 0; d < ndev; ++d) {
+      if (!mask[static_cast<std::size_t>(d)]) continue;
+      EXPECT_TRUE(usable[static_cast<std::size_t>(d)])
+          << "device " << d << " granted after its node block was revoked";
+      ++granted;
+    }
+    EXPECT_EQ(granted, g.num_devices);
+  };
+
+  // The revoked block, if any: [lo, hi). Always leaves >= 1 usable device
+  // so acquire() keeps its no-devices-at-all precondition.
+  int block_lo = -1;
+  int block_hi = -1;
+  auto revoke_block = [&]() {
+    const int size = 1 + static_cast<int>(rng.uniform_int(0, ndev - 2));
+    block_lo = static_cast<int>(rng.uniform_int(0, ndev - size));
+    block_hi = block_lo + size;
+    for (int d = block_lo; d < block_hi; ++d) {
+      usable[static_cast<std::size_t>(d)] = false;
+    }
+  };
+  auto restore_block = [&]() {
+    for (int d = block_lo; d < block_hi; ++d) {
+      usable[static_cast<std::size_t>(d)] = true;
+    }
+    block_lo = block_hi = -1;
+  };
+
+  const int steps = 40 + static_cast<int>(rng.uniform_int(0, 40));
+  for (int step = 0; step < steps; ++step) {
+    const std::size_t pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<i64>(live.size()) - 1));
+    const int id = live[pick];
+    const double r = rng.uniform01();
+    if (block_lo < 0 && r < 0.30) {
+      // Mid-grant revocation: take a grant under the full mask, then kill
+      // the node block while the grant is outstanding. Whichever way the
+      // grant ends — clean release or the holder dying with it (RAII
+      // abandon) — the revoked devices must come back to the free set;
+      // they are gone from `usable`, not from the pool.
+      AcquireOutcome out = AcquireOutcome::kShutdown;
+      auto g = arb.acquire(id, usable, &out);
+      ASSERT_TRUE(g.has_value());
+      expect_grant_within_usable(*g);
+      revoke_block();
+      if (rng.uniform01() < 0.5) {
+        g.reset();  // node died holding the grant
+      } else {
+        const int used = static_cast<int>(rng.uniform_int(1, g->num_devices));
+        arb.release(id, std::move(*g), rng.uniform_real(0.5, 4.0), used);
+      }
+      EXPECT_EQ(arb.free_devices(), ndev)
+          << "revocation leaked devices out of the free set";
+    } else if (block_lo >= 0 && r < 0.30) {
+      restore_block();  // node rejoined: its block is grantable again
+    } else {
+      // Survivor-side traffic: with the block revoked this must still be
+      // served promptly from the remaining devices, and never touch the
+      // revoked range.
+      AcquireOutcome out = AcquireOutcome::kShutdown;
+      auto g = arb.acquire(id, usable, &out);
+      ASSERT_TRUE(g.has_value());
+      EXPECT_EQ(out, AcquireOutcome::kGranted);
+      EXPECT_GE(g->num_devices, 1);
+      expect_grant_within_usable(*g);
+      const int used = static_cast<int>(rng.uniform_int(1, g->num_devices));
+      arb.release(id, std::move(*g), rng.uniform_real(0.5, 4.0), used);
+      EXPECT_EQ(arb.free_devices(), ndev);
+    }
+  }
+
+  // Drain: restore the block (if down), retire everything, and the free
+  // set must equal the whole pool with no session residue.
+  if (block_lo >= 0) restore_block();
+  for (int id : live) arb.retire(id);
+  EXPECT_EQ(arb.live_sessions(), 0);
+  EXPECT_EQ(arb.queued_sessions(), 0);
+  EXPECT_EQ(arb.free_devices(), ndev);
+}
+
 INSTANTIATE_TEST_SUITE_P(RandomGraphs, DesProperty, ::testing::Range(0, 25));
 
 }  // namespace

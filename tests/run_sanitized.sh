@@ -22,7 +22,7 @@ cmake -B "$BUILD" -S "$ROOT" \
   -DFEVES_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD" -j "$(nproc)" \
   --target test_platform test_common test_core test_service test_obs \
-           test_chaos test_codec
+           test_chaos test_codec test_cluster test_cluster_chaos
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
@@ -60,5 +60,12 @@ run_bounded "$BUILD/tests/test_obs" --gtest_filter='Tracer.*'
 # drives the full 500-schedule sweep; a handful suffices per sanitizer.
 FEVES_CHAOS_ITERS="${FEVES_CHAOS_ITERS:-8}" \
   run_bounded "$BUILD/tests/test_chaos"
+
+# Cluster tier: manager driver thread vs worker executor threads vs the
+# completion sink is the racy triangle; the functional battery plus a
+# reduced node-chaos sweep cover dispatch, fencing, and teardown orders.
+run_bounded "$BUILD/tests/test_cluster"
+FEVES_NODE_CHAOS_ITERS="${FEVES_NODE_CHAOS_ITERS:-4}" \
+  run_bounded "$BUILD/tests/test_cluster_chaos"
 
 echo "run_sanitized.sh: all $SAN-sanitized tests passed"

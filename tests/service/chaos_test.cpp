@@ -130,6 +130,7 @@ void expect_attributed(const SessionResult& r) {
       EXPECT_TRUE(r.reason == TerminalReason::kDeadlineExceeded ||
                   r.reason == TerminalReason::kRestartsExhausted ||
                   r.reason == TerminalReason::kNoUsableDevice ||
+                  r.reason == TerminalReason::kProbationChurn ||
                   r.reason == TerminalReason::kError)
           << "failed with reason " << to_string(r.reason);
       EXPECT_FALSE(r.error.empty());

@@ -444,6 +444,41 @@ TEST(ServiceResilience, DeadlineExceededIsAttributed) {
   EXPECT_LT(r.frames.size(), 100000u);
 }
 
+TEST(ServiceResilience, ProbationChurnIsAttributedDistinctly) {
+  // The GPU fails once early and earns sticky probation (a huge clean
+  // window keeps it there); from frame 3 the CPU is lost for good, so
+  // every grant the session can still get draws ONLY from probation
+  // hardware — and from frame 4 that hardware keeps relapsing. The retry
+  // and restart budget is burned probing half-trusted devices, which is a
+  // different operational problem from a drained pool: attribution must
+  // come back kProbationChurn, not kRestartsExhausted/kNoUsableDevice.
+  const PlatformTopology topo = test_topo(1);  // CPU + one GPU
+  EncodeService svc(topo);
+  SessionConfig sc;
+  sc.cfg = virtual_config();
+  sc.frames = 10;
+  sc.fw.health.failure_threshold = 1;
+  sc.fw.health.quarantine_frames = 1;
+  sc.fw.health.probation_clean_frames = 99;  // probation never re-admits
+  sc.faults.add({/*device=*/1, /*frame_begin=*/1, /*frame_end=*/2,
+                 FaultKind::kDeviceLoss});  // one failure -> probation
+  sc.faults.add({/*device=*/0, /*frame_begin=*/3, kFaultForever,
+                 FaultKind::kDeviceLoss});
+  sc.faults.add({/*device=*/1, /*frame_begin=*/4, kFaultForever,
+                 FaultKind::kDeviceLoss});
+  sc.resilience.max_restarts = 2;
+  sc.resilience.checkpoint_interval = 1;
+  const int id = svc.submit(sc);
+  ASSERT_GE(id, 0);
+  SessionResult r = svc.wait(id);
+  EXPECT_EQ(r.state, SessionResult::State::kFailed);
+  EXPECT_EQ(r.reason, TerminalReason::kProbationChurn);
+  EXPECT_EQ(r.error, std::string(to_string(TerminalReason::kProbationChurn)));
+  EXPECT_GT(r.resilience.probation_relapses, 0)
+      << "telemetry must count the relapses that burned the budget";
+  EXPECT_EQ(svc.arbiter().free_devices(), topo.num_devices());
+}
+
 TEST(ServiceResilience, TotalDeviceLossExhaustsRestartsWithAttribution) {
   // Permanent loss of every device from frame 3 on: rung 2 (fresh grants)
   // has nothing left to offer, so the session climbs to checkpoint-restart,

@@ -105,8 +105,14 @@ stage_chaos_smoke() {
   # the full 500-schedule soak). Seed-deterministic, so a red run here names
   # the seeds to replay locally. timeout(1) bounds the one failure mode the
   # sweep can't report on its own: a wedged harness.
+  local ok=0
   FEVES_CHAOS_ITERS="${FEVES_CHAOS_ITERS:-100}" \
-    timeout --signal=ABRT 900 "$BUILD/tests/test_chaos"
+    timeout --signal=ABRT 900 "$BUILD/tests/test_chaos" || ok=1
+  # Node-level slice: whole-node crash/hang/partition/heartbeat-loss storms
+  # against the cluster tier's fencing and reassignment invariants.
+  FEVES_NODE_CHAOS_ITERS="${FEVES_NODE_CHAOS_ITERS:-40}" \
+    timeout --signal=ABRT 900 "$BUILD/tests/test_cluster_chaos" || ok=1
+  return $ok
 }
 
 stage_bench_smoke() {
@@ -120,6 +126,12 @@ stage_bench_smoke() {
       --json "$BENCH_JSON_DIR/ext_pipeline_overhead.json" || ok=1
   "$BUILD/bench/micro_kernels" --smoke \
       --json "$BENCH_JSON_DIR/micro_kernels.json" || ok=1
+  # Cluster axis only: the single-pool sweep's shape thresholds are too
+  # interleaving-jittery for CI (see stage_service), but the per-node
+  # counter consistency and all-sessions-complete checks are not.
+  "$BUILD/bench/ext_service_throughput" --smoke --workers 4 \
+      --json "$BENCH_JSON_DIR/ext_service_throughput.json" \
+      >/dev/null || ok=1
   return $ok
 }
 
